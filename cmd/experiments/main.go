@@ -1,0 +1,61 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation from the simulated deployment and reports the
+// shape checks (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured values).
+//
+// Usage:
+//
+//	experiments [-scale 0.01] [-seed 42] [-only fig17]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/urbancivics/goflow/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.Float64("scale", 0.01, "fraction of the published 23M-observation study to simulate")
+	seed := flag.Int64("seed", 42, "random seed")
+	only := flag.String("only", "", "comma-separated experiment ids to print (default all)")
+	extensions := flag.Bool("extensions", true, "also run the Section 8 future-work experiments (ext1-ext3)")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	flag.Parse()
+
+	suite := experiment.Suite{Scale: *scale, Seed: *seed, Extensions: *extensions}
+	results, err := suite.RunAll()
+	if err != nil {
+		return err
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		filtered := results[:0]
+		for _, r := range results {
+			if want[r.ID] {
+				filtered = append(filtered, r)
+			}
+		}
+		results = filtered
+	}
+	if *csvDir != "" {
+		paths, err := experiment.WriteCSVFiles(*csvDir, results)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(paths), *csvDir)
+	}
+	return experiment.RenderAll(os.Stdout, results)
+}

@@ -1,0 +1,124 @@
+// Command goflow-server runs the GoFlow crowd-sensing middleware: the
+// AMQP-style broker on a TCP port and the GoFlow REST API on an HTTP
+// port, with the SoundCity application pre-registered.
+//
+// Usage:
+//
+//	goflow-server [-mq :7672] [-http :7680]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/goflow"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/soundcity"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	mqAddr := flag.String("mq", ":7672", "broker TCP listen address")
+	httpAddr := flag.String("http", ":7680", "REST API listen address")
+	dataPath := flag.String("data", "", "snapshot file: loaded on start if present, saved on shutdown")
+	flag.Parse()
+
+	broker := mq.NewBroker()
+	defer broker.Close()
+
+	mqServer, err := mq.NewServer(broker, *mqAddr)
+	if err != nil {
+		return fmt.Errorf("broker server: %w", err)
+	}
+	defer mqServer.Close()
+
+	store := docstore.NewStore()
+	if *dataPath != "" {
+		switch err := store.LoadFile(*dataPath); {
+		case err == nil:
+			fmt.Printf("goflow-server: loaded snapshot %s (%v)\n", *dataPath, store.Collections())
+		case os.IsNotExist(errors.Unwrap(err)) || os.IsNotExist(err):
+			fmt.Printf("goflow-server: no snapshot at %s yet, starting fresh\n", *dataPath)
+		default:
+			return fmt.Errorf("load snapshot: %w", err)
+		}
+	}
+	server, err := goflow.NewServer(goflow.ServerConfig{
+		Broker: broker,
+		Store:  store,
+	})
+	if err != nil {
+		return fmt.Errorf("goflow server: %w", err)
+	}
+	defer server.Shutdown()
+
+	app, err := soundcity.Register(server)
+	if err != nil {
+		return fmt.Errorf("register app: %w", err)
+	}
+	if err := server.StartIngest(); err != nil {
+		return fmt.Errorf("start ingest: %w", err)
+	}
+
+	// Mount the middleware API at the root and the SoundCity
+	// user-facing API (own data, exposure, feedback) under /sc/.
+	userAPI, err := soundcity.NewUserAPI(soundcity.APIConfig{
+		Server: server,
+		Store:  store,
+		Broker: broker,
+	})
+	if err != nil {
+		return fmt.Errorf("user API: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", goflow.NewHTTPHandler(server))
+	mux.Handle("/sc/", http.StripPrefix("/sc", userAPI))
+
+	httpServer := &http.Server{
+		Addr:              *httpAddr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+
+	fmt.Printf("goflow-server: broker on %s, REST on %s\n", mqServer.Addr(), *httpAddr)
+	fmt.Printf("goflow-server: app %q registered (secret %s)\n", app.ID, app.Secret)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("goflow-server: caught %v, shutting down\n", s)
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			return fmt.Errorf("http server: %w", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil {
+		return err
+	}
+	if *dataPath != "" {
+		if err := store.SaveFile(*dataPath); err != nil {
+			return fmt.Errorf("save snapshot: %w", err)
+		}
+		fmt.Printf("goflow-server: snapshot saved to %s\n", *dataPath)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package goflow is a from-scratch reproduction of the mobile phone
+// sensing (MPS) middleware study "Dos and Don'ts in Mobile Phone
+// Sensing Middleware: Learning from a Large-Scale Experiment"
+// (Issarny et al., ACM/IFIP/USENIX Middleware 2016).
+//
+// The repository contains the full system the paper describes:
+//
+//   - internal/mq — an AMQP-style message broker (the RabbitMQ role):
+//     direct/fanout/topic exchanges, queues, exchange-to-exchange
+//     bindings, acknowledgements, and a TCP wire protocol;
+//   - internal/docstore — a document store (the MongoDB role);
+//   - internal/goflow — the GoFlow crowd-sensing server: accounts,
+//     channel management, crowd-sensed data management, privacy
+//     policy, analytics, background jobs, and a REST API;
+//   - internal/client — the mobile GoFlow client with the unbuffered
+//     (v1.1/v1.2.9) and buffered (v1.3) upload policies;
+//   - internal/device — the simulated phone fleet that substitutes
+//     for the paper's ~2,000 real contributors: per-model microphone
+//     and location behaviour, user diurnal habits, battery and
+//     connectivity models, calibrated to the published Figure 9
+//     per-model counts;
+//   - internal/sensing — the sensing domain model (observations,
+//     providers, modes, activities, calibration database);
+//   - internal/assim — the data assimilation engine (the Verdandi
+//     role): a city noise model and BLUE analysis;
+//   - internal/soundcity — the SoundCity application layer;
+//   - internal/analysis and internal/experiment — the empirical
+//     analyses regenerating every table and figure of the paper.
+//
+// See DESIGN.md for the system inventory and the per-experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate each figure; run
+//
+//	go test -bench=Fig -benchmem .
+//
+// or use cmd/experiments for the full report.
+package goflow
+
+// Version is the library version.
+const Version = "1.0.0"

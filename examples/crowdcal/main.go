@@ -1,0 +1,73 @@
+// Crowdcal: crowd-calibration of device models against each other
+// (the paper's Section 8 future work). The fleet contributes raw,
+// uncalibrated measurements; one model was calibrated at a
+// "calibration party" against a reference sound meter; the cross-model
+// median polish recovers every other model's hardware bias from
+// co-located observations alone, and feeds the calibration database
+// that the exposure dashboards use.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"github.com/urbancivics/goflow/internal/device"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fleet, err := device.NewFleet(device.GeneratorConfig{Scale: 0.003, Seed: 7})
+	if err != nil {
+		return err
+	}
+	obs, err := fleet.GenerateAll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet contributed %d raw observations from %d devices\n", len(obs), len(fleet.Devices))
+
+	// The single reference calibration we own.
+	const anchorModel = "SAMSUNG GT-I9505"
+	anchor, err := device.ModelByName(anchorModel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("anchor: %s, party-calibrated bias %.2f dB\n\n", anchorModel, anchor.Mic.BiasDB)
+
+	res, err := sensing.CrowdCalibrate(obs, sensing.CrowdCalOptions{
+		Anchors: map[string]float64{anchorModel: anchor.Mic.BiasDB},
+	})
+	if err != nil {
+		return err
+	}
+
+	models := device.TopModels()
+	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
+	fmt.Printf("%-20s %10s %10s %8s\n", "model", "true bias", "crowd est", "error")
+	worst := 0.0
+	for _, m := range models {
+		est := res.Biases[m.Name]
+		e := math.Abs(est - m.Mic.BiasDB)
+		if e > worst {
+			worst = e
+		}
+		fmt.Printf("%-20s %9.2f %10.2f %7.2f\n", m.Name, m.Mic.BiasDB, est, e)
+	}
+	fmt.Printf("\nmax error %.2f dB after %d iterations over %d observations\n", worst, res.Iterations, res.ObsUsed)
+
+	// Fold into the calibration database used by the app.
+	db := sensing.NewCalibrationDB()
+	if err := res.ApplyToDB(db); err != nil {
+		return err
+	}
+	fmt.Printf("calibration database now covers %d models (source: crowd)\n", len(db.Models()))
+	return nil
+}

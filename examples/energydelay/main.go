@@ -1,0 +1,66 @@
+// Energydelay: the energy-delay tradeoff study of Section 5.3. Runs
+// the paper's battery experiment (Figure 16) across upload policies
+// and bearers, then the transmission-delay simulation (Figure 17) for
+// the unbuffered and buffered client versions, and prints both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/urbancivics/goflow/internal/device"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("battery depletion (7h, 1-min sensing, from 80%):")
+	configs := []struct {
+		label string
+		cfg   device.BatteryRunConfig
+	}{
+		{"no MPS app       ", device.BatteryRunConfig{MPS: false}},
+		{"unbuffered, WiFi ", device.BatteryRunConfig{MPS: true, Network: device.WiFi, BufferSize: 1}},
+		{"unbuffered, 3G   ", device.BatteryRunConfig{MPS: true, Network: device.ThreeG, BufferSize: 1}},
+		{"buffered x10, WiFi", device.BatteryRunConfig{MPS: true, Network: device.WiFi, BufferSize: 10}},
+		{"buffered x10, 3G ", device.BatteryRunConfig{MPS: true, Network: device.ThreeG, BufferSize: 10}},
+	}
+	var baseline float64
+	for _, c := range configs {
+		out, err := device.RunBattery(c.cfg)
+		if err != nil {
+			return err
+		}
+		if baseline == 0 {
+			baseline = out.DepletionPercent
+		}
+		fmt.Printf("  %s  %5.1f%%  (%.2fx baseline, %d transmissions)\n",
+			c.label, out.DepletionPercent, out.DepletionPercent/baseline, out.Breakdown.Transmissions)
+	}
+
+	fmt.Println("\ntransmission delays (14 days, 60 devices, 5-min sensing):")
+	labels := device.DelayBucketLabels()
+	for _, v := range []struct {
+		version string
+		buffer  int
+	}{{"1.2.9", 1}, {"1.3", 10}} {
+		records, err := device.SimulateTransmission(device.TransmissionConfig{
+			Devices: 60, Days: 14, BufferSize: v.buffer, Version: v.version, Seed: 42,
+		})
+		if err != nil {
+			return err
+		}
+		dist := device.DelayDistribution(records)
+		fmt.Printf("  v%s (buffer=%d):\n", v.version, v.buffer)
+		for i, l := range labels {
+			fmt.Printf("    %-8s %5.1f%%\n", l, dist[i]*100)
+		}
+	}
+	fmt.Println("\ntakeaway: buffering cuts radio wakes ~10x for <1h of added delay;")
+	fmt.Println("tune the buffer to the application's timeliness needs (Section 7).")
+	return nil
+}

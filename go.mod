@@ -1,0 +1,3 @@
+module github.com/urbancivics/goflow
+
+go 1.22

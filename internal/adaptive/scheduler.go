@@ -1,0 +1,148 @@
+// Package adaptive implements informed sensing scheduling — the
+// paper's future work (Section 8): "the sensing times and locations
+// could be chosen accordingly, with the objective of collecting the
+// most informative data while limiting energy consumption."
+//
+// A Scheduler decides, at each sensing opportunity, whether a
+// measurement is worth its energy. It is driven by the assimilation
+// engine's per-cell error variance (assim.StreamAnalyzer.VarianceField):
+// a measurement is informative where the map is still uncertain, and
+// wasteful where the crowd has already pinned the field down.
+package adaptive
+
+import (
+	"errors"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+// SchedulerConfig tunes the sensing decision.
+type SchedulerConfig struct {
+	// Budget is the maximum number of measurements per device per
+	// day; the scheduler spends it where variance is highest.
+	Budget int
+	// MinVarianceFrac is the fraction of the prior variance below
+	// which a location is considered already well observed and not
+	// worth a measurement (e.g. 0.3).
+	MinVarianceFrac float64
+	// PriorVariance is the assimilation prior (sigmaB², dB²).
+	PriorVariance float64
+}
+
+// Validate checks config invariants.
+func (c SchedulerConfig) Validate() error {
+	if c.Budget < 1 {
+		return errors.New("adaptive: budget must be >= 1")
+	}
+	if c.MinVarianceFrac < 0 || c.MinVarianceFrac >= 1 {
+		return errors.New("adaptive: MinVarianceFrac must be in [0,1)")
+	}
+	if c.PriorVariance <= 0 {
+		return errors.New("adaptive: prior variance must be positive")
+	}
+	return nil
+}
+
+// Scheduler makes greedy information-per-energy sensing decisions for
+// one device-day. It is not safe for concurrent use (one per device,
+// like the sensing loop).
+type Scheduler struct {
+	cfg   SchedulerConfig
+	spent int
+	// seen/total opportunities let the scheduler pace its spending
+	// against the day: ahead of schedule it gets pickier, behind
+	// schedule it loosens so the budget never goes unused.
+	seenOpportunities  int
+	totalOpportunities int
+}
+
+// NewScheduler builds a scheduler for a device-day with the given
+// number of sensing opportunities (e.g. 288 five-minute cycles).
+func NewScheduler(cfg SchedulerConfig, opportunities int) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opportunities < 1 {
+		return nil, errors.New("adaptive: opportunities must be >= 1")
+	}
+	return &Scheduler{cfg: cfg, totalOpportunities: opportunities}, nil
+}
+
+// Spent returns the number of measurements taken so far.
+func (s *Scheduler) Spent() int { return s.spent }
+
+// Decide reports whether to sense now at the given location, given
+// the current assimilation variance field. Variance outside the field
+// is treated as the prior (completely unknown). A true decision
+// consumes budget.
+func (s *Scheduler) Decide(at geo.Point, variance *geo.Grid) bool {
+	s.seenOpportunities++
+	if s.spent >= s.cfg.Budget {
+		return false
+	}
+	v := s.cfg.PriorVariance
+	if variance != nil {
+		if sampled, ok := variance.Sample(at); ok {
+			v = sampled
+		}
+	}
+	frac := v / s.cfg.PriorVariance
+	if frac > 1 {
+		frac = 1
+	}
+	// Pace spending against the day. The on-schedule spend after a
+	// fraction q of the opportunities is q·Budget; the threshold
+	// starts at MinVarianceFrac, rises by the surplus fraction when
+	// ahead of schedule (get pickier) and falls when behind (the
+	// budget must not expire unspent).
+	q := float64(s.seenOpportunities) / float64(s.totalOpportunities)
+	surplus := (float64(s.spent) - q*float64(s.cfg.Budget)) / float64(s.cfg.Budget)
+	threshold := s.cfg.MinVarianceFrac + surplus
+	if threshold < 0 {
+		threshold = 0
+	}
+	if threshold > 0.98 {
+		threshold = 0.98
+	}
+	if frac < threshold {
+		return false
+	}
+	s.spent++
+	return true
+}
+
+// InformationGain estimates the variance a measurement with error
+// sigmaO (dB) removes at its location: v - v·sigmaO²/(v+sigmaO²),
+// the scalar BLUE posterior reduction.
+func InformationGain(v, sigmaO float64) float64 {
+	if v <= 0 || sigmaO <= 0 {
+		return 0
+	}
+	o2 := sigmaO * sigmaO
+	return v * v / (v + o2)
+}
+
+// CoverageEntropy summarizes how evenly a variance field has been
+// reduced: the mean of v/prior over cells (1 = nothing observed,
+// -> 0 as the whole map gets pinned down). Schedulers compare
+// strategies by the entropy they reach per measurement spent.
+func CoverageEntropy(variance *geo.Grid, prior float64) (float64, error) {
+	if variance == nil || len(variance.Values) == 0 {
+		return 0, errors.New("adaptive: empty variance field")
+	}
+	if prior <= 0 {
+		return 0, errors.New("adaptive: prior must be positive")
+	}
+	sum := 0.0
+	for _, v := range variance.Values {
+		f := v / prior
+		if f > 1 {
+			f = 1
+		}
+		if f < 0 {
+			f = 0
+		}
+		sum += f
+	}
+	return sum / float64(len(variance.Values)), nil
+}

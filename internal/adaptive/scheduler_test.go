@@ -1,0 +1,203 @@
+package adaptive
+
+import (
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+func TestSchedulerConfigValidate(t *testing.T) {
+	good := SchedulerConfig{Budget: 10, MinVarianceFrac: 0.3, PriorVariance: 36}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*SchedulerConfig)
+	}{
+		{"zero budget", func(c *SchedulerConfig) { c.Budget = 0 }},
+		{"frac 1", func(c *SchedulerConfig) { c.MinVarianceFrac = 1 }},
+		{"negative frac", func(c *SchedulerConfig) { c.MinVarianceFrac = -0.1 }},
+		{"zero prior", func(c *SchedulerConfig) { c.PriorVariance = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+	if _, err := NewScheduler(good, 0); err == nil {
+		t.Fatal("zero opportunities must fail")
+	}
+}
+
+func varianceGrid(t *testing.T, frac float64, prior float64) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.ParisBBox(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Values {
+		g.Values[i] = frac * prior
+	}
+	return g
+}
+
+func TestSchedulerRespectsBudget(t *testing.T) {
+	cfg := SchedulerConfig{Budget: 3, MinVarianceFrac: 0.3, PriorVariance: 36}
+	s, err := NewScheduler(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := varianceGrid(t, 1.0, 36) // everything maximally uncertain
+	at := high.CellCenter(2, 2)
+	taken := 0
+	for i := 0; i < 100; i++ {
+		if s.Decide(at, high) {
+			taken++
+		}
+	}
+	if taken != 3 {
+		t.Fatalf("took %d measurements, budget was 3", taken)
+	}
+	if s.Spent() != 3 {
+		t.Fatalf("Spent() = %d", s.Spent())
+	}
+}
+
+func TestSchedulerSkipsWellObservedEarly(t *testing.T) {
+	cfg := SchedulerConfig{Budget: 5, MinVarianceFrac: 0.4, PriorVariance: 36}
+	s, err := NewScheduler(cfg, 1000) // plenty of opportunities: low pressure
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := varianceGrid(t, 0.05, 36) // already pinned down
+	if s.Decide(low.CellCenter(0, 0), low) {
+		t.Fatal("low-variance spot accepted despite low budget pressure")
+	}
+	high := varianceGrid(t, 0.9, 36)
+	if !s.Decide(high.CellCenter(0, 0), high) {
+		t.Fatal("high-variance spot rejected")
+	}
+}
+
+func TestSchedulerSpendsUnderPressure(t *testing.T) {
+	// With opportunities nearly exhausted, even a well-observed spot
+	// is taken rather than wasting budget.
+	cfg := SchedulerConfig{Budget: 2, MinVarianceFrac: 0.5, PriorVariance: 36}
+	s, err := NewScheduler(cfg, 2) // pressure = 1 from the start
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := varianceGrid(t, 0.05, 36)
+	if !s.Decide(low.CellCenter(0, 0), low) {
+		t.Fatal("scheduler wasted budget under full pressure")
+	}
+}
+
+func TestSchedulerUnknownLocationUsesPrior(t *testing.T) {
+	cfg := SchedulerConfig{Budget: 1, MinVarianceFrac: 0.4, PriorVariance: 36}
+	s, err := NewScheduler(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside the variance grid: treated as prior (max uncertainty).
+	if !s.Decide(geo.Point{Lat: 0, Lon: 0}, varianceGrid(t, 0.05, 36)) {
+		t.Fatal("off-grid location must be treated as unknown (prior variance)")
+	}
+	// Nil field likewise.
+	s2, err := NewScheduler(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Decide(geo.Point{Lat: 48.85, Lon: 2.35}, nil) {
+		t.Fatal("nil variance field must be treated as unknown")
+	}
+}
+
+func TestInformationGain(t *testing.T) {
+	// Perfect sensor removes all variance; useless sensor removes
+	// almost none.
+	if g := InformationGain(36, 0.0001); g < 35.9 {
+		t.Fatalf("near-perfect sensor gain = %v", g)
+	}
+	if g := InformationGain(36, 100); g > 4 {
+		t.Fatalf("noisy sensor gain = %v", g)
+	}
+	if InformationGain(0, 3) != 0 || InformationGain(36, 0) != 0 {
+		t.Fatal("degenerate inputs must gain 0")
+	}
+	// Gain grows with prior variance.
+	if InformationGain(36, 3) <= InformationGain(9, 3) {
+		t.Fatal("gain must grow with uncertainty")
+	}
+}
+
+func TestCoverageEntropy(t *testing.T) {
+	full := varianceGrid(t, 1.0, 36)
+	e, err := CoverageEntropy(full, 36)
+	if err != nil || e != 1 {
+		t.Fatalf("untouched field entropy = %v, %v", e, err)
+	}
+	half := varianceGrid(t, 0.5, 36)
+	e, err = CoverageEntropy(half, 36)
+	if err != nil || e != 0.5 {
+		t.Fatalf("half field entropy = %v, %v", e, err)
+	}
+	if _, err := CoverageEntropy(nil, 36); err == nil {
+		t.Fatal("nil field must fail")
+	}
+	if _, err := CoverageEntropy(full, 0); err == nil {
+		t.Fatal("zero prior must fail")
+	}
+}
+
+func TestCompareStrategiesAdaptiveGathersMoreInformation(t *testing.T) {
+	periodic, adaptive, err := CompareStrategies(CompareConfig{
+		Walkers:         15,
+		StepsPerWalker:  80,
+		BudgetPerWalker: 10,
+		GridRows:        12,
+		GridCols:        12,
+		Seed:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets: adaptive may spend less (it skips covered spots),
+	// never more.
+	if adaptive.Measurements > periodic.Measurements {
+		t.Fatalf("adaptive spent %d > periodic %d", adaptive.Measurements, periodic.Measurements)
+	}
+	if periodic.Measurements == 0 || adaptive.Measurements == 0 {
+		t.Fatal("strategies must take measurements")
+	}
+	// The headline claim: at the same (or lower) energy, informed
+	// scheduling leaves substantially less residual map uncertainty.
+	if adaptive.Coverage > periodic.Coverage*0.9 {
+		t.Fatalf("adaptive residual uncertainty %.3f vs periodic %.3f — want >= 10%% better",
+			adaptive.Coverage, periodic.Coverage)
+	}
+	// And the map quality stays comparable (periodic's redundancy
+	// buys noise averaging, not coverage).
+	if adaptive.RMSE > periodic.RMSE*1.25 {
+		t.Fatalf("adaptive RMSE %.3f vs periodic %.3f — degraded too far", adaptive.RMSE, periodic.RMSE)
+	}
+	// Information per measurement: adaptive removes more variance
+	// per observation spent.
+	perObsAdaptive := (1 - adaptive.Coverage) / float64(adaptive.Measurements)
+	perObsPeriodic := (1 - periodic.Coverage) / float64(periodic.Measurements)
+	if perObsAdaptive <= perObsPeriodic {
+		t.Fatalf("information per measurement: adaptive %.5f <= periodic %.5f", perObsAdaptive, perObsPeriodic)
+	}
+}
+
+func TestCompareStrategiesValidation(t *testing.T) {
+	_, _, err := CompareStrategies(CompareConfig{StepsPerWalker: 5, BudgetPerWalker: 10})
+	if err == nil {
+		t.Fatal("budget > opportunities must fail")
+	}
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Observation-set analyses, one per family of figures in the paper.
+
+// AccuracyDistribution bins location-accuracy estimates of localized
+// observations; provider filters to one source
+// (sensing.ProviderNone = all providers), matching Figures 10-13.
+func AccuracyDistribution(obs []*sensing.Observation, provider sensing.Provider) (*Histogram, error) {
+	h, err := NewHistogram(sensing.AccuracyBuckets)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range obs {
+		if o.Loc == nil {
+			continue
+		}
+		if provider != sensing.ProviderNone && o.Loc.Provider != provider {
+			continue
+		}
+		h.Add(o.Loc.AccuracyM)
+	}
+	return h, nil
+}
+
+// ProviderShares returns the share of localized observations per
+// provider, optionally restricted to one sensing mode (0 = all
+// modes). This is the Figure 20 computation.
+func ProviderShares(obs []*sensing.Observation, mode sensing.Mode) (map[sensing.Provider]float64, error) {
+	counts := make(map[sensing.Provider]int)
+	total := 0
+	for _, o := range obs {
+		if o.Loc == nil {
+			continue
+		}
+		if mode != 0 && o.Mode != mode {
+			continue
+		}
+		counts[o.Loc.Provider]++
+		total++
+	}
+	if total == 0 {
+		return nil, errors.New("analysis: no localized observations for provider shares")
+	}
+	out := make(map[sensing.Provider]float64, len(counts))
+	for p, c := range counts {
+		out[p] = float64(c) / float64(total)
+	}
+	return out, nil
+}
+
+// LocalizedFraction returns the share of observations carrying a fix.
+func LocalizedFraction(obs []*sensing.Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range obs {
+		if o.Loc != nil {
+			n++
+		}
+	}
+	return float64(n) / float64(len(obs))
+}
+
+// SPLDistributionByModel bins raw SPL per device model into 1 dB(A)
+// bins (Figure 14; units per-mille via Histogram.PerMille).
+func SPLDistributionByModel(obs []*sensing.Observation) (map[string]*Histogram, error) {
+	out := make(map[string]*Histogram)
+	for _, o := range obs {
+		h, ok := out[o.DeviceModel]
+		if !ok {
+			var err error
+			h, err = NewFixedWidthHistogram(0, 130, sensing.SPLBins())
+			if err != nil {
+				return nil, err
+			}
+			out[o.DeviceModel] = h
+		}
+		h.Add(o.SPL)
+	}
+	return out, nil
+}
+
+// SPLDistributionByUser bins raw SPL per user for one device model,
+// keeping the topN most prolific users (Figure 15).
+func SPLDistributionByUser(obs []*sensing.Observation, model string, topN int) (map[string]*Histogram, error) {
+	perUser := make(map[string]*Histogram)
+	counts := make(map[string]int)
+	for _, o := range obs {
+		if o.DeviceModel != model {
+			continue
+		}
+		counts[o.UserID]++
+	}
+	users := topKeys(counts, topN)
+	keep := make(map[string]bool, len(users))
+	for _, u := range users {
+		keep[u] = true
+	}
+	for _, o := range obs {
+		if o.DeviceModel != model || !keep[o.UserID] {
+			continue
+		}
+		h, ok := perUser[o.UserID]
+		if !ok {
+			var err error
+			h, err = NewFixedWidthHistogram(0, 130, sensing.SPLBins())
+			if err != nil {
+				return nil, err
+			}
+			perUser[o.UserID] = h
+		}
+		h.Add(o.SPL)
+	}
+	return perUser, nil
+}
+
+// HourlyDistribution returns the 24-entry share of observations per
+// local hour of day (Figure 18).
+func HourlyDistribution(obs []*sensing.Observation) [24]float64 {
+	var counts [24]int
+	total := 0
+	for _, o := range obs {
+		counts[o.SensedAt.Hour()]++
+		total++
+	}
+	var out [24]float64
+	if total == 0 {
+		return out
+	}
+	for h, c := range counts {
+		out[h] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// HourlyDistributionByUser returns per-user hourly shares for one
+// device model, keeping the topN most prolific users (Figure 19).
+func HourlyDistributionByUser(obs []*sensing.Observation, model string, topN int) map[string][24]float64 {
+	counts := make(map[string]int)
+	for _, o := range obs {
+		if o.DeviceModel == model {
+			counts[o.UserID]++
+		}
+	}
+	users := topKeys(counts, topN)
+	keep := make(map[string]bool, len(users))
+	for _, u := range users {
+		keep[u] = true
+	}
+	perUser := make(map[string][]*sensing.Observation)
+	for _, o := range obs {
+		if o.DeviceModel == model && keep[o.UserID] {
+			perUser[o.UserID] = append(perUser[o.UserID], o)
+		}
+	}
+	out := make(map[string][24]float64, len(perUser))
+	for u, list := range perUser {
+		out[u] = HourlyDistribution(list)
+	}
+	return out
+}
+
+// ActivityShares returns the share of observations per activity
+// class, folding observations below the confidence cut into
+// unqualified classes as the paper does (Figure 21: the activity
+// "cannot be characterized" for ~20% of the time).
+func ActivityShares(obs []*sensing.Observation) map[sensing.Activity]float64 {
+	counts := make(map[sensing.Activity]int)
+	total := 0
+	for _, o := range obs {
+		act := o.Activity
+		if !sensing.Qualified(o.ActivityConfidence) &&
+			act != sensing.ActivityUndefined && act != sensing.ActivityUnknown {
+			act = sensing.ActivityUnknown
+		}
+		counts[act]++
+		total++
+	}
+	out := make(map[sensing.Activity]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for a, c := range counts {
+		out[a] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// UnqualifiedActivityShare returns the fraction of observations whose
+// activity is undefined, unknown or under-confident.
+func UnqualifiedActivityShare(obs []*sensing.Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range obs {
+		if o.Activity == sensing.ActivityUndefined || o.Activity == sensing.ActivityUnknown ||
+			!sensing.Qualified(o.ActivityConfidence) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(obs))
+}
+
+// MovingShare returns the fraction of observations with a qualified
+// moving activity.
+func MovingShare(obs []*sensing.Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range obs {
+		if o.Activity.Moving() && sensing.Qualified(o.ActivityConfidence) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(obs))
+}
+
+// MonthlyCumulative returns (month labels, cumulative observation
+// counts) across the observation span — the growth curve of Figure 8.
+func MonthlyCumulative(obs []*sensing.Observation) ([]string, []int) {
+	if len(obs) == 0 {
+		return nil, nil
+	}
+	perMonth := make(map[string]int)
+	for _, o := range obs {
+		perMonth[o.SensedAt.Format("2006-01")]++
+	}
+	months := make([]string, 0, len(perMonth))
+	for m := range perMonth {
+		months = append(months, m)
+	}
+	sort.Strings(months)
+	cum := make([]int, len(months))
+	running := 0
+	for i, m := range months {
+		running += perMonth[m]
+		cum[i] = running
+	}
+	return months, cum
+}
+
+// CountByModel returns per-model (measurements, localized) counts —
+// the Figure 9 table body.
+func CountByModel(obs []*sensing.Observation) map[string][2]int {
+	out := make(map[string][2]int)
+	for _, o := range obs {
+		entry := out[o.DeviceModel]
+		entry[0]++
+		if o.Loc != nil {
+			entry[1]++
+		}
+		out[o.DeviceModel] = entry
+	}
+	return out
+}
+
+// DistinctUsersByModel counts distinct contributors per model.
+func DistinctUsersByModel(obs []*sensing.Observation) map[string]int {
+	users := make(map[string]map[string]bool)
+	for _, o := range obs {
+		set, ok := users[o.DeviceModel]
+		if !ok {
+			set = make(map[string]bool)
+			users[o.DeviceModel] = set
+		}
+		set[o.UserID] = true
+	}
+	out := make(map[string]int, len(users))
+	for m, set := range users {
+		out[m] = len(set)
+	}
+	return out
+}
+
+// topKeys returns the n keys with the highest counts (ties broken by
+// key order for determinism).
+func topKeys(counts map[string]int, n int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if n > 0 && len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}
+
+// TimeSpan returns the earliest and latest sensing instants.
+func TimeSpan(obs []*sensing.Observation) (time.Time, time.Time) {
+	if len(obs) == 0 {
+		return time.Time{}, time.Time{}
+	}
+	lo, hi := obs[0].SensedAt, obs[0].SensedAt
+	for _, o := range obs[1:] {
+		if o.SensedAt.Before(lo) {
+			lo = o.SensedAt
+		}
+		if o.SensedAt.After(hi) {
+			hi = o.SensedAt
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+func mkObs(model, user string, mode sensing.Mode, provider sensing.Provider, accuracy, spl float64,
+	activity sensing.Activity, conf float64, at time.Time) *sensing.Observation {
+	o := &sensing.Observation{
+		UserID:             user,
+		DeviceModel:        model,
+		Mode:               mode,
+		SPL:                spl,
+		Activity:           activity,
+		ActivityConfidence: conf,
+		SensedAt:           at,
+	}
+	if provider != sensing.ProviderNone {
+		o.Loc = &sensing.Location{
+			Point:     geo.Point{Lat: 48.85, Lon: 2.35},
+			AccuracyM: accuracy,
+			Provider:  provider,
+		}
+	}
+	return o
+}
+
+func baseTime() time.Time { return time.Date(2016, 1, 10, 12, 0, 0, 0, time.UTC) }
+
+func TestAccuracyDistributionFiltersProvider(t *testing.T) {
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderGPS, 10, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNetwork, 35, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, baseTime()),
+	}
+	all, err := AccuracyDistribution(obs, sensing.ProviderNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Total() != 2 {
+		t.Fatalf("all-provider total = %d, want 2 (unlocalized excluded)", all.Total())
+	}
+	gps, err := AccuracyDistribution(obs, sensing.ProviderGPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gps.Total() != 1 {
+		t.Fatalf("gps total = %d", gps.Total())
+	}
+}
+
+func TestProviderShares(t *testing.T) {
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderGPS, 10, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNetwork, 35, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Manual, sensing.ProviderGPS, 10, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, baseTime()),
+	}
+	all, err := ProviderShares(obs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(all[sensing.ProviderGPS]-2.0/3) > 1e-9 {
+		t.Fatalf("gps share = %v", all[sensing.ProviderGPS])
+	}
+	manual, err := ProviderShares(obs, sensing.Manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual[sensing.ProviderGPS] != 1 {
+		t.Fatalf("manual gps share = %v", manual[sensing.ProviderGPS])
+	}
+	if _, err := ProviderShares(nil, 0); err == nil {
+		t.Fatal("no localized observations must fail")
+	}
+}
+
+func TestLocalizedFraction(t *testing.T) {
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderGPS, 10, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, baseTime()),
+	}
+	if got := LocalizedFraction(obs); got != 0.5 {
+		t.Fatalf("LocalizedFraction = %v", got)
+	}
+	if LocalizedFraction(nil) != 0 {
+		t.Fatal("empty input must be 0")
+	}
+}
+
+func TestSPLDistributionByModelAndUser(t *testing.T) {
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 30, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 31, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u2", sensing.Opportunistic, sensing.ProviderNone, 0, 45, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("B", "u3", sensing.Opportunistic, sensing.ProviderNone, 0, 60, sensing.ActivityStill, 0.9, baseTime()),
+	}
+	byModel, err := SPLDistributionByModel(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byModel) != 2 || byModel["A"].Total() != 3 || byModel["B"].Total() != 1 {
+		t.Fatalf("byModel = %v", byModel)
+	}
+	byUser, err := SPLDistributionByUser(obs, "A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// topN=1 keeps only u1 (2 observations).
+	if len(byUser) != 1 || byUser["u1"] == nil || byUser["u1"].Total() != 2 {
+		t.Fatalf("byUser = %v", byUser)
+	}
+}
+
+func TestHourlyDistribution(t *testing.T) {
+	day := time.Date(2016, 1, 10, 0, 0, 0, 0, time.UTC)
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, day.Add(14*time.Hour)),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, day.Add(14*time.Hour+30*time.Minute)),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, day.Add(2*time.Hour)),
+	}
+	dist := HourlyDistribution(obs)
+	if math.Abs(dist[14]-2.0/3) > 1e-9 || math.Abs(dist[2]-1.0/3) > 1e-9 {
+		t.Fatalf("hourly = %v", dist)
+	}
+	sum := 0.0
+	for _, v := range dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("hourly sums to %v", sum)
+	}
+}
+
+func TestHourlyDistributionByUser(t *testing.T) {
+	day := time.Date(2016, 1, 10, 0, 0, 0, 0, time.UTC)
+	var obs []*sensing.Observation
+	for i := 0; i < 5; i++ {
+		obs = append(obs, mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, day.Add(9*time.Hour)))
+	}
+	obs = append(obs, mkObs("A", "u2", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, day.Add(21*time.Hour)))
+	perUser := HourlyDistributionByUser(obs, "A", 10)
+	if len(perUser) != 2 {
+		t.Fatalf("users = %d", len(perUser))
+	}
+	if perUser["u1"][9] != 1 || perUser["u2"][21] != 1 {
+		t.Fatalf("per-user distributions wrong: %v", perUser)
+	}
+}
+
+func TestActivitySharesFoldsUnderConfident(t *testing.T) {
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityFoot, 0.5, baseTime()), // under-confident
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityUndefined, 0.3, baseTime()),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityVehicle, 0.95, baseTime()),
+	}
+	shares := ActivityShares(obs)
+	if shares[sensing.ActivityStill] != 0.25 || shares[sensing.ActivityVehicle] != 0.25 {
+		t.Fatalf("shares = %v", shares)
+	}
+	// The under-confident foot observation folds into unknown.
+	if shares[sensing.ActivityUnknown] != 0.25 || shares[sensing.ActivityFoot] != 0 {
+		t.Fatalf("folding failed: %v", shares)
+	}
+	if got := UnqualifiedActivityShare(obs); got != 0.5 {
+		t.Fatalf("unqualified = %v", got)
+	}
+	if got := MovingShare(obs); got != 0.25 {
+		t.Fatalf("moving = %v (only the confident vehicle counts)", got)
+	}
+}
+
+func TestMonthlyCumulative(t *testing.T) {
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, time.Date(2015, 7, 5, 0, 0, 0, 0, time.UTC)),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, time.Date(2015, 7, 20, 0, 0, 0, 0, time.UTC)),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, time.Date(2015, 9, 2, 0, 0, 0, 0, time.UTC)),
+	}
+	months, cum := MonthlyCumulative(obs)
+	if len(months) != 2 || months[0] != "2015-07" || months[1] != "2015-09" {
+		t.Fatalf("months = %v", months)
+	}
+	if cum[0] != 2 || cum[1] != 3 {
+		t.Fatalf("cumulative = %v", cum)
+	}
+	m, c := MonthlyCumulative(nil)
+	if m != nil || c != nil {
+		t.Fatal("empty input must return nils")
+	}
+}
+
+func TestCountAndUsersByModel(t *testing.T) {
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderGPS, 10, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("A", "u2", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, baseTime()),
+		mkObs("B", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, baseTime()),
+	}
+	counts := CountByModel(obs)
+	if counts["A"] != [2]int{2, 1} || counts["B"] != [2]int{1, 0} {
+		t.Fatalf("counts = %v", counts)
+	}
+	users := DistinctUsersByModel(obs)
+	if users["A"] != 2 || users["B"] != 1 {
+		t.Fatalf("users = %v", users)
+	}
+}
+
+func TestTimeSpan(t *testing.T) {
+	early := baseTime()
+	late := early.Add(48 * time.Hour)
+	obs := []*sensing.Observation{
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, late),
+		mkObs("A", "u1", sensing.Opportunistic, sensing.ProviderNone, 0, 50, sensing.ActivityStill, 0.9, early),
+	}
+	lo, hi := TimeSpan(obs)
+	if !lo.Equal(early) || !hi.Equal(late) {
+		t.Fatalf("span = %v %v", lo, hi)
+	}
+}

@@ -1,0 +1,141 @@
+// Package analysis implements the empirical-analysis toolkit used to
+// regenerate the paper's figures: histograms with arbitrary edges,
+// per-group distributions over observation sets (accuracy per
+// provider, SPL per model and per user, hourly participation,
+// provider shares per mode, activity shares) and summary statistics.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram bins float values into intervals defined by Edges:
+// bucket i covers [Edges[i], Edges[i+1]). Values outside the range
+// are counted in Under/Over.
+type Histogram struct {
+	Edges  []float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// edges (at least two).
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, errors.New("analysis: histogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("analysis: edges not increasing at %d", i)
+		}
+	}
+	cp := make([]float64, len(edges))
+	copy(cp, edges)
+	return &Histogram{Edges: cp, Counts: make([]int, len(edges)-1)}, nil
+}
+
+// NewFixedWidthHistogram builds a histogram of n equal bins over
+// [lo, hi).
+func NewFixedWidthHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || hi <= lo {
+		return nil, errors.New("analysis: invalid fixed-width histogram spec")
+	}
+	edges := make([]float64, n+1)
+	w := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	return NewHistogram(edges)
+}
+
+// Add counts one value.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v < h.Edges[0] {
+		h.Under++
+		return
+	}
+	if v >= h.Edges[len(h.Edges)-1] {
+		h.Over++
+		return
+	}
+	// Binary search for the bucket.
+	i := sort.SearchFloat64s(h.Edges, v)
+	// SearchFloat64s returns the first edge >= v; the bucket is the
+	// interval starting at the previous edge (or at i when equal).
+	if i == len(h.Edges) || h.Edges[i] != v {
+		i--
+	}
+	if i >= 0 && i < len(h.Counts) {
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of values added (including out-of-range).
+func (h *Histogram) Total() int { return h.total }
+
+// Shares returns per-bucket fractions of all added values.
+func (h *Histogram) Shares() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// PerMille returns per-bucket shares in per-thousand, the unit of the
+// paper's SPL figures.
+func (h *Histogram) PerMille() []float64 {
+	shares := h.Shares()
+	for i := range shares {
+		shares[i] *= 1000
+	}
+	return shares
+}
+
+// Percent returns per-bucket shares in percent.
+func (h *Histogram) Percent() []float64 {
+	shares := h.Shares()
+	for i := range shares {
+		shares[i] *= 100
+	}
+	return shares
+}
+
+// ModeBucket returns the index of the fullest bucket (-1 when empty).
+func (h *Histogram) ModeBucket() int {
+	best, bestCount := -1, 0
+	for i, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+// ShareBetween returns the fraction of added values falling in
+// [lo, hi), computed from buckets fully inside the range plus
+// proportional parts of boundary buckets.
+func (h *Histogram) ShareBetween(lo, hi float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	covered := 0.0
+	for i := 0; i < len(h.Counts); i++ {
+		a, b := h.Edges[i], h.Edges[i+1]
+		overlap := math.Min(b, hi) - math.Max(a, lo)
+		if overlap <= 0 {
+			continue
+		}
+		covered += float64(h.Counts[i]) * overlap / (b - a)
+	}
+	return covered / float64(h.total)
+}

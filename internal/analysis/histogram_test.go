@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Fatal("one edge must fail")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("non-increasing edges must fail")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("decreasing edges must fail")
+	}
+	h, err := NewHistogram([]float64{0, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 2 {
+		t.Fatalf("counts len = %d", len(h.Counts))
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 5, 10, 19.99, 20, 49.99, 50, 100} {
+		h.Add(v)
+	}
+	// -1 under; 0,5 in [0,10); 10,19.99 in [10,20); 20,49.99 in
+	// [20,50); 50,100 over.
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	want := []int{2, 2, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 9 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramEdgeValueGoesToRightBucket(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(10) // exactly on an interior edge: belongs to [10,20)
+	if h.Counts[0] != 0 || h.Counts[1] != 1 {
+		t.Fatalf("edge binning: %v", h.Counts)
+	}
+}
+
+func TestHistogramSharesUnits(t *testing.T) {
+	h, err := NewFixedWidthHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(1)
+	}
+	h.Add(7)
+	shares := h.Shares()
+	if math.Abs(shares[0]-0.75) > 1e-9 || math.Abs(shares[1]-0.25) > 1e-9 {
+		t.Fatalf("shares = %v", shares)
+	}
+	pm := h.PerMille()
+	if math.Abs(pm[0]-750) > 1e-9 {
+		t.Fatalf("per-mille = %v", pm)
+	}
+	pc := h.Percent()
+	if math.Abs(pc[1]-25) > 1e-9 {
+		t.Fatalf("percent = %v", pc)
+	}
+}
+
+func TestHistogramSharesSumProperty(t *testing.T) {
+	f := func(values []float64) bool {
+		h, err := NewFixedWidthHistogram(0, 100, 10)
+		if err != nil {
+			return false
+		}
+		inRange := 0
+		for _, v := range values {
+			v = math.Abs(math.Mod(v, 200))
+			h.Add(v)
+			if v < 100 {
+				inRange++
+			}
+		}
+		sum := 0.0
+		for _, s := range h.Shares() {
+			sum += s
+		}
+		if h.Total() == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-float64(inRange)/float64(h.Total())) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeBucket(t *testing.T) {
+	h, err := NewFixedWidthHistogram(0, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ModeBucket() != -1 {
+		t.Fatal("empty histogram mode must be -1")
+	}
+	h.Add(5)
+	h.Add(15)
+	h.Add(15)
+	if h.ModeBucket() != 1 {
+		t.Fatalf("mode bucket = %d, want 1", h.ModeBucket())
+	}
+}
+
+func TestShareBetween(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		h.Add(5) // bucket [0,10)
+	}
+	for i := 0; i < 4; i++ {
+		h.Add(25) // bucket [20,40)
+	}
+	// Full first bucket.
+	if got := h.ShareBetween(0, 10); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("ShareBetween(0,10) = %v", got)
+	}
+	// Half of the first bucket (proportional attribution).
+	if got := h.ShareBetween(0, 5); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("ShareBetween(0,5) = %v", got)
+	}
+	// Range spanning empty middle bucket.
+	if got := h.ShareBetween(10, 20); got != 0 {
+		t.Fatalf("ShareBetween(10,20) = %v", got)
+	}
+	// Everything.
+	if got := h.ShareBetween(0, 40); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ShareBetween(0,40) = %v", got)
+	}
+	// Empty histogram.
+	h2, err := NewHistogram([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ShareBetween(0, 1) != 0 {
+		t.Fatal("empty histogram share must be 0")
+	}
+}

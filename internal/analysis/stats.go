@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the middle value (mean of the two middles for even
+// lengths; 0 for empty input).
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile (nearest-rank with linear
+// interpolation; p in [0,100]).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal
+// length series.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, errors.New("analysis: series must be equal-length and non-empty")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, errors.New("analysis: zero variance")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianStdDev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("StdDev constant = %v", got)
+	}
+	if got := StdDev([]float64{0, 4}); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty inputs must return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {110, 50},
+		{12.5, 15}, // interpolated between 10 and 20
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Percentile must not mutate the input.
+	ys := []float64{3, 1, 2}
+	_ = Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil || math.Abs(r-1) > 1e-9 {
+		t.Fatalf("Pearson linear = %v, %v", r, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || math.Abs(r+1) > 1e-9 {
+		t.Fatalf("Pearson anti = %v, %v", r, err)
+	}
+	if _, err := Pearson(xs, []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := Pearson(xs, []float64{5, 5, 5, 5}); err == nil {
+		t.Fatal("zero variance must fail")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}

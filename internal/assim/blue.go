@@ -1,0 +1,161 @@
+package assim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+// BLUE (Best Linear Unbiased Estimation) data assimilation, as used
+// at urban scale by Tilloy et al. [42] and by the SoundCity
+// assimilation engine: given a background field x_b (the city noise
+// model, with spatially correlated errors) and m point observations
+// y with uncorrelated errors, the analysis is
+//
+//	x_a = x_b + B Hᵀ (H B Hᵀ + R)⁻¹ (y - H x_b)
+//
+// where H samples the field at the observation locations, R is the
+// diagonal observation-error covariance, and B is the background
+// covariance, modelled as sigma_b² · exp(-d/L) with correlation
+// length L.
+
+// Observation is one assimilated measurement.
+type Observation struct {
+	At geo.Point
+	// ValueDB is the (calibrated) measured level.
+	ValueDB float64
+	// SigmaDB is the observation error std-dev; mobile observations
+	// with poor location accuracy get larger sigmas.
+	SigmaDB float64
+}
+
+// BLUEParams tune the background error model.
+type BLUEParams struct {
+	// SigmaB is the background error standard deviation (dB).
+	SigmaB float64
+	// CorrLengthM is the e-folding length of background error
+	// correlations (meters).
+	CorrLengthM float64
+	// MaxObservations caps the analysis cost; beyond it observations
+	// are thinned uniformly. 0 = no cap.
+	MaxObservations int
+}
+
+// DefaultBLUEParams returns values suited to the city scale.
+func DefaultBLUEParams() BLUEParams {
+	return BLUEParams{SigmaB: 6, CorrLengthM: 600, MaxObservations: 1500}
+}
+
+// Analyze computes the BLUE analysis of background given
+// observations. It returns the analysis grid. Observations outside
+// the grid are ignored.
+func Analyze(background *geo.Grid, obs []Observation, params BLUEParams) (*geo.Grid, error) {
+	if background == nil {
+		return nil, errors.New("assim: nil background")
+	}
+	if params.SigmaB <= 0 || params.CorrLengthM <= 0 {
+		return nil, errors.New("assim: BLUE params must be positive")
+	}
+	// Keep only in-grid observations with sane errors.
+	kept := make([]Observation, 0, len(obs))
+	for _, o := range obs {
+		if _, _, ok := background.CellOf(o.At); ok && o.SigmaDB > 0 {
+			kept = append(kept, o)
+		}
+	}
+	if params.MaxObservations > 0 && len(kept) > params.MaxObservations {
+		kept = thin(kept, params.MaxObservations)
+	}
+	m := len(kept)
+	if m == 0 {
+		return background.Clone(), nil
+	}
+
+	sigmaB2 := params.SigmaB * params.SigmaB
+	l := params.CorrLengthM
+
+	// S = H B Hᵀ + R  (m×m, symmetric positive definite).
+	s := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			d := kept[i].At.DistanceMeters(kept[j].At)
+			v := sigmaB2 * math.Exp(-d/l)
+			if i == j {
+				v += kept[i].SigmaDB * kept[i].SigmaDB
+			}
+			s[i*m+j] = v
+			s[j*m+i] = v
+		}
+	}
+
+	// Innovations d = y - H x_b.
+	innov := make([]float64, m)
+	for i, o := range kept {
+		bg, ok := background.Sample(o.At)
+		if !ok {
+			return nil, fmt.Errorf("assim: observation %d left the grid", i)
+		}
+		innov[i] = o.ValueDB - bg
+	}
+
+	// w = S⁻¹ d via Cholesky.
+	w, err := choleskySolve(s, innov, m)
+	if err != nil {
+		return nil, fmt.Errorf("BLUE solve (%d obs): %w", m, err)
+	}
+
+	// x_a = x_b + (B Hᵀ) w : for every cell, sum over observations of
+	// cov(cell, obs) * w. Skip negligible correlations (>5L away).
+	analysis := background.Clone()
+	cutoff := 5 * l
+	for r := 0; r < analysis.NRows; r++ {
+		for c := 0; c < analysis.NCols; c++ {
+			center := analysis.CellCenter(r, c)
+			incr := 0.0
+			for i, o := range kept {
+				d := center.DistanceMeters(o.At)
+				if d > cutoff {
+					continue
+				}
+				incr += sigmaB2 * math.Exp(-d/l) * w[i]
+			}
+			analysis.Set(r, c, analysis.At(r, c)+incr)
+		}
+	}
+	return analysis, nil
+}
+
+// thin subsamples observations uniformly to n entries.
+func thin(obs []Observation, n int) []Observation {
+	out := make([]Observation, 0, n)
+	step := float64(len(obs)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, obs[int(float64(i)*step)])
+	}
+	return out
+}
+
+// choleskySolve solves A x = b for symmetric positive-definite A
+// (row-major m×m), leaving the input intact.
+func choleskySolve(a []float64, b []float64, m int) ([]float64, error) {
+	chol, err := newCholesky(a, m)
+	if err != nil {
+		return nil, err
+	}
+	return chol.Solve(b), nil
+}
+
+// RMSE computes the root-mean-square difference between two grids.
+func RMSE(a, b *geo.Grid) (float64, error) {
+	if len(a.Values) != len(b.Values) || len(a.Values) == 0 {
+		return 0, errors.New("assim: grids incompatible for RMSE")
+	}
+	sum := 0.0
+	for i := range a.Values {
+		d := a.Values[i] - b.Values[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a.Values))), nil
+}

@@ -1,0 +1,232 @@
+package assim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+func flatGrid(t *testing.T, rows, cols int, value float64) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.ParisBBox(), rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Values {
+		g.Values[i] = value
+	}
+	return g
+}
+
+func TestAnalyzeNoObservationsReturnsBackground(t *testing.T) {
+	bg := flatGrid(t, 8, 8, 50)
+	out, err := Analyze(bg, nil, DefaultBLUEParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Values {
+		if out.Values[i] != 50 {
+			t.Fatal("no observations must leave the background unchanged")
+		}
+	}
+	// And the result is a copy.
+	out.Values[0] = 99
+	if bg.Values[0] != 50 {
+		t.Fatal("analysis must not alias the background")
+	}
+}
+
+func TestAnalyzeSingleObservationPullsTowardValue(t *testing.T) {
+	bg := flatGrid(t, 16, 16, 50)
+	obsAt := bg.CellCenter(8, 8)
+	obs := []Observation{{At: obsAt, ValueDB: 60, SigmaDB: 1}}
+	out, err := Analyze(bg, obs, BLUEParams{SigmaB: 6, CorrLengthM: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c, _ := out.CellOf(obsAt)
+	atObs := out.At(r, c)
+	// With sigma_b=6, sigma_o=1: gain = 36/37 ≈ 0.97, so the analysis
+	// lands close to 60 at the observation.
+	if atObs < 58 || atObs > 60.5 {
+		t.Fatalf("analysis at observation = %.2f, want ~59.7", atObs)
+	}
+	// Far from the observation the field stays at the background.
+	farVal := out.At(0, 0)
+	if math.Abs(farVal-50) > 1 {
+		t.Fatalf("analysis far away = %.2f, want ~50", farVal)
+	}
+	// The influence decays monotonically in between.
+	near := out.At(8, 9)
+	mid := out.At(8, 12)
+	if !(atObs >= near && near >= mid && mid >= farVal-1e-9) {
+		t.Fatalf("influence not decaying: %.2f %.2f %.2f %.2f", atObs, near, mid, farVal)
+	}
+}
+
+func TestAnalyzeWeighsObservationError(t *testing.T) {
+	bg := flatGrid(t, 8, 8, 50)
+	at := bg.CellCenter(4, 4)
+	precise, err := Analyze(bg, []Observation{{At: at, ValueDB: 60, SigmaDB: 0.5}}, DefaultBLUEParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Analyze(bg, []Observation{{At: at, ValueDB: 60, SigmaDB: 10}}, DefaultBLUEParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c, _ := bg.CellOf(at)
+	if precise.At(r, c) <= noisy.At(r, c) {
+		t.Fatal("a precise observation must pull the analysis harder than a noisy one")
+	}
+}
+
+func TestAnalyzeIgnoresOutOfGridAndBadSigma(t *testing.T) {
+	bg := flatGrid(t, 4, 4, 50)
+	obs := []Observation{
+		{At: geo.Point{Lat: 0, Lon: 0}, ValueDB: 90, SigmaDB: 1}, // outside
+		{At: bg.CellCenter(1, 1), ValueDB: 90, SigmaDB: 0},       // invalid sigma
+	}
+	out, err := Analyze(bg, obs, DefaultBLUEParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Values {
+		if out.Values[i] != 50 {
+			t.Fatal("invalid observations must be ignored")
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, nil, DefaultBLUEParams()); err == nil {
+		t.Fatal("nil background must fail")
+	}
+	bg := flatGrid(t, 2, 2, 0)
+	if _, err := Analyze(bg, nil, BLUEParams{SigmaB: 0, CorrLengthM: 100}); err == nil {
+		t.Fatal("non-positive sigma must fail")
+	}
+}
+
+func TestAnalyzeThinsObservations(t *testing.T) {
+	bg := flatGrid(t, 8, 8, 50)
+	var obs []Observation
+	for i := 0; i < 200; i++ {
+		obs = append(obs, Observation{At: bg.CellCenter(i%8, (i/8)%8), ValueDB: 55, SigmaDB: 3})
+	}
+	params := DefaultBLUEParams()
+	params.MaxObservations = 50
+	if _, err := Analyze(bg, obs, params); err != nil {
+		t.Fatalf("thinned analysis failed: %v", err)
+	}
+}
+
+func TestCholeskySolveKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+	a := []float64{4, 2, 2, 3}
+	b := []float64{10, 9}
+	x, err := choleskySolve(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.5) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("solve = %v, want [1.5 2]", x)
+	}
+}
+
+func TestCholeskySolveRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // eigenvalues 3, -1
+	if _, err := choleskySolve(a, []float64{1, 1}, 2); err == nil {
+		t.Fatal("indefinite matrix must fail")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	a := flatGrid(t, 2, 2, 3)
+	b := flatGrid(t, 2, 2, 0)
+	got, err := RMSE(a, b)
+	if err != nil || got != 3 {
+		t.Fatalf("RMSE = %v, %v, want 3", got, err)
+	}
+	c := flatGrid(t, 3, 3, 0)
+	if _, err := RMSE(a, c); err == nil {
+		t.Fatal("size mismatch must fail")
+	}
+}
+
+func TestRunTwinImprovesBackground(t *testing.T) {
+	res, err := RunTwin(TwinConfig{
+		Rows: 24, Cols: 24,
+		BackgroundBias:  4,
+		BackgroundNoise: 2,
+		NumObservations: 300,
+		ObsNoise:        3,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalysisRMSE >= res.BackgroundRMSE {
+		t.Fatalf("assimilation made things worse: %.2f -> %.2f", res.BackgroundRMSE, res.AnalysisRMSE)
+	}
+	if res.Improvement < 0.3 {
+		t.Fatalf("improvement = %.2f, want >= 0.3 with 300 observations", res.Improvement)
+	}
+}
+
+func TestRunTwinMoreObservationsHelpMore(t *testing.T) {
+	run := func(n int) float64 {
+		t.Helper()
+		res, err := RunTwin(TwinConfig{
+			Rows: 20, Cols: 20,
+			BackgroundBias:  4,
+			BackgroundNoise: 2,
+			NumObservations: n,
+			ObsNoise:        3,
+			Seed:            6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Improvement
+	}
+	few := run(30)
+	many := run(500)
+	if many <= few {
+		t.Fatalf("500 obs improvement %.2f <= 30 obs improvement %.2f", many, few)
+	}
+}
+
+func TestRunTwinCalibrationMatters(t *testing.T) {
+	// Uncalibrated sensors (systematic bias) must yield a worse
+	// analysis than calibrated ones — the paper's Section 5.2 case
+	// for the per-model calibration database.
+	base := TwinConfig{
+		Rows: 20, Cols: 20,
+		BackgroundBias:  3,
+		BackgroundNoise: 2,
+		NumObservations: 300,
+		ObsNoise:        3,
+		Seed:            7,
+	}
+	calibrated, err := RunTwin(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := base
+	biased.ObsBias = 8
+	uncalibrated, err := RunTwin(biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncalibrated.AnalysisRMSE <= calibrated.AnalysisRMSE {
+		t.Fatalf("uncalibrated RMSE %.2f <= calibrated %.2f", uncalibrated.AnalysisRMSE, calibrated.AnalysisRMSE)
+	}
+}
+
+func TestRunTwinValidation(t *testing.T) {
+	if _, err := RunTwin(TwinConfig{Rows: 0, Cols: 5}); err == nil {
+		t.Fatal("zero rows must fail")
+	}
+}

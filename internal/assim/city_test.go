@@ -1,0 +1,165 @@
+package assim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+func testCity(t *testing.T) *City {
+	t.Helper()
+	c, err := RandomCity(CityConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRandomCityLayout(t *testing.T) {
+	c := testCity(t)
+	if len(c.Roads) == 0 || len(c.Sources) == 0 {
+		t.Fatal("city must have roads and sources")
+	}
+	for _, s := range c.Sources {
+		if !c.Box.Contains(s.At) {
+			t.Fatalf("source %v outside city box", s.At)
+		}
+	}
+	// Determinism.
+	c2, err := RandomCity(CityConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Roads) != len(c.Roads) || c2.Roads[0] != c.Roads[0] {
+		t.Fatal("same seed must reproduce the city")
+	}
+}
+
+func TestNoiseAboveBackgroundAndDecaying(t *testing.T) {
+	c := testCity(t)
+	src := c.Sources[0]
+	atSource := c.NoiseAt(src.At)
+	if atSource <= backgroundDB {
+		t.Fatalf("noise at a source = %.1f, must exceed background %.1f", atSource, backgroundDB)
+	}
+	// Moving away from the source reduces its contribution (other
+	// sources can interfere; compare against a point 2km away in a
+	// fixed direction and require strictly less noise than at the
+	// source in the common case).
+	far := src.At.Offset(2000, 2000)
+	if c.NoiseAt(far) >= atSource {
+		t.Fatalf("noise 2.8 km from source (%.1f) >= at source (%.1f)", c.NoiseAt(far), atSource)
+	}
+}
+
+func TestNoiseFieldMatchesPointQueries(t *testing.T) {
+	c := testCity(t)
+	g, err := c.NoiseField(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range [][2]int{{0, 0}, {8, 8}, {15, 15}} {
+		want := c.NoiseAt(g.CellCenter(cell[0], cell[1]))
+		got := g.At(cell[0], cell[1])
+		if got != want {
+			t.Fatalf("field(%v) = %.3f, point query = %.3f", cell, got, want)
+		}
+	}
+}
+
+func TestGenerateComplaintsCorrelateWithNoise(t *testing.T) {
+	c := testCity(t)
+	rng := rand.New(rand.NewSource(2))
+	complaints, err := c.GenerateComplaints(rng, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(complaints) != 8000 {
+		t.Fatalf("generated %d complaints", len(complaints))
+	}
+	noise, err := c.NoiseField(24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density, err := ComplaintDensity(c.Box, complaints, 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Correlation(noise, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0.4 {
+		t.Fatalf("noise-complaint correlation = %.3f, want strong positive", r)
+	}
+}
+
+func TestGenerateComplaintsValidation(t *testing.T) {
+	c := testCity(t)
+	if _, err := c.GenerateComplaints(rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Fatal("zero complaints must fail")
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	a, err := geo.NewGrid(geo.ParisBBox(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := geo.NewGrid(geo.ParisBBox(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Correlation(a, b); err == nil {
+		t.Fatal("size mismatch must fail")
+	}
+	c := a.Clone()
+	if _, err := Correlation(a, c); err == nil {
+		t.Fatal("zero variance must fail")
+	}
+}
+
+func TestCorrelationPerfect(t *testing.T) {
+	a, err := geo.NewGrid(geo.ParisBBox(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		a.Values[i] = float64(i)
+	}
+	b := a.Clone()
+	r, err := Correlation(a, b)
+	if err != nil || r < 0.9999 {
+		t.Fatalf("self correlation = %v, %v", r, err)
+	}
+	// Anti-correlation.
+	for i := range b.Values {
+		b.Values[i] = -b.Values[i]
+	}
+	r, err = Correlation(a, b)
+	if err != nil || r > -0.9999 {
+		t.Fatalf("anti correlation = %v, %v", r, err)
+	}
+}
+
+func TestDistanceToSegment(t *testing.T) {
+	a := geo.Point{Lat: 48.85, Lon: 2.30}
+	b := geo.Point{Lat: 48.85, Lon: 2.40}
+	// A point on the segment.
+	on := geo.Point{Lat: 48.85, Lon: 2.35}
+	if d := distanceToSegment(on, a, b); d > 1 {
+		t.Fatalf("on-segment distance = %.2f, want ~0", d)
+	}
+	// A point 1 km north of the segment midpoint.
+	north := on.Offset(1000, 0)
+	if d := distanceToSegment(north, a, b); d < 950 || d > 1050 {
+		t.Fatalf("offset distance = %.1f, want ~1000", d)
+	}
+	// Beyond the endpoint, distance is to the endpoint.
+	past := b.Offset(0, 1000)
+	want := past.DistanceMeters(b)
+	if d := distanceToSegment(past, a, b); d < want*0.95 || d > want*1.05 {
+		t.Fatalf("past-endpoint distance = %.1f, want ~%.1f", d, want)
+	}
+}

@@ -1,0 +1,124 @@
+package assim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+// Evaluation scaffolding for the assimilation ablations: build a
+// synthetic truth, degrade it into a background (the imperfect noise
+// model), sample observations from the truth with sensor noise (and
+// optionally an uncalibrated per-model bias), analyze, and measure
+// the RMSE improvement.
+
+// TwinConfig parameterizes a twin experiment.
+type TwinConfig struct {
+	// Rows/Cols of the analysis grid.
+	Rows, Cols int
+	// BackgroundBias is a systematic model offset (dB).
+	BackgroundBias float64
+	// BackgroundNoise is the std-dev of the smooth model error (dB).
+	BackgroundNoise float64
+	// NumObservations to sample.
+	NumObservations int
+	// ObsNoise is the sensor noise std-dev (dB).
+	ObsNoise float64
+	// ObsBias is an uncalibrated sensor bias applied to every
+	// observation (0 when calibrated).
+	ObsBias float64
+	// Seed drives the randomness.
+	Seed int64
+	// Params for the BLUE analysis.
+	Params BLUEParams
+}
+
+// TwinResult reports the twin experiment outcome.
+type TwinResult struct {
+	BackgroundRMSE float64 `json:"backgroundRmse"`
+	AnalysisRMSE   float64 `json:"analysisRmse"`
+	// Improvement = 1 - analysis/background (fraction of error
+	// removed by assimilating the crowd's observations).
+	Improvement  float64 `json:"improvement"`
+	Observations int     `json:"observations"`
+}
+
+// RunTwin executes a twin experiment against a random city.
+func RunTwin(cfg TwinConfig) (TwinResult, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return TwinResult{}, errors.New("assim: twin grid dims must be positive")
+	}
+	if cfg.Params == (BLUEParams{}) {
+		cfg.Params = DefaultBLUEParams()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	city, err := RandomCity(CityConfig{Seed: cfg.Seed})
+	if err != nil {
+		return TwinResult{}, err
+	}
+	truth, err := city.NoiseField(cfg.Rows, cfg.Cols)
+	if err != nil {
+		return TwinResult{}, err
+	}
+
+	// Background: truth + bias + smooth error (correlated noise via
+	// low-frequency sines with random phases).
+	background := truth.Clone()
+	px, py := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+	qx, qy := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			u := float64(r) / float64(cfg.Rows)
+			v := float64(c) / float64(cfg.Cols)
+			smooth := math.Sin(2*math.Pi*u+px)*math.Cos(2*math.Pi*v+py) +
+				0.6*math.Sin(4*math.Pi*u+qx)*math.Sin(4*math.Pi*v+qy)
+			background.Set(r, c, background.At(r, c)+cfg.BackgroundBias+cfg.BackgroundNoise*smooth)
+		}
+	}
+
+	// Observations: truth sampled at random points + noise (+ bias
+	// when uncalibrated).
+	obs := make([]Observation, 0, cfg.NumObservations)
+	latSpan := truth.Box.Max.Lat - truth.Box.Min.Lat
+	lonSpan := truth.Box.Max.Lon - truth.Box.Min.Lon
+	for i := 0; i < cfg.NumObservations; i++ {
+		p := geo.Point{
+			Lat: truth.Box.Min.Lat + rng.Float64()*latSpan,
+			Lon: truth.Box.Min.Lon + rng.Float64()*lonSpan,
+		}
+		v, ok := truth.Sample(p)
+		if !ok {
+			continue
+		}
+		obs = append(obs, Observation{
+			At:      p,
+			ValueDB: v + cfg.ObsBias + cfg.ObsNoise*rng.NormFloat64(),
+			SigmaDB: cfg.ObsNoise,
+		})
+	}
+
+	analysis, err := Analyze(background, obs, cfg.Params)
+	if err != nil {
+		return TwinResult{}, err
+	}
+	bgRMSE, err := RMSE(background, truth)
+	if err != nil {
+		return TwinResult{}, err
+	}
+	anRMSE, err := RMSE(analysis, truth)
+	if err != nil {
+		return TwinResult{}, err
+	}
+	improvement := 0.0
+	if bgRMSE > 0 {
+		improvement = 1 - anRMSE/bgRMSE
+	}
+	return TwinResult{
+		BackgroundRMSE: bgRMSE,
+		AnalysisRMSE:   anRMSE,
+		Improvement:    improvement,
+		Observations:   len(obs),
+	}, nil
+}

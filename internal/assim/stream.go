@@ -1,0 +1,254 @@
+package assim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+// Streaming assimilation (the paper's future work, Section 8: "the
+// amount of observations to assimilate, the moving sensors and the
+// lack of measurement protocol raise a number of issues that
+// classical algorithms do not take into account").
+//
+// StreamAnalyzer assimilates an unbounded observation stream in
+// batches: each batch is analyzed against the current state with the
+// BLUE equations, the analysis becomes the next background, and a
+// per-cell error-variance field is propagated so information already
+// absorbed is not double counted — the cost of a batch is O(m³ + n·m²)
+// for m observations and n cells near them, independent of how many
+// observations came before.
+
+// StreamAnalyzer incrementally merges observations into a field.
+type StreamAnalyzer struct {
+	mean     *geo.Grid
+	variance *geo.Grid // per-cell background error variance (dB²)
+	params   BLUEParams
+	batch    []Observation
+	batchMax int
+
+	batches  int
+	absorbed int
+}
+
+// NewStreamAnalyzer starts from a background field with homogeneous
+// error sigmaB (params.SigmaB). batchSize bounds the per-flush solve
+// (default 200).
+func NewStreamAnalyzer(background *geo.Grid, params BLUEParams, batchSize int) (*StreamAnalyzer, error) {
+	if background == nil {
+		return nil, errors.New("assim: nil background")
+	}
+	if params.SigmaB <= 0 || params.CorrLengthM <= 0 {
+		return nil, errors.New("assim: BLUE params must be positive")
+	}
+	if batchSize <= 0 {
+		batchSize = 200
+	}
+	variance := background.Clone()
+	for i := range variance.Values {
+		variance.Values[i] = params.SigmaB * params.SigmaB
+	}
+	return &StreamAnalyzer{
+		mean:     background.Clone(),
+		variance: variance,
+		params:   params,
+		batchMax: batchSize,
+	}, nil
+}
+
+// Add queues one observation; when the batch is full it is flushed
+// automatically.
+func (s *StreamAnalyzer) Add(o Observation) error {
+	if _, _, ok := s.mean.CellOf(o.At); !ok || o.SigmaDB <= 0 {
+		// Silently skip unusable observations, as Analyze does.
+		return nil
+	}
+	s.batch = append(s.batch, o)
+	if len(s.batch) >= s.batchMax {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush analyzes the pending batch into the state. It is a no-op on
+// an empty batch.
+func (s *StreamAnalyzer) Flush() error {
+	m := len(s.batch)
+	if m == 0 {
+		return nil
+	}
+	batch := s.batch
+	s.batch = nil
+
+	l := s.params.CorrLengthM
+	// Snapshot the prior variance: every covariance in this flush is
+	// evaluated against the pre-batch state, while updates are written
+	// through to s.variance.
+	priorVar := s.variance.Clone()
+	// Background covariance between two points i, j with per-cell
+	// variances v_i, v_j: sqrt(v_i v_j) exp(-d/L).
+	obsVar := make([]float64, m)
+	for i, o := range batch {
+		v, ok := priorVar.Sample(o.At)
+		if !ok || v <= 0 {
+			v = 0
+		}
+		obsVar[i] = v
+	}
+
+	// S = H B Hᵀ + R.
+	sMat := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			d := batch[i].At.DistanceMeters(batch[j].At)
+			v := math.Sqrt(obsVar[i]*obsVar[j]) * math.Exp(-d/l)
+			if i == j {
+				v += batch[i].SigmaDB * batch[i].SigmaDB
+			}
+			sMat[i*m+j] = v
+			sMat[j*m+i] = v
+		}
+	}
+	chol, err := newCholesky(sMat, m)
+	if err != nil {
+		return fmt.Errorf("stream flush (%d obs): %w", m, err)
+	}
+
+	innov := make([]float64, m)
+	for i, o := range batch {
+		bg, _ := s.mean.Sample(o.At)
+		innov[i] = o.ValueDB - bg
+	}
+	w := chol.Solve(innov)
+
+	// Per-cell update: mean += r·w, variance -= r·(S⁻¹ r), where r is
+	// the covariance vector between the cell and the batch.
+	cutoff := 5 * l
+	r := make([]float64, m)
+	for row := 0; row < s.mean.NRows; row++ {
+		for col := 0; col < s.mean.NCols; col++ {
+			center := s.mean.CellCenter(row, col)
+			vc := priorVar.At(row, col)
+			if vc <= 0 {
+				continue
+			}
+			any := false
+			for i, o := range batch {
+				d := center.DistanceMeters(o.At)
+				if d > cutoff {
+					r[i] = 0
+					continue
+				}
+				r[i] = math.Sqrt(vc*obsVar[i]) * math.Exp(-d/l)
+				any = true
+			}
+			if !any {
+				continue
+			}
+			// Mean update.
+			incr := 0.0
+			for i := range r {
+				incr += r[i] * w[i]
+			}
+			s.mean.Set(row, col, s.mean.At(row, col)+incr)
+			// Variance update: v' = v - rᵀ S⁻¹ r (clamped; the
+			// localization cutoff can make the quadratic form
+			// slightly exceed v).
+			sr := chol.Solve(r)
+			red := 0.0
+			for i := range r {
+				red += r[i] * sr[i]
+			}
+			v := vc - red
+			if minV := 0.01 * s.params.SigmaB * s.params.SigmaB; v < minV {
+				v = minV
+			}
+			s.variance.Set(row, col, v)
+		}
+	}
+	s.batches++
+	s.absorbed += m
+	return nil
+}
+
+// Current returns a copy of the running analysis after flushing any
+// pending batch.
+func (s *StreamAnalyzer) Current() (*geo.Grid, error) {
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s.mean.Clone(), nil
+}
+
+// VarianceField returns a copy of the per-cell error variance (dB²).
+func (s *StreamAnalyzer) VarianceField() *geo.Grid {
+	return s.variance.Clone()
+}
+
+// Stats reports stream progress.
+type StreamStats struct {
+	Batches  int `json:"batches"`
+	Absorbed int `json:"absorbed"`
+	Pending  int `json:"pending"`
+}
+
+// Stats snapshots stream counters.
+func (s *StreamAnalyzer) Stats() StreamStats {
+	return StreamStats{Batches: s.batches, Absorbed: s.absorbed, Pending: len(s.batch)}
+}
+
+// cholesky is a cached factorization of a symmetric positive-definite
+// matrix, reusable across solves.
+type cholesky struct {
+	l []float64
+	m int
+}
+
+// newCholesky factors a (row-major m×m), leaving the input intact.
+func newCholesky(a []float64, m int) (*cholesky, error) {
+	lmat := make([]float64, len(a))
+	copy(lmat, a)
+	for j := 0; j < m; j++ {
+		d := lmat[j*m+j]
+		for k := 0; k < j; k++ {
+			d -= lmat[j*m+k] * lmat[j*m+k]
+		}
+		if d <= 0 {
+			return nil, errors.New("assim: matrix not positive definite")
+		}
+		d = math.Sqrt(d)
+		lmat[j*m+j] = d
+		for i := j + 1; i < m; i++ {
+			v := lmat[i*m+j]
+			for k := 0; k < j; k++ {
+				v -= lmat[i*m+k] * lmat[j*m+k]
+			}
+			lmat[i*m+j] = v / d
+		}
+	}
+	return &cholesky{l: lmat, m: m}, nil
+}
+
+// Solve returns x with A x = b.
+func (c *cholesky) Solve(b []float64) []float64 {
+	m := c.m
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		v := b[i]
+		for k := 0; k < i; k++ {
+			v -= c.l[i*m+k] * y[k]
+		}
+		y[i] = v / c.l[i*m+i]
+	}
+	x := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		v := y[i]
+		for k := i + 1; k < m; k++ {
+			v -= c.l[k*m+i] * x[k]
+		}
+		x[i] = v / c.l[i*m+i]
+	}
+	return x
+}

@@ -1,0 +1,255 @@
+package assim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+func TestStreamAnalyzerValidation(t *testing.T) {
+	if _, err := NewStreamAnalyzer(nil, DefaultBLUEParams(), 10); err == nil {
+		t.Fatal("nil background must fail")
+	}
+	bg := flatGrid(t, 4, 4, 50)
+	if _, err := NewStreamAnalyzer(bg, BLUEParams{}, 10); err == nil {
+		t.Fatal("zero params must fail")
+	}
+}
+
+func TestStreamSingleBatchMatchesBLUE(t *testing.T) {
+	bg := flatGrid(t, 16, 16, 50)
+	params := BLUEParams{SigmaB: 6, CorrLengthM: 600}
+	var obs []Observation
+	for i := 0; i < 30; i++ {
+		obs = append(obs, Observation{
+			At:      bg.CellCenter(i%16, (i*5)%16),
+			ValueDB: 58,
+			SigmaDB: 3,
+		})
+	}
+	full, err := Analyze(bg, obs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewStreamAnalyzer(bg, params, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		if err := stream.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := stream.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One un-split batch runs the same BLUE update as Analyze.
+	rmse, err := RMSE(got, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.01 {
+		t.Fatalf("single-batch stream differs from BLUE by RMSE %.4f", rmse)
+	}
+}
+
+func TestStreamBatchedApproximatesFullBLUE(t *testing.T) {
+	bg := flatGrid(t, 16, 16, 50)
+	params := BLUEParams{SigmaB: 6, CorrLengthM: 600}
+	rng := rand.New(rand.NewSource(8))
+	var obs []Observation
+	for i := 0; i < 120; i++ {
+		obs = append(obs, Observation{
+			At:      bg.CellCenter(rng.Intn(16), rng.Intn(16)),
+			ValueDB: 55 + 4*rng.NormFloat64(),
+			SigmaDB: 4,
+		})
+	}
+	full, err := Analyze(bg, obs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewStreamAnalyzer(bg, params, 30) // four batches
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		if err := stream.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := stream.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := RMSE(got, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential batches approximate the joint analysis; a small gap
+	// is expected but it must be well below the signal scale.
+	if rmse > 1.5 {
+		t.Fatalf("batched stream deviates from full BLUE by RMSE %.2f dB", rmse)
+	}
+	st := stream.Stats()
+	if st.Batches != 4 || st.Absorbed != 120 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStreamVarianceShrinksWhereObserved(t *testing.T) {
+	bg := flatGrid(t, 16, 16, 50)
+	params := BLUEParams{SigmaB: 6, CorrLengthM: 400}
+	stream, err := NewStreamAnalyzer(bg, params, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bg.CellCenter(8, 8)
+	for i := 0; i < 10; i++ {
+		if err := stream.Add(Observation{At: target, ValueDB: 55, SigmaDB: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stream.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v := stream.VarianceField()
+	prior := params.SigmaB * params.SigmaB
+	observedVar := v.At(8, 8)
+	farVar := v.At(0, 0)
+	if observedVar >= prior*0.5 {
+		t.Fatalf("variance at observed cell = %.2f, want much less than prior %.2f", observedVar, prior)
+	}
+	if farVar < prior*0.9 {
+		t.Fatalf("variance far away = %.2f, should stay near prior %.2f", farVar, prior)
+	}
+}
+
+func TestStreamSecondVisitAddsLess(t *testing.T) {
+	// Information accounting: a second batch at the same spot moves
+	// the mean less than the first (the variance has shrunk), instead
+	// of double counting.
+	bg := flatGrid(t, 12, 12, 50)
+	params := BLUEParams{SigmaB: 6, CorrLengthM: 400}
+	stream, err := NewStreamAnalyzer(bg, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bg.CellCenter(6, 6)
+	if err := stream.Add(Observation{At: target, ValueDB: 60, SigmaDB: 3}); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst, err := stream.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	move1 := afterFirst.At(6, 6) - 50
+	if err := stream.Add(Observation{At: target, ValueDB: 60, SigmaDB: 3}); err != nil {
+		t.Fatal(err)
+	}
+	afterSecond, err := stream.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	move2 := afterSecond.At(6, 6) - afterFirst.At(6, 6)
+	if move1 <= 0 {
+		t.Fatalf("first observation did not move the mean (%.3f)", move1)
+	}
+	if move2 >= move1*0.7 {
+		t.Fatalf("second visit moved %.3f vs first %.3f — information double counted", move2, move1)
+	}
+}
+
+func TestStreamMovingSensorImprovesAlongPath(t *testing.T) {
+	// A journey: a sensor walks across the city measuring the truth;
+	// the running analysis must beat the background along the path.
+	city, err := RandomCity(CityConfig{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := city.NoiseField(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	background := truth.Clone()
+	for i := range background.Values {
+		background.Values[i] += 5 // biased model
+	}
+	stream, err := NewStreamAnalyzer(background, BLUEParams{SigmaB: 6, CorrLengthM: 800}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for step := 0; step < 20; step++ {
+		at := truth.CellCenter(step, step) // diagonal walk
+		v, _ := truth.Sample(at)
+		if err := stream.Add(Observation{At: at, ValueDB: v + 2*rng.NormFloat64(), SigmaDB: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := stream.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error on the diagonal cells.
+	var bgErr, anErr float64
+	for i := 0; i < 20; i++ {
+		bgErr += math.Abs(background.At(i, i) - truth.At(i, i))
+		anErr += math.Abs(got.At(i, i) - truth.At(i, i))
+	}
+	if anErr >= bgErr*0.5 {
+		t.Fatalf("journey assimilation removed too little path error: %.1f -> %.1f", bgErr, anErr)
+	}
+}
+
+func TestStreamSkipsUnusableObservations(t *testing.T) {
+	bg := flatGrid(t, 4, 4, 50)
+	stream, err := NewStreamAnalyzer(bg, DefaultBLUEParams(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Add(Observation{At: geo.Point{Lat: 0, Lon: 0}, ValueDB: 90, SigmaDB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Add(Observation{At: bg.CellCenter(1, 1), ValueDB: 90, SigmaDB: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Values {
+		if got.Values[i] != 50 {
+			t.Fatal("unusable observations must not change the state")
+		}
+	}
+	if st := stream.Stats(); st.Absorbed != 0 {
+		t.Fatalf("absorbed = %d, want 0", st.Absorbed)
+	}
+}
+
+func TestCholeskyReuse(t *testing.T) {
+	a := []float64{4, 2, 2, 3}
+	chol, err := newCholesky(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := chol.Solve([]float64{10, 9})
+	if math.Abs(x[0]-1.5) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("first solve = %v", x)
+	}
+	// Reusing the factorization for a second RHS.
+	y := chol.Solve([]float64{4, 3})
+	// A [1,0] = [4,2]; so solving [4,3] gives x=[0.75, 0.5]:
+	// 4*0.75+2*0.5 = 4 ✓; 2*0.75+3*0.5 = 3 ✓.
+	if math.Abs(y[0]-0.75) > 1e-9 || math.Abs(y[1]-0.5) > 1e-9 {
+		t.Fatalf("second solve = %v", y)
+	}
+	// The input matrix is untouched.
+	if a[0] != 4 || a[3] != 3 {
+		t.Fatal("newCholesky must not destroy its input")
+	}
+}

@@ -1,0 +1,100 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Publisher is the broker surface the transport needs; both the
+// in-process *mq.Broker and the TCP *mq.Conn satisfy it.
+type Publisher interface {
+	PublishAt(exchange, routingKey string, headers map[string]string, body []byte, at time.Time) (int, error)
+}
+
+// MQTransport publishes each observation of a batch to the client's
+// exchange on the crowd-sensing broker. Per Figure 3 of the paper the
+// client publishes to its own exchange E<i>; bindings forward the
+// message to the application exchange and from there to the GoFlow
+// queue, with the client id as a routing-key filter.
+type MQTransport struct {
+	pub      Publisher
+	exchange string
+	clientID string
+	appID    string
+}
+
+var _ Transport = (*MQTransport)(nil)
+
+// NewMQTransport builds a broker transport. exchange is the
+// client-private exchange name returned by the GoFlow login.
+func NewMQTransport(pub Publisher, exchange, appID, clientID string) *MQTransport {
+	return &MQTransport{pub: pub, exchange: exchange, appID: appID, clientID: clientID}
+}
+
+// RoutingKey builds the observation routing key:
+// "<app>.<client>.obs.<zone>". Unlocalized observations route with
+// the "ZZ" zone placeholder.
+func RoutingKey(appID, clientID, zone string) string {
+	if zone == "" {
+		zone = "ZZ"
+	}
+	return appID + "." + clientID + ".obs." + zone
+}
+
+// Send publishes the batch, one message per observation.
+func (t *MQTransport) Send(batch []*sensing.Observation, at time.Time) error {
+	for i, o := range batch {
+		body, err := o.Encode()
+		if err != nil {
+			return fmt.Errorf("encode observation %d: %w", i, err)
+		}
+		headers := map[string]string{
+			"clientId":   t.clientID,
+			"appVersion": o.AppVersion,
+		}
+		key := RoutingKey(t.appID, t.clientID, "")
+		if _, err := t.pub.PublishAt(t.exchange, key, headers, body, at); err != nil {
+			return fmt.Errorf("publish observation %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RecordingTransport captures sent batches for simulations and tests;
+// it records, per observation, the sensing and emission instants —
+// the raw data of the Figure 17 delay analysis.
+type RecordingTransport struct {
+	// Records accumulate in send order.
+	Records []SendRecord
+	// Fail makes Send return an error when set (for failure
+	// injection in tests).
+	Fail bool
+}
+
+var _ Transport = (*RecordingTransport)(nil)
+
+// SendRecord is one observation's transmission outcome.
+type SendRecord struct {
+	SensedAt time.Time
+	SentAt   time.Time
+	Version  string
+	Batch    int // size of the batch the observation travelled in
+}
+
+// Send implements Transport.
+func (t *RecordingTransport) Send(batch []*sensing.Observation, at time.Time) error {
+	if t.Fail {
+		return fmt.Errorf("recording transport: injected failure")
+	}
+	for _, o := range batch {
+		t.Records = append(t.Records, SendRecord{
+			SensedAt: o.SensedAt,
+			SentAt:   at,
+			Version:  o.AppVersion,
+			Batch:    len(batch),
+		})
+	}
+	return nil
+}

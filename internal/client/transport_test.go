@@ -1,0 +1,113 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// TestMQTransportEndToEnd drives the full Figure 3 topology with the
+// real broker: client exchange -> app exchange -> GoFlow queue.
+func TestMQTransportEndToEnd(t *testing.T) {
+	broker := mq.NewBroker()
+	defer broker.Close()
+	// Build the topology by hand (the goflow package normally does
+	// this; the transport must work against the raw broker too).
+	for _, ex := range []string{"E.mob1", "SC", "GFX"} {
+		if err := broker.DeclareExchange(ex, mq.Topic); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := broker.DeclareQueue("GF", mq.QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.BindExchange("SC", "E.mob1", "SC.mob1.#"); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.BindExchange("GFX", "SC", "#"); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.BindQueue("GF", "GFX", "#"); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewMQTransport(broker, "E.mob1", "SC", "mob1")
+	u, err := NewUploader(Config{ClientID: "mob1", AppID: "SC", Version: "1.2.9", BufferSize: 2}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+	for i := 0; i < 2; i++ {
+		if err := u.Record(testObs(now.Add(time.Duration(i) * time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent, err := u.Flush(now.Add(2*time.Minute), true)
+	if err != nil || sent != 2 {
+		t.Fatalf("flush: sent=%d err=%v", sent, err)
+	}
+	st, err := broker.QueueStats("GF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready != 2 {
+		t.Fatalf("GF ready = %d, want 2", st.Ready)
+	}
+	// The payload decodes back into the observation with headers.
+	d, found, err := broker.Get("GF")
+	if err != nil || !found {
+		t.Fatal("expected a delivery")
+	}
+	obs, err := sensing.DecodeObservation(d.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.AppVersion != "1.2.9" || d.Headers["clientId"] != "mob1" {
+		t.Fatalf("delivery mismatch: %+v headers=%v", obs, d.Headers)
+	}
+	if err := broker.AckGet("GF", d.Tag); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMQTransportPublishErrorSurfaces(t *testing.T) {
+	broker := mq.NewBroker()
+	defer broker.Close()
+	// No exchange declared: publish fails, uploader keeps the batch.
+	tr := NewMQTransport(broker, "E.ghost", "SC", "ghost")
+	u, err := NewUploader(Config{ClientID: "ghost", AppID: "SC", Version: "1.3", BufferSize: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Record(testObs(time.Now())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Flush(time.Now(), true); err == nil {
+		t.Fatal("publish to missing exchange must fail")
+	}
+	if u.Pending() != 1 {
+		t.Fatal("batch must stay queued after failure")
+	}
+}
+
+func TestRecordingTransportCapturesBatchMetadata(t *testing.T) {
+	tr := &RecordingTransport{}
+	batch := []*sensing.Observation{testObs(time.Unix(100, 0)), testObs(time.Unix(200, 0))}
+	for _, o := range batch {
+		o.AppVersion = "1.3"
+	}
+	at := time.Unix(300, 0)
+	if err := tr.Send(batch, at); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(tr.Records))
+	}
+	for i, r := range tr.Records {
+		if !r.SentAt.Equal(at) || r.Batch != 2 || r.Version != "1.3" {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func deferConfig() Config {
+	return Config{
+		ClientID:    "c1",
+		AppID:       "SC",
+		Version:     "1.3",
+		BufferSize:  1,
+		DeferToWiFi: true,
+		MaxDefer:    time.Hour,
+	}
+}
+
+func TestDeferToWiFiHoldsOnCellular(t *testing.T) {
+	tr := &RecordingTransport{}
+	u, err := NewUploader(deferConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2016, 4, 10, 12, 0, 0, 0, time.UTC)
+	if err := u.Record(testObs(now)); err != nil {
+		t.Fatal(err)
+	}
+	// Cellular within the defer window: held.
+	sent, err := u.FlushOn(now, true, BearerCellular)
+	if err != nil || sent != 0 {
+		t.Fatalf("cellular flush: sent=%d err=%v, want deferred", sent, err)
+	}
+	if u.Stats().Deferred != 1 {
+		t.Fatalf("deferred = %d, want 1", u.Stats().Deferred)
+	}
+	// WiFi appears: sent immediately.
+	sent, err = u.FlushOn(now.Add(5*time.Minute), true, BearerWiFi)
+	if err != nil || sent != 1 {
+		t.Fatalf("wifi flush: sent=%d err=%v", sent, err)
+	}
+	if u.Stats().CellularBatches != 0 {
+		t.Fatal("batch went over cellular despite WiFi")
+	}
+}
+
+func TestDeferToWiFiDeadlineForcesCellular(t *testing.T) {
+	tr := &RecordingTransport{}
+	u, err := NewUploader(deferConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2016, 4, 10, 12, 0, 0, 0, time.UTC)
+	if err := u.Record(testObs(now)); err != nil {
+		t.Fatal(err)
+	}
+	// Still cellular after MaxDefer: the deadline forces the send.
+	sent, err := u.FlushOn(now.Add(time.Hour), true, BearerCellular)
+	if err != nil || sent != 1 {
+		t.Fatalf("deadline flush: sent=%d err=%v", sent, err)
+	}
+	if u.Stats().CellularBatches != 1 {
+		t.Fatalf("cellular batches = %d, want 1", u.Stats().CellularBatches)
+	}
+}
+
+func TestDeferToWiFiDisabledSendsOnCellular(t *testing.T) {
+	cfg := deferConfig()
+	cfg.DeferToWiFi = false
+	u, err := NewUploader(cfg, &RecordingTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := u.Record(testObs(now)); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := u.FlushOn(now, true, BearerCellular)
+	if err != nil || sent != 1 {
+		t.Fatalf("non-deferring cellular flush: sent=%d err=%v", sent, err)
+	}
+}
+
+func TestDeferToWiFiDefaultsMaxDefer(t *testing.T) {
+	cfg := deferConfig()
+	cfg.MaxDefer = 0
+	u, err := NewUploader(cfg, &RecordingTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Config().MaxDefer != 2*time.Hour {
+		t.Fatalf("MaxDefer default = %v, want 2h", u.Config().MaxDefer)
+	}
+	bad := cfg
+	bad.MaxDefer = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative MaxDefer must fail")
+	}
+}
+
+func TestDeferredFlushStillRespectsDisconnect(t *testing.T) {
+	u, err := NewUploader(deferConfig(), &RecordingTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := u.Record(testObs(now)); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := u.FlushOn(now.Add(3*time.Hour), false, BearerCellular)
+	if err != nil || sent != 0 {
+		t.Fatalf("offline flush: sent=%d err=%v", sent, err)
+	}
+	if u.Stats().FailedFlushes != 1 {
+		t.Fatal("offline attempt must count as failed, not deferred")
+	}
+}

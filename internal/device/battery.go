@@ -1,0 +1,175 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Network is the data bearer used for a transmission.
+type Network int
+
+// Network bearers.
+const (
+	// WiFi is the cheap bearer.
+	WiFi Network = iota + 1
+	// ThreeG wakes the cellular radio, which costs substantially
+	// more per transmission (Figure 16: +50% depletion over WiFi for
+	// the unbuffered client).
+	ThreeG
+)
+
+// String implements fmt.Stringer.
+func (n Network) String() string {
+	switch n {
+	case WiFi:
+		return "wifi"
+	case ThreeG:
+		return "3g"
+	default:
+		return fmt.Sprintf("Network(%d)", int(n))
+	}
+}
+
+// EnergyParams are the component costs of the battery model, in
+// percent of a full battery. The defaults are tuned so the Figure 16
+// ratios hold: over the paper's 7-hour, 1-minute-sensing experiment,
+// the unbuffered client on WiFi doubles depletion versus no app; 3G
+// adds ~50% over that; buffering brings the overhead under +50%.
+type EnergyParams struct {
+	// IdlePerHour is the baseline drain of the phone without the app
+	// (screen-off system activity, periodic wakeups).
+	IdlePerHour float64 `json:"idlePerHour"`
+	// SensePerMeasurement covers microphone + CPU for one sample.
+	SensePerMeasurement float64 `json:"sensePerMeasurement"`
+	// GPSPerFix covers one GPS fix.
+	GPSPerFix float64 `json:"gpsPerFix"`
+	// TxWiFi / TxThreeG are the per-transmission radio wake + tail
+	// costs. The cellular radio's promotion/tail dominates, which is
+	// exactly why buffering (fewer wakes) saves energy.
+	TxWiFi   float64 `json:"txWifi"`
+	TxThreeG float64 `json:"txThreeG"`
+	// TxPerMessage is the marginal payload cost of each buffered
+	// message within one transmission.
+	TxPerMessage float64 `json:"txPerMessage"`
+	// WakeupCost is charged when a measurement must wake the device
+	// from sleep (CPU resume + sensor warm-up). Piggyback sensing
+	// avoids it by measuring only while the device is already awake
+	// (Lane et al., SenSys'13, discussed in the paper's Section 2).
+	WakeupCost float64 `json:"wakeupCost"`
+}
+
+// DefaultEnergyParams returns the tuned component costs.
+func DefaultEnergyParams() EnergyParams {
+	return EnergyParams{
+		IdlePerHour:         2.0,
+		SensePerMeasurement: 0.008,
+		GPSPerFix:           0.012,
+		TxWiFi:              0.025,
+		TxThreeG:            0.058,
+		TxPerMessage:        0.0008,
+		WakeupCost:          0.014,
+	}
+}
+
+// ErrBatteryEmpty is returned once the battery is exhausted.
+var ErrBatteryEmpty = errors.New("device: battery empty")
+
+// Battery tracks charge and attributes drain to components.
+type Battery struct {
+	params EnergyParams
+	level  float64 // percent
+
+	idleDrain   float64
+	senseDrain  float64
+	gpsDrain    float64
+	txDrain     float64
+	wakeupDrain float64
+	txCount     int
+}
+
+// NewBattery returns a battery at the given initial charge percent
+// (the paper charges phones to 80% to stay in the linear regime).
+func NewBattery(params EnergyParams, initialPercent float64) *Battery {
+	return &Battery{params: params, level: initialPercent}
+}
+
+// Level returns the remaining charge percent.
+func (b *Battery) Level() float64 { return b.level }
+
+// Depleted returns the total drain since construction.
+func (b *Battery) Depleted() float64 {
+	return b.idleDrain + b.senseDrain + b.gpsDrain + b.txDrain + b.wakeupDrain
+}
+
+// DrainBreakdown reports drain per component.
+type DrainBreakdown struct {
+	Idle          float64 `json:"idle"`
+	Sense         float64 `json:"sense"`
+	GPS           float64 `json:"gps"`
+	Transmit      float64 `json:"transmit"`
+	Wakeup        float64 `json:"wakeup"`
+	Transmissions int     `json:"transmissions"`
+}
+
+// Breakdown snapshots component drains.
+func (b *Battery) Breakdown() DrainBreakdown {
+	return DrainBreakdown{
+		Idle:          b.idleDrain,
+		Sense:         b.senseDrain,
+		GPS:           b.gpsDrain,
+		Transmit:      b.txDrain,
+		Wakeup:        b.wakeupDrain,
+		Transmissions: b.txCount,
+	}
+}
+
+func (b *Battery) drain(amount float64, bucket *float64) error {
+	if b.level <= 0 {
+		return ErrBatteryEmpty
+	}
+	b.level -= amount
+	*bucket += amount
+	if b.level < 0 {
+		b.level = 0
+	}
+	return nil
+}
+
+// Idle accounts baseline drain for a duration.
+func (b *Battery) Idle(d time.Duration) error {
+	return b.drain(b.params.IdlePerHour*d.Hours(), &b.idleDrain)
+}
+
+// Wakeup accounts one device wake from sleep (charged by periodic
+// background sensing while the screen is off; piggyback sensing
+// avoids it).
+func (b *Battery) Wakeup() error {
+	return b.drain(b.params.WakeupCost, &b.wakeupDrain)
+}
+
+// Sense accounts one measurement; withGPS adds a GPS fix.
+func (b *Battery) Sense(withGPS bool) error {
+	if err := b.drain(b.params.SensePerMeasurement, &b.senseDrain); err != nil {
+		return err
+	}
+	if withGPS {
+		return b.drain(b.params.GPSPerFix, &b.gpsDrain)
+	}
+	return nil
+}
+
+// Transmit accounts one radio transmission carrying batchLen
+// messages.
+func (b *Battery) Transmit(n Network, batchLen int) error {
+	if batchLen <= 0 {
+		return nil
+	}
+	wake := b.params.TxWiFi
+	if n == ThreeG {
+		wake = b.params.TxThreeG
+	}
+	cost := wake + float64(batchLen)*b.params.TxPerMessage
+	b.txCount++
+	return b.drain(cost, &b.txDrain)
+}

@@ -1,0 +1,141 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBatteryDrainAccounting(t *testing.T) {
+	b := NewBattery(DefaultEnergyParams(), 80)
+	if err := b.Idle(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sense(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Transmit(WiFi, 10); err != nil {
+		t.Fatal(err)
+	}
+	bd := b.Breakdown()
+	sum := bd.Idle + bd.Sense + bd.GPS + bd.Transmit
+	if math.Abs(sum-b.Depleted()) > 1e-12 {
+		t.Fatalf("breakdown sum %.6f != depleted %.6f", sum, b.Depleted())
+	}
+	if math.Abs(80-b.Level()-b.Depleted()) > 1e-12 {
+		t.Fatalf("level accounting broken: level=%.4f depleted=%.4f", b.Level(), b.Depleted())
+	}
+	if bd.Transmissions != 1 {
+		t.Fatalf("transmissions = %d, want 1", bd.Transmissions)
+	}
+}
+
+func TestBatteryThreeGCostsMore(t *testing.T) {
+	p := DefaultEnergyParams()
+	wifi := NewBattery(p, 80)
+	threeG := NewBattery(p, 80)
+	if err := wifi.Transmit(WiFi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := threeG.Transmit(ThreeG, 1); err != nil {
+		t.Fatal(err)
+	}
+	if threeG.Depleted() <= wifi.Depleted() {
+		t.Fatal("3G transmission must cost more than WiFi")
+	}
+}
+
+func TestBatteryEmptyTransmitNoop(t *testing.T) {
+	b := NewBattery(DefaultEnergyParams(), 80)
+	if err := b.Transmit(WiFi, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Depleted() != 0 || b.Breakdown().Transmissions != 0 {
+		t.Fatal("zero-length batch must cost nothing")
+	}
+}
+
+func TestBatteryExhaustion(t *testing.T) {
+	b := NewBattery(EnergyParams{IdlePerHour: 100}, 1)
+	if err := b.Idle(time.Hour); err != nil {
+		t.Fatal(err) // this drain empties it
+	}
+	if b.Level() != 0 {
+		t.Fatalf("level = %v, want clamped 0", b.Level())
+	}
+	if err := b.Idle(time.Minute); !errors.Is(err, ErrBatteryEmpty) {
+		t.Fatalf("drain on empty = %v, want ErrBatteryEmpty", err)
+	}
+}
+
+func TestRunBatteryFigure16Ratios(t *testing.T) {
+	base, err := RunBattery(BatteryRunConfig{MPS: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbufWiFi, err := RunBattery(BatteryRunConfig{MPS: true, Network: WiFi, BufferSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbuf3G, err := RunBattery(BatteryRunConfig{MPS: true, Network: ThreeG, BufferSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufWiFi, err := RunBattery(BatteryRunConfig{MPS: true, Network: WiFi, BufferSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape targets (Figure 16).
+	if r := unbufWiFi.DepletionPercent / base.DepletionPercent; r < 1.7 || r > 2.3 {
+		t.Errorf("unbuffered-WiFi/no-app = %.2f, want ~2.0", r)
+	}
+	if r := unbuf3G.DepletionPercent / unbufWiFi.DepletionPercent; r < 1.3 || r > 1.7 {
+		t.Errorf("3G/WiFi = %.2f, want ~1.5", r)
+	}
+	if r := bufWiFi.DepletionPercent / base.DepletionPercent; r >= 1.5 {
+		t.Errorf("buffered-WiFi/no-app = %.2f, want < 1.5", r)
+	}
+	// 420 one-minute measurements over 7 hours; buffered sends 42
+	// batches.
+	if unbufWiFi.Measurements != 420 || unbufWiFi.Breakdown.Transmissions != 420 {
+		t.Errorf("unbuffered: %d measurements, %d transmissions", unbufWiFi.Measurements, unbufWiFi.Breakdown.Transmissions)
+	}
+	if bufWiFi.Breakdown.Transmissions != 42 {
+		t.Errorf("buffered transmissions = %d, want 42", bufWiFi.Breakdown.Transmissions)
+	}
+}
+
+func TestRunBatteryValidation(t *testing.T) {
+	if _, err := RunBattery(BatteryRunConfig{MPS: true}); err == nil {
+		t.Fatal("MPS without network must fail")
+	}
+	if _, err := RunBattery(BatteryRunConfig{MPS: true, Network: WiFi, GPSShare: 1.5}); err == nil {
+		t.Fatal("GPSShare > 1 must fail")
+	}
+}
+
+func TestRunBatteryGPSShare(t *testing.T) {
+	withGPS, err := RunBattery(BatteryRunConfig{MPS: true, Network: WiFi, GPSShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RunBattery(BatteryRunConfig{MPS: true, Network: WiFi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withGPS.Breakdown.GPS <= without.Breakdown.GPS {
+		t.Fatal("GPS share must add GPS drain")
+	}
+}
+
+func TestRunBatteryTrailingBufferFlushes(t *testing.T) {
+	// 420 measurements with buffer 100 -> 4 full batches + 1 partial.
+	out, err := RunBattery(BatteryRunConfig{MPS: true, Network: WiFi, BufferSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Breakdown.Transmissions != 5 {
+		t.Fatalf("transmissions = %d, want 5 (trailing flush)", out.Breakdown.Transmissions)
+	}
+}

@@ -1,0 +1,124 @@
+package device
+
+import (
+	"errors"
+	"time"
+)
+
+// BatteryRunConfig reproduces the setup of the paper's battery
+// experiment (Figure 16): phones charged to 80%, running only
+// SoundCity from 10AM to 5PM with intensive 1-minute sensing, sending
+// every measurement (unbuffered) or batches of 10 (buffered), over
+// WiFi or 3G; the control runs no MPS app at all.
+type BatteryRunConfig struct {
+	// MPS enables the sensing app; false is the no-app baseline.
+	MPS bool
+	// Network is the bearer used for transmissions.
+	Network Network
+	// BufferSize selects the upload policy (1 or 10).
+	BufferSize int
+	// Duration of the run (paper: 7 hours).
+	Duration time.Duration
+	// SensePeriod between measurements (paper's intensive setting:
+	// 1 minute).
+	SensePeriod time.Duration
+	// GPSShare of measurements that trigger a GPS fix.
+	GPSShare float64
+	// InitialPercent the battery starts at (paper: 80%).
+	InitialPercent float64
+	// Params are the component energy costs.
+	Params EnergyParams
+}
+
+func (c BatteryRunConfig) withDefaults() (BatteryRunConfig, error) {
+	if c.Duration <= 0 {
+		c.Duration = 7 * time.Hour
+	}
+	if c.SensePeriod <= 0 {
+		c.SensePeriod = time.Minute
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 1
+	}
+	if c.InitialPercent <= 0 {
+		c.InitialPercent = 80
+	}
+	if c.Params == (EnergyParams{}) {
+		c.Params = DefaultEnergyParams()
+	}
+	if c.GPSShare < 0 || c.GPSShare > 1 {
+		return c, errors.New("device: GPSShare must be in [0,1]")
+	}
+	if c.MPS && (c.Network != WiFi && c.Network != ThreeG) {
+		return c, errors.New("device: MPS run needs a network bearer")
+	}
+	return c, nil
+}
+
+// BatteryResult is the outcome of one battery run.
+type BatteryResult struct {
+	// Config echoes the run setup.
+	Config BatteryRunConfig `json:"-"`
+	// DepletionPercent is total battery drained over the run.
+	DepletionPercent float64 `json:"depletionPercent"`
+	// FinalPercent is the remaining charge.
+	FinalPercent float64 `json:"finalPercent"`
+	// Breakdown attributes the drain.
+	Breakdown DrainBreakdown `json:"breakdown"`
+	// Measurements taken during the run.
+	Measurements int `json:"measurements"`
+}
+
+// RunBattery executes the deterministic battery experiment. The run
+// is tick-based at the sensing period; GPS fixes are spread evenly
+// per GPSShare.
+func RunBattery(cfg BatteryRunConfig) (BatteryResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return BatteryResult{}, err
+	}
+	b := NewBattery(cfg.Params, cfg.InitialPercent)
+	measurements := 0
+	buffered := 0
+	gpsAccu := 0.0
+
+	steps := int(cfg.Duration / cfg.SensePeriod)
+	for i := 0; i < steps; i++ {
+		if err := b.Idle(cfg.SensePeriod); err != nil {
+			return BatteryResult{}, err
+		}
+		if !cfg.MPS {
+			continue
+		}
+		gpsAccu += cfg.GPSShare
+		withGPS := false
+		if gpsAccu >= 1 {
+			withGPS = true
+			gpsAccu -= 1
+		}
+		if err := b.Sense(withGPS); err != nil {
+			return BatteryResult{}, err
+		}
+		measurements++
+		buffered++
+		if buffered >= cfg.BufferSize {
+			if err := b.Transmit(cfg.Network, buffered); err != nil {
+				return BatteryResult{}, err
+			}
+			buffered = 0
+		}
+	}
+	// Trailing partial buffer flushes at the end of the day.
+	if cfg.MPS && buffered > 0 {
+		if err := b.Transmit(cfg.Network, buffered); err != nil {
+			return BatteryResult{}, err
+		}
+	}
+	return BatteryResult{
+		Config:           cfg,
+		DepletionPercent: b.Depleted(),
+		FinalPercent:     b.Level(),
+		Breakdown:        b.Breakdown(),
+		Measurements:     measurements,
+	}, nil
+}

@@ -1,0 +1,103 @@
+package device
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Connectivity is a semi-Markov model of a phone's data connectivity.
+// Section 5.3 of the paper finds that only ~30% of (unbuffered)
+// observations reach the server within 10 seconds while ~35% take
+// more than two hours — phones spend long stretches without a data
+// path (radio off, no WiFi, background-data restrictions). The model
+// alternates connected and disconnected episodes whose durations are
+// drawn from distributions tuned to reproduce that delay shape.
+type Connectivity struct {
+	rng *rand.Rand
+
+	connected   bool
+	episodeEnds time.Time
+	bearer      Network
+	wifiShare   float64
+}
+
+// ConnectivityParams tune the episode model.
+type ConnectivityParams struct {
+	// WiFiShare is the probability a connected episode rides WiFi
+	// rather than 3G.
+	WiFiShare float64
+}
+
+// NewConnectivity seeds a connectivity model; the initial state is
+// drawn from the stationary distribution (~35% connected).
+func NewConnectivity(rng *rand.Rand, params ConnectivityParams, start time.Time) *Connectivity {
+	c := &Connectivity{rng: rng, wifiShare: params.WiFiShare}
+	c.connected = rng.Float64() < 0.35
+	c.episodeEnds = start.Add(c.sampleEpisode())
+	c.bearer = c.sampleBearer()
+	return c
+}
+
+// sampleEpisode draws the current episode's remaining duration.
+func (c *Connectivity) sampleEpisode() time.Duration {
+	if c.connected {
+		// Connected episodes: mean ~1 hour, exponential.
+		return expDuration(c.rng, time.Hour)
+	}
+	// Disconnected episodes: a mixture of short gaps (walking
+	// between WiFi networks), medium gaps and long offline periods
+	// (night, radio off) — the heavy tail behind the paper's >2 h
+	// delays.
+	u := c.rng.Float64()
+	switch {
+	case u < 0.45:
+		return expDuration(c.rng, 12*time.Minute)
+	case u < 0.75:
+		return expDuration(c.rng, 90*time.Minute)
+	default:
+		return expDuration(c.rng, 6*time.Hour)
+	}
+}
+
+func (c *Connectivity) sampleBearer() Network {
+	if c.rng.Float64() < c.wifiShare {
+		return WiFi
+	}
+	return ThreeG
+}
+
+// expDuration draws an exponential duration with the given mean.
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// advance rolls the episode chain forward to now.
+func (c *Connectivity) advance(now time.Time) {
+	for !now.Before(c.episodeEnds) {
+		c.connected = !c.connected
+		c.episodeEnds = c.episodeEnds.Add(c.sampleEpisode())
+		if c.connected {
+			c.bearer = c.sampleBearer()
+		}
+	}
+}
+
+// Connected reports whether the device has a data path at now, and on
+// which bearer.
+func (c *Connectivity) Connected(now time.Time) (bool, Network) {
+	c.advance(now)
+	if !c.connected {
+		return false, 0
+	}
+	return true, c.bearer
+}
+
+// NextConnection returns the first instant at or after now when the
+// device is connected (used to schedule retries in virtual time).
+func (c *Connectivity) NextConnection(now time.Time) time.Time {
+	c.advance(now)
+	if c.connected {
+		return now
+	}
+	return c.episodeEnds
+}

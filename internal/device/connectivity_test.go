@@ -1,0 +1,105 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestConnectivityStationaryShare(t *testing.T) {
+	// Sampling the chain at random instants must find it connected
+	// roughly a third of the time — the regime behind the paper's
+	// "only ~30% of unbuffered observations arrive within 10 s".
+	rng := rand.New(rand.NewSource(10))
+	start := time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
+	connectedSamples, total := 0, 0
+	for d := 0; d < 40; d++ {
+		c := NewConnectivity(rand.New(rand.NewSource(rng.Int63())), ConnectivityParams{WiFiShare: 0.6}, start)
+		for now := start; now.Before(start.AddDate(0, 0, 7)); now = now.Add(5 * time.Minute) {
+			if up, _ := c.Connected(now); up {
+				connectedSamples++
+			}
+			total++
+		}
+	}
+	share := float64(connectedSamples) / float64(total)
+	if share < 0.25 || share > 0.45 {
+		t.Fatalf("stationary connected share = %.3f, want ~0.33", share)
+	}
+}
+
+func TestConnectivityAdvanceMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	start := time.Unix(0, 0)
+	c := NewConnectivity(rng, ConnectivityParams{WiFiShare: 0.5}, start)
+	// Queries at increasing times must never panic or loop; state at
+	// the same instant must be consistent.
+	now := start
+	for i := 0; i < 1000; i++ {
+		now = now.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		up1, bearer1 := c.Connected(now)
+		up2, bearer2 := c.Connected(now)
+		if up1 != up2 || bearer1 != bearer2 {
+			t.Fatal("repeated query at the same instant must agree")
+		}
+	}
+}
+
+func TestConnectivityBearers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	start := time.Unix(0, 0)
+	c := NewConnectivity(rng, ConnectivityParams{WiFiShare: 1.0}, start)
+	now := start
+	for i := 0; i < 500; i++ {
+		now = now.Add(10 * time.Minute)
+		if up, bearer := c.Connected(now); up && bearer != WiFi {
+			t.Fatal("WiFiShare 1.0 must only yield WiFi bearers")
+		}
+	}
+}
+
+func TestNextConnection(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	start := time.Unix(0, 0)
+	c := NewConnectivity(rng, ConnectivityParams{WiFiShare: 0.5}, start)
+	now := start
+	for i := 0; i < 200; i++ {
+		now = now.Add(17 * time.Minute)
+		next := c.NextConnection(now)
+		if next.Before(now) {
+			t.Fatalf("NextConnection(%v) = %v in the past", now, next)
+		}
+		if up, _ := c.Connected(now); up && !next.Equal(now) {
+			t.Fatal("already connected must return now")
+		}
+	}
+}
+
+func TestConnectivityHeavyTail(t *testing.T) {
+	// Disconnection episodes must include multi-hour gaps (the
+	// source of the paper's >2h delivery delays).
+	rng := rand.New(rand.NewSource(14))
+	start := time.Unix(0, 0)
+	longGaps := 0
+	for d := 0; d < 30; d++ {
+		c := NewConnectivity(rand.New(rand.NewSource(rng.Int63())), ConnectivityParams{WiFiShare: 0.5}, start)
+		now := start
+		for i := 0; i < 2000; i++ {
+			now = now.Add(5 * time.Minute)
+			if up, _ := c.Connected(now); !up {
+				if c.NextConnection(now).Sub(now) > 2*time.Hour {
+					longGaps++
+				}
+			}
+		}
+	}
+	if longGaps == 0 {
+		t.Fatal("connectivity model never produced a >2h offline residual")
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	if WiFi.String() != "wifi" || ThreeG.String() != "3g" {
+		t.Fatal("network string names wrong")
+	}
+}

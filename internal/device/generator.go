@@ -1,0 +1,382 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Release dates of the three app versions (Section 5.3).
+var (
+	ReleaseV11  = time.Date(2015, 7, 1, 0, 0, 0, 0, time.UTC)
+	ReleaseV129 = time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
+	ReleaseV13  = time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC)
+	// StudyEnd is the analysis cut-off (May 2016).
+	StudyEnd = time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// AppVersionAt returns the app version a user runs at time t given
+// their personal adoption lag (users update days after a release).
+func AppVersionAt(t time.Time, adoptionLag time.Duration) string {
+	switch {
+	case !t.Before(ReleaseV13.Add(adoptionLag)):
+		return "1.3"
+	case !t.Before(ReleaseV129.Add(adoptionLag)):
+		return "1.2.9"
+	default:
+		return "1.1"
+	}
+}
+
+// SimDevice is one simulated phone (one contributor; the study keys
+// contributions by device).
+type SimDevice struct {
+	ID          string
+	Model       ModelSpec
+	User        *UserProfile
+	AdoptionLag time.Duration
+	// ObsWeight shapes how the model's observation budget is split
+	// across its devices (heavy-tailed engagement).
+	ObsWeight float64
+}
+
+// GeneratorConfig parameterizes fleet construction and observation
+// generation.
+type GeneratorConfig struct {
+	// Scale multiplies the published per-model counts (1.0 = the full
+	// 23M-observation study; the default experiments use 0.01).
+	Scale float64
+	// Start / End bound the study period; zero values default to the
+	// paper's July 2015 - May 2016.
+	Start, End time.Time
+	// Seed drives all randomness; equal seeds give equal fleets.
+	Seed int64
+	// MinDevicesPerModel floors the scaled per-model device count so
+	// per-user analyses (Figures 15, 19) keep several users per model
+	// even at tiny scales. <= 0 defaults to 5.
+	MinDevicesPerModel int
+	// Area is the deployment area; zero value defaults to Paris.
+	Area geo.BBox
+	// Models restricts the catalog (nil = all top-20).
+	Models []ModelSpec
+}
+
+// withDefaults fills zero fields.
+func (c GeneratorConfig) withDefaults() (GeneratorConfig, error) {
+	if c.Scale <= 0 {
+		c.Scale = 0.01
+	}
+	if c.Start.IsZero() {
+		c.Start = ReleaseV11
+	}
+	if c.End.IsZero() {
+		c.End = StudyEnd
+	}
+	if !c.Start.Before(c.End) {
+		return c, errors.New("device: generator start must precede end")
+	}
+	if c.Area == (geo.BBox{}) {
+		c.Area = geo.ParisBBox()
+	}
+	if len(c.Models) == 0 {
+		c.Models = TopModels()
+	}
+	if c.MinDevicesPerModel <= 0 {
+		c.MinDevicesPerModel = 5
+	}
+	return c, nil
+}
+
+// Fleet is the simulated contributor population.
+type Fleet struct {
+	Config  GeneratorConfig
+	Devices []*SimDevice
+	rng     *rand.Rand
+}
+
+// NewFleet builds the device population: per model, the published
+// device count scaled by Config.Scale, each with its own user profile
+// and heavy-tailed engagement weight.
+func NewFleet(cfg GeneratorConfig) (*Fleet, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Fleet{Config: cfg, rng: rng}
+	for _, model := range cfg.Models {
+		n := ScaledCount(model.PublishedDevices, cfg.Scale)
+		if n < cfg.MinDevicesPerModel {
+			n = cfg.MinDevicesPerModel
+		}
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("u-%s-%03d", shortModel(model.Name), i)
+			dev := &SimDevice{
+				ID:          id,
+				Model:       model,
+				User:        NewUserProfile(id, rng, cfg.Area),
+				AdoptionLag: expDuration(rng, 14*24*time.Hour),
+				// Log-normal engagement: a few heavy contributors,
+				// many light ones.
+				ObsWeight: lognormalWeight(rng),
+			}
+			f.Devices = append(f.Devices, dev)
+		}
+	}
+	return f, nil
+}
+
+// lognormalWeight draws a heavy-tailed engagement weight, capped so
+// one device cannot absorb a model's entire budget at tiny scales.
+func lognormalWeight(rng *rand.Rand) float64 {
+	x := rng.NormFloat64()
+	if x > 2.5 {
+		x = 2.5
+	}
+	return math.Exp(x)
+}
+
+// DevicesOfModel returns the fleet's devices of one model.
+func (f *Fleet) DevicesOfModel(model string) []*SimDevice {
+	var out []*SimDevice
+	for _, d := range f.Devices {
+		if d.Model.Name == model {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// GenerateAll draws the full observation set of the scaled study:
+// per model, the scaled measurement budget is split across the
+// model's devices by engagement weight; each observation is sampled
+// from the device's user, model and context distributions. Results
+// are sorted by sensing time.
+func (f *Fleet) GenerateAll() ([]*sensing.Observation, error) {
+	var out []*sensing.Observation
+	activityModel := sensing.DefaultActivityModel()
+	for _, model := range f.Config.Models {
+		devices := f.DevicesOfModel(model.Name)
+		if len(devices) == 0 {
+			continue
+		}
+		budget := ScaledCount(model.PublishedMeasurements, f.Config.Scale)
+		counts := splitBudget(f.rng, budget, devices)
+		for di, dev := range devices {
+			remaining := counts[di]
+			// The user's journey share is produced as coherent
+			// participatory sessions: consecutive measurements along
+			// a walked path (Section 4.2's Journey mode).
+			journeyBudget := int(float64(remaining) * dev.User.JourneyShare)
+			for journeyBudget >= minJourneyPoints && remaining >= minJourneyPoints {
+				pts := minJourneyPoints + f.rng.Intn(maxJourneyPoints-minJourneyPoints+1)
+				if pts > journeyBudget {
+					pts = journeyBudget
+				}
+				if pts > remaining {
+					pts = remaining
+				}
+				session, err := f.generateJourney(dev, activityModel, pts)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, session...)
+				journeyBudget -= pts
+				remaining -= pts
+			}
+			for k := 0; k < remaining; k++ {
+				obs, err := f.generateOne(dev, activityModel)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, obs)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SensedAt.Before(out[j].SensedAt) })
+	return out, nil
+}
+
+// Journey session sizing: the user walks for 5-15 minutes at a 30 s
+// sensing period.
+const (
+	minJourneyPoints = 10
+	maxJourneyPoints = 30
+	journeyPeriod    = 30 * time.Second
+)
+
+// generateJourney draws one coherent participatory session: points
+// spaced journeyPeriod apart along a smooth walking path, always
+// attempted with the journey-mode provider mix.
+func (f *Fleet) generateJourney(dev *SimDevice, am sensing.ActivityModel, points int) ([]*sensing.Observation, error) {
+	rng := f.rng
+	start := dev.User.SampleObservationTime(rng, f.Config.Start, f.Config.End)
+	pos := dev.User.SamplePosition(rng)
+	heading := rng.Float64() * 2 * math.Pi
+	mix := sensing.MixForMode(dev.Model.ProviderMix, sensing.Journey)
+	locProb := minF(1, dev.Model.LocalizedFraction()*1.8)
+
+	out := make([]*sensing.Observation, 0, points)
+	for i := 0; i < points; i++ {
+		t := start.Add(time.Duration(i) * journeyPeriod)
+		if !t.Before(f.Config.End) {
+			break
+		}
+		// Walking pace ~1.4 m/s with gentle turns.
+		stepM := 1.4 * journeyPeriod.Seconds()
+		heading += (rng.Float64() - 0.5) * 0.6
+		pos = pos.Offset(stepM*math.Cos(heading), stepM*math.Sin(heading))
+
+		obs := &sensing.Observation{
+			UserID:             dev.ID,
+			DeviceModel:        dev.Model.Name,
+			AppVersion:         AppVersionAt(t, dev.AdoptionLag),
+			Mode:               sensing.Journey,
+			SPL:                dev.Model.Mic.SampleRawSPL(rng, journeyAmbientShift(t)),
+			Activity:           sensing.ActivityFoot,
+			ActivityConfidence: 0.85 + 0.14*rng.Float64(),
+			SensedAt:           t,
+		}
+		if rng.Float64() < locProb {
+			provider := mix.Sample(rng)
+			obs.Loc = &sensing.Location{
+				Point:     pos,
+				AccuracyM: sensing.SampleAccuracy(provider, rng),
+				Provider:  provider,
+			}
+		}
+		if err := obs.Validate(); err != nil {
+			return nil, fmt.Errorf("generate journey point for %s: %w", dev.ID, err)
+		}
+		out = append(out, obs)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// journeyAmbientShift mirrors the participatory ambient bump of
+// generateOne: phone in hand, outdoors.
+func journeyAmbientShift(t time.Time) float64 {
+	shift := 6.0
+	if h := t.Hour(); h >= 8 && h <= 20 {
+		shift += 3
+	}
+	return shift
+}
+
+// splitBudget allocates the model budget proportionally to device
+// weights, fixing rounding drift on the heaviest device.
+func splitBudget(rng *rand.Rand, budget int, devices []*SimDevice) []int {
+	total := 0.0
+	for _, d := range devices {
+		total += d.ObsWeight
+	}
+	counts := make([]int, len(devices))
+	assigned, heaviest := 0, 0
+	for i, d := range devices {
+		counts[i] = int(float64(budget) * d.ObsWeight / total)
+		assigned += counts[i]
+		if d.ObsWeight > devices[heaviest].ObsWeight {
+			heaviest = i
+		}
+	}
+	counts[heaviest] += budget - assigned
+	_ = rng
+	return counts
+}
+
+// generateOne draws a single observation for a device.
+func (f *Fleet) generateOne(dev *SimDevice, am sensing.ActivityModel) (*sensing.Observation, error) {
+	rng := f.rng
+	t := dev.User.SampleObservationTime(rng, f.Config.Start, f.Config.End)
+	// Journeys are generated as coherent sessions elsewhere; the
+	// per-observation draw covers background and manual sensing.
+	mode := sensing.Opportunistic
+	if rng.Float64() < dev.User.ManualRate {
+		mode = sensing.Manual
+	}
+
+	// Ambient shift: measurements during busy hours read a little
+	// louder; participatory measurements (phone in hand, outdoors)
+	// read louder still.
+	ambient := 0.0
+	if h := t.Hour(); h >= 8 && h <= 20 {
+		ambient += 3
+	}
+	if mode != sensing.Opportunistic {
+		ambient += 6
+	}
+	spl := dev.Model.Mic.SampleRawSPL(rng, ambient)
+
+	act, conf := am.Sample(rng)
+
+	obs := &sensing.Observation{
+		UserID:             dev.ID,
+		DeviceModel:        dev.Model.Name,
+		AppVersion:         AppVersionAt(t, dev.AdoptionLag),
+		Mode:               mode,
+		SPL:                spl,
+		Activity:           act,
+		ActivityConfidence: conf,
+		SensedAt:           t,
+	}
+
+	// Localization: the model's empirical localized fraction governs
+	// whether the OS produced a fix; participatory modes always try
+	// (user engaged, screen on), so they localize more often.
+	locProb := dev.Model.LocalizedFraction()
+	if mode != sensing.Opportunistic {
+		locProb = minF(1, locProb*1.8)
+	}
+	if rng.Float64() < locProb {
+		mix := sensing.MixForMode(dev.Model.ProviderMix, mode)
+		provider := mix.Sample(rng)
+		obs.Loc = &sensing.Location{
+			Point:     dev.User.SamplePosition(rng),
+			AccuracyM: sensing.SampleAccuracy(provider, rng),
+			Provider:  provider,
+		}
+	}
+	if err := obs.Validate(); err != nil {
+		return nil, fmt.Errorf("generate observation for %s: %w", dev.ID, err)
+	}
+	return obs, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// shortModel compacts a model name for ids ("SAMSUNG GT-I9505" ->
+// "gt-i9505").
+func shortModel(name string) string {
+	out := make([]rune, 0, len(name))
+	lastSpace := -1
+	for i, r := range name {
+		if r == ' ' {
+			lastSpace = i
+		}
+	}
+	tail := name
+	if lastSpace >= 0 {
+		tail = name[lastSpace+1:]
+	}
+	for _, r := range tail {
+		if r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

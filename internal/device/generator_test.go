@@ -1,0 +1,228 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/analysis"
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+func smallFleet(t *testing.T) *Fleet {
+	t.Helper()
+	f, err := NewFleet(GeneratorConfig{Scale: 0.002, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAppVersionAt(t *testing.T) {
+	tests := []struct {
+		t    time.Time
+		lag  time.Duration
+		want string
+	}{
+		{ReleaseV11, 0, "1.1"},
+		{ReleaseV129.Add(-time.Second), 0, "1.1"},
+		{ReleaseV129, 0, "1.2.9"},
+		{ReleaseV13, 0, "1.3"},
+		{ReleaseV13, 24 * time.Hour, "1.2.9"}, // user not yet updated
+		{ReleaseV13.Add(48 * time.Hour), 24 * time.Hour, "1.3"},
+	}
+	for i, tt := range tests {
+		if got := AppVersionAt(tt.t, tt.lag); got != tt.want {
+			t.Errorf("#%d AppVersionAt = %q, want %q", i, got, tt.want)
+		}
+	}
+}
+
+func TestNewFleetDeterministic(t *testing.T) {
+	a, err := NewFleet(GeneratorConfig{Scale: 0.002, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFleet(GeneratorConfig{Scale: 0.002, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Devices) != len(b.Devices) {
+		t.Fatal("same seed must give same fleet size")
+	}
+	for i := range a.Devices {
+		if a.Devices[i].ID != b.Devices[i].ID || a.Devices[i].ObsWeight != b.Devices[i].ObsWeight {
+			t.Fatal("same seed must give identical devices")
+		}
+	}
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	if _, err := NewFleet(GeneratorConfig{Start: StudyEnd, End: ReleaseV11}); err == nil {
+		t.Fatal("inverted study period must fail")
+	}
+}
+
+func TestFleetMinDevicesPerModel(t *testing.T) {
+	f := smallFleet(t)
+	for _, m := range TopModels() {
+		n := len(f.DevicesOfModel(m.Name))
+		if n < 5 {
+			t.Errorf("%s has %d devices, want >= 5 (min floor)", m.Name, n)
+		}
+	}
+}
+
+func TestGenerateAllObservationsValid(t *testing.T) {
+	f := smallFleet(t)
+	obs, err := f.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations generated")
+	}
+	for i, o := range obs {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("observation %d invalid: %v", i, err)
+		}
+		if o.SensedAt.Before(f.Config.Start) || !o.SensedAt.Before(f.Config.End) {
+			t.Fatalf("observation %d at %v outside study period", i, o.SensedAt)
+		}
+		if i > 0 && obs[i].SensedAt.Before(obs[i-1].SensedAt) {
+			t.Fatal("observations must be sorted by sensing time")
+		}
+	}
+}
+
+func TestGenerateAllBudgetsMatchScale(t *testing.T) {
+	f := smallFleet(t)
+	obs, err := f.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := analysis.CountByModel(obs)
+	for _, m := range TopModels() {
+		want := ScaledCount(m.PublishedMeasurements, f.Config.Scale)
+		got := byModel[m.Name][0]
+		if got != want {
+			t.Errorf("%s generated %d observations, want %d", m.Name, got, want)
+		}
+	}
+}
+
+func TestGeneratedLocalizedFractionsTrackTable(t *testing.T) {
+	f := smallFleet(t)
+	obs, err := f.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := analysis.CountByModel(obs)
+	for _, m := range TopModels() {
+		counts := byModel[m.Name]
+		if counts[0] == 0 {
+			t.Fatalf("%s has no observations", m.Name)
+		}
+		got := float64(counts[1]) / float64(counts[0])
+		want := m.LocalizedFraction()
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("%s localized fraction %.3f, published %.3f (>5pp off)", m.Name, got, want)
+		}
+	}
+}
+
+func TestGeneratedModesPresent(t *testing.T) {
+	f := smallFleet(t)
+	obs, err := f.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[sensing.Mode]int{}
+	for _, o := range obs {
+		counts[o.Mode]++
+	}
+	if counts[sensing.Opportunistic] == 0 || counts[sensing.Manual] == 0 || counts[sensing.Journey] == 0 {
+		t.Fatalf("all modes must appear: %v", counts)
+	}
+	if counts[sensing.Opportunistic] < counts[sensing.Manual]*5 {
+		t.Fatal("opportunistic sensing must dominate")
+	}
+}
+
+func TestSplitBudgetConservesTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	devices := []*SimDevice{
+		{ObsWeight: 1}, {ObsWeight: 2}, {ObsWeight: 0.5}, {ObsWeight: 4},
+	}
+	for _, budget := range []int{0, 1, 7, 1000} {
+		counts := splitBudget(rng, budget, devices)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative count in %v", counts)
+			}
+			sum += c
+		}
+		if sum != budget {
+			t.Fatalf("splitBudget(%d) sums to %d", budget, sum)
+		}
+	}
+}
+
+func TestUserProfileDiurnal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	area := geo.ParisBBox()
+	u := NewUserProfile("u1", rng, area)
+	for h := 0; h < 24; h++ {
+		if u.HourWeight(h) < 0 {
+			t.Fatalf("negative hour weight at %d", h)
+		}
+	}
+	if err := u.Home.Validate(); err != nil {
+		t.Fatalf("home invalid: %v", err)
+	}
+	if !area.Contains(u.Home) {
+		t.Fatal("home must lie in the deployment area")
+	}
+	// Sampled times stay in range.
+	start := ReleaseV11
+	end := StudyEnd
+	for i := 0; i < 500; i++ {
+		ts := u.SampleObservationTime(rng, start, end)
+		if ts.Before(start) || !ts.Before(end) {
+			t.Fatalf("sampled time %v outside [%v, %v)", ts, start, end)
+		}
+	}
+}
+
+func TestUserProfilesDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	area := geo.ParisBBox()
+	u1 := NewUserProfile("u1", rng, area)
+	u2 := NewUserProfile("u2", rng, area)
+	same := true
+	for h := 0; h < 24; h++ {
+		if u1.HourWeight(h) != u2.HourWeight(h) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two users should have different diurnal curves")
+	}
+}
+
+func TestShortModel(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"SAMSUNG GT-I9505", "gt-i9505"},
+		{"LGE NEXUS 5", "5"},
+		{"ONEPLUS", "oneplus"},
+	}
+	for _, tt := range tests {
+		if got := shortModel(tt.in); got != tt.want {
+			t.Errorf("shortModel(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

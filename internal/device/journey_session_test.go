@@ -1,0 +1,128 @@
+package device
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/sensing"
+	"github.com/urbancivics/goflow/internal/soundcity"
+)
+
+// journeySessions groups a user's journey observations into sessions
+// by the fixed journey period.
+func journeySessions(obs []*sensing.Observation) map[string][][]*sensing.Observation {
+	perUser := make(map[string][]*sensing.Observation)
+	for _, o := range obs {
+		if o.Mode == sensing.Journey {
+			perUser[o.UserID] = append(perUser[o.UserID], o)
+		}
+	}
+	out := make(map[string][][]*sensing.Observation)
+	for u, list := range perUser {
+		sort.Slice(list, func(i, j int) bool { return list[i].SensedAt.Before(list[j].SensedAt) })
+		var sessions [][]*sensing.Observation
+		var cur []*sensing.Observation
+		for _, o := range list {
+			if len(cur) > 0 && o.SensedAt.Sub(cur[len(cur)-1].SensedAt) > 2*journeyPeriod {
+				sessions = append(sessions, cur)
+				cur = nil
+			}
+			cur = append(cur, o)
+		}
+		if len(cur) > 0 {
+			sessions = append(sessions, cur)
+		}
+		out[u] = sessions
+	}
+	return out
+}
+
+func TestJourneysAreCoherentSessions(t *testing.T) {
+	fleet, err := NewFleet(GeneratorConfig{Scale: 0.004, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := fleet.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := journeySessions(obs)
+	if len(sessions) == 0 {
+		t.Fatal("no journey sessions generated")
+	}
+	totalSessions := 0
+	for user, list := range sessions {
+		for _, s := range list {
+			totalSessions++
+			if len(s) < minJourneyPoints {
+				t.Fatalf("user %s has a journey of %d points, want >= %d", user, len(s), minJourneyPoints)
+			}
+			// Points are journeyPeriod apart.
+			for i := 1; i < len(s); i++ {
+				gap := s[i].SensedAt.Sub(s[i-1].SensedAt)
+				if gap != journeyPeriod {
+					t.Fatalf("user %s journey gap = %v, want %v", user, gap, journeyPeriod)
+				}
+			}
+			// Consecutive localized points are within walking
+			// distance (1.4 m/s * 30 s plus GPS scatter).
+			var prev *sensing.Observation
+			for _, o := range s {
+				if o.Loc == nil {
+					continue
+				}
+				if prev != nil {
+					steps := int(o.SensedAt.Sub(prev.SensedAt) / journeyPeriod)
+					maxDist := float64(steps)*1.4*journeyPeriod.Seconds() + 50
+					if d := prev.Loc.Point.DistanceMeters(o.Loc.Point); d > maxDist {
+						t.Fatalf("user %s journey jumped %.0f m in %d steps", user, d, steps)
+					}
+				}
+				prev = o
+			}
+			// All points walk (foot activity, journey mode).
+			for _, o := range s {
+				if o.Activity != sensing.ActivityFoot {
+					t.Fatalf("journey point with activity %v", o.Activity)
+				}
+			}
+		}
+	}
+	if totalSessions < 3 {
+		t.Fatalf("only %d journey sessions at this scale", totalSessions)
+	}
+}
+
+// TestGeneratedJourneyFeedsSoundCity ties the simulator to the app
+// layer: a generated journey session assembles into a valid
+// soundcity.Journey.
+func TestGeneratedJourneyFeedsSoundCity(t *testing.T) {
+	fleet, err := NewFleet(GeneratorConfig{Scale: 0.004, Seed: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := fleet.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := journeySessions(obs)
+	built := 0
+	for user, list := range sessions {
+		for _, s := range list {
+			j, err := soundcity.BuildFromObservations(user, s, journeyPeriod)
+			if err != nil {
+				continue // sessions with no localized points are legitimate
+			}
+			if len(j.Points) == 0 || j.Length() <= 0 {
+				t.Fatalf("degenerate journey for %s: %d points, %.1f m", user, len(j.Points), j.Length())
+			}
+			if _, err := j.LAeq(); err != nil {
+				t.Fatal(err)
+			}
+			built++
+		}
+	}
+	if built == 0 {
+		t.Fatal("no generated journey could be assembled into a soundcity.Journey")
+	}
+}

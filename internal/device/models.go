@@ -1,0 +1,168 @@
+// Package device simulates the contributing phone fleet of the
+// SoundCity deployment. The paper's study is driven by ~2,000 real
+// Android phones; this package substitutes a calibrated simulator
+// (see DESIGN.md): per-model microphone and location behaviour, user
+// diurnal habits, activity, battery and connectivity models, scaled to
+// the published per-model contribution counts of Figure 9.
+package device
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// ModelSpec describes one phone model of the top-20 table (Figure 9)
+// together with the simulator parameters derived from it.
+type ModelSpec struct {
+	// Name is the Android model string.
+	Name string `json:"name"`
+	// PublishedDevices / PublishedMeasurements / PublishedLocalized
+	// are the counts reported in Figure 9 of the paper; the simulator
+	// reproduces their proportions at a configurable scale.
+	PublishedDevices      int `json:"publishedDevices"`
+	PublishedMeasurements int `json:"publishedMeasurements"`
+	PublishedLocalized    int `json:"publishedLocalized"`
+	// Mic is the model's microphone response (heterogeneity source).
+	Mic sensing.MicProfile `json:"mic"`
+	// ProviderMix is the model's localized-observation provider mix
+	// in opportunistic mode (only some models report fused fixes).
+	ProviderMix sensing.ProviderMix `json:"providerMix"`
+	// HasFused reports whether the model's play-services stack
+	// exposes the fused provider.
+	HasFused bool `json:"hasFused"`
+	// BatteryCapacityMAH scales battery experiments per model.
+	BatteryCapacityMAH int `json:"batteryCapacityMah"`
+}
+
+// LocalizedFraction is the model's share of localized measurements
+// per Figure 9.
+func (m ModelSpec) LocalizedFraction() float64 {
+	if m.PublishedMeasurements == 0 {
+		return 0
+	}
+	return float64(m.PublishedLocalized) / float64(m.PublishedMeasurements)
+}
+
+// figure9 is the raw published table: model, devices, measurements,
+// localized measurements.
+var figure9 = []struct {
+	name      string
+	devices   int
+	meas      int
+	localized int
+	hasFused  bool
+	capacity  int
+}{
+	{"SAMSUNG GT-I9505", 253, 2346755, 1014261, false, 2600},
+	{"SAMSUNG SM-G900F", 211, 2048523, 847591, true, 2800},
+	{"SONY D5803", 112, 1097018, 778732, false, 2600},
+	{"LGE LG-D855", 87, 1098479, 669446, false, 3000},
+	{"ONEPLUS A0001", 84, 1177343, 657992, true, 3100},
+	{"LGE NEXUS 5", 129, 843472, 530597, true, 2300},
+	{"SAMSUNG GT-I9300", 185, 1432594, 528950, false, 2100},
+	{"SAMSUNG SM-G901F", 73, 1113082, 524761, false, 3220},
+	{"SONY D6603", 51, 815239, 524287, false, 3100},
+	{"SAMSUNG SM-N9005", 134, 1448701, 503379, false, 3200},
+	{"SAMSUNG GT-I9195", 174, 2192925, 464916, false, 1900},
+	{"SAMSUNG SM-G800F", 66, 989210, 393045, false, 2100},
+	{"HTC HTCONE_M8", 76, 854593, 177342, true, 2600},
+	{"LGE NEXUS 4", 67, 702895, 380751, true, 2100},
+	{"SONY D6503", 52, 716627, 200360, false, 3200},
+	{"SAMSUNG SM-N910F", 116, 812207, 344337, false, 3220},
+	{"SAMSUNG GT-I9305", 39, 692420, 209917, false, 2100},
+	{"LGE LG-D802", 46, 728469, 278089, false, 3000},
+	{"SONY D2303", 40, 585396, 221686, false, 2330},
+	{"SAMSUNG GT-P5210", 96, 1412188, 305735, false, 5000},
+}
+
+// Published totals of Figure 9.
+const (
+	PublishedTotalDevices      = 2091
+	PublishedTotalMeasurements = 23108136
+	PublishedTotalLocalized    = 9556174
+)
+
+// TopModels returns the full top-20 model catalog in the order of
+// Figure 9 (descending localized measurements).
+func TopModels() []ModelSpec {
+	out := make([]ModelSpec, 0, len(figure9))
+	for _, row := range figure9 {
+		out = append(out, newModelSpec(row.name, row.devices, row.meas, row.localized, row.hasFused, row.capacity))
+	}
+	return out
+}
+
+// ModelByName looks a model up in the catalog.
+func ModelByName(name string) (ModelSpec, error) {
+	for _, row := range figure9 {
+		if row.name == name {
+			return newModelSpec(row.name, row.devices, row.meas, row.localized, row.hasFused, row.capacity), nil
+		}
+	}
+	return ModelSpec{}, fmt.Errorf("device: unknown model %q", name)
+}
+
+func newModelSpec(name string, devices, meas, localized int, hasFused bool, capacity int) ModelSpec {
+	return ModelSpec{
+		Name:                  name,
+		PublishedDevices:      devices,
+		PublishedMeasurements: meas,
+		PublishedLocalized:    localized,
+		Mic:                   micProfileFor(name),
+		ProviderMix:           providerMixFor(hasFused),
+		HasFused:              hasFused,
+		BatteryCapacityMAH:    capacity,
+	}
+}
+
+// referenceQuietDB is the quiet-environment level a reference class-1
+// sound meter reads in the simulated population; a model's quiet peak
+// offset from it is that model's hardware bias.
+const referenceQuietDB = 30.0
+
+// micProfileFor derives a deterministic, model-specific microphone
+// profile. The quiet-peak position is spread over roughly
+// [18, 45] dB(A) as in Figure 14; the spread is a stable hash of the
+// model name so every run (and every phone of the model) agrees —
+// reproducing the paper's "calibration works per model" finding.
+func micProfileFor(model string) sensing.MicProfile {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(model))
+	u := float64(h.Sum64()%10000) / 10000 // stable in [0,1)
+	quiet := 18 + 27*u                    // [18, 45)
+	return sensing.MicProfile{
+		QuietPeakDB:   quiet,
+		QuietSigmaDB:  4.5,
+		ActiveBumpDB:  quiet + 35,
+		ActiveSigmaDB: 8,
+		QuietWeight:   0.78,
+		BiasDB:        quiet - referenceQuietDB,
+	}
+}
+
+// providerMixFor builds the opportunistic provider mix. Aggregated
+// over the fleet (fused-capable models hold ~27% of localized
+// observations) the shares land at the paper's 7% GPS / 86% network /
+// 7% fused.
+func providerMixFor(hasFused bool) sensing.ProviderMix {
+	if hasFused {
+		return sensing.ProviderMix{GPS: 0.07, Network: 0.67, Fused: 0.26}
+	}
+	return sensing.ProviderMix{GPS: 0.07, Network: 0.93, Fused: 0}
+}
+
+// ScaledCount scales a published count by factor, rounding to at
+// least 1 when the published count was positive.
+func ScaledCount(published int, factor float64) int {
+	if published <= 0 || factor <= 0 {
+		return 0
+	}
+	n := int(math.Round(float64(published) * factor))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCatalogTotalsMatchPublished(t *testing.T) {
+	models := TopModels()
+	if len(models) != 20 {
+		t.Fatalf("catalog has %d models, want 20", len(models))
+	}
+	devices, meas, localized := 0, 0, 0
+	for _, m := range models {
+		devices += m.PublishedDevices
+		meas += m.PublishedMeasurements
+		localized += m.PublishedLocalized
+	}
+	if devices != PublishedTotalDevices {
+		t.Errorf("devices total = %d, want %d", devices, PublishedTotalDevices)
+	}
+	if meas != PublishedTotalMeasurements {
+		t.Errorf("measurements total = %d, want %d", meas, PublishedTotalMeasurements)
+	}
+	if localized != PublishedTotalLocalized {
+		t.Errorf("localized total = %d, want %d", localized, PublishedTotalLocalized)
+	}
+}
+
+func TestLocalizedFractions(t *testing.T) {
+	// Spot-check against the published table: SONY D5803 localizes
+	// ~71% of its measurements, HTC ONE M8 only ~21%.
+	sony, err := ModelByName("SONY D5803")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := sony.LocalizedFraction(); math.Abs(f-0.7099) > 0.01 {
+		t.Errorf("SONY D5803 localized fraction = %.3f, want ~0.710", f)
+	}
+	htc, err := ModelByName("HTC HTCONE_M8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := htc.LocalizedFraction(); math.Abs(f-0.2075) > 0.01 {
+		t.Errorf("HTC localized fraction = %.3f, want ~0.208", f)
+	}
+	if (ModelSpec{}).LocalizedFraction() != 0 {
+		t.Error("zero model must report 0")
+	}
+}
+
+func TestModelByNameUnknown(t *testing.T) {
+	if _, err := ModelByName("NOKIA 3310"); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestMicProfileDeterministicPerModel(t *testing.T) {
+	a1 := micProfileFor("SAMSUNG GT-I9505")
+	a2 := micProfileFor("SAMSUNG GT-I9505")
+	if a1 != a2 {
+		t.Fatal("mic profile must be deterministic per model")
+	}
+	b := micProfileFor("SONY D5803")
+	if a1.QuietPeakDB == b.QuietPeakDB {
+		t.Fatal("different models should get different quiet peaks")
+	}
+}
+
+func TestMicProfileSpreadAcrossCatalog(t *testing.T) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, m := range TopModels() {
+		p := m.Mic.QuietPeakDB
+		if p < 18 || p >= 45 {
+			t.Fatalf("%s quiet peak %.1f outside [18,45)", m.Name, p)
+		}
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+		// Bias is defined relative to the reference quiet level.
+		if math.Abs(m.Mic.BiasDB-(p-referenceQuietDB)) > 1e-9 {
+			t.Fatalf("%s bias inconsistent with quiet peak", m.Name)
+		}
+	}
+	if hi-lo < 10 {
+		t.Fatalf("catalog quiet-peak spread %.1f dB too small to show heterogeneity", hi-lo)
+	}
+}
+
+func TestProviderMixFusedOnlyForCapableModels(t *testing.T) {
+	for _, m := range TopModels() {
+		if m.HasFused && m.ProviderMix.Fused <= 0 {
+			t.Errorf("%s has fused but zero fused share", m.Name)
+		}
+		if !m.HasFused && m.ProviderMix.Fused != 0 {
+			t.Errorf("%s lacks fused but has fused share", m.Name)
+		}
+		total := m.ProviderMix.GPS + m.ProviderMix.Network + m.ProviderMix.Fused
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%s provider mix sums to %.3f", m.Name, total)
+		}
+	}
+}
+
+func TestScaledCount(t *testing.T) {
+	tests := []struct {
+		published int
+		factor    float64
+		want      int
+	}{
+		{1000, 0.01, 10},
+		{84, 0.01, 1},  // rounds to 1, floored at 1
+		{10, 0.001, 1}, // tiny but positive stays 1
+		{0, 0.5, 0},
+		{100, 0, 0},
+		{100, -1, 0},
+		{99, 1.0, 99},
+	}
+	for _, tt := range tests {
+		if got := ScaledCount(tt.published, tt.factor); got != tt.want {
+			t.Errorf("ScaledCount(%d, %v) = %d, want %d", tt.published, tt.factor, got, tt.want)
+		}
+	}
+}

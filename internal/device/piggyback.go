@@ -1,0 +1,196 @@
+package device
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Piggyback sensing (Section 2 of the paper, after Lane et al.,
+// SenSys'13): instead of waking the device on a fixed period, sensing
+// rides the moments the device is already awake for the user's own
+// app activity, eliminating the wake-up energy. The tradeoff is
+// temporal control: measurements happen when the user happens to use
+// the phone.
+
+// ScreenModel generates a user's screen-on sessions: session starts
+// follow the diurnal intensity of phone use; lengths are 30 s to a
+// few minutes.
+type ScreenModel struct {
+	rng *rand.Rand
+	// SessionsPerDay is the expected number of screen-on sessions.
+	SessionsPerDay int
+}
+
+// NewScreenModel builds a screen model (default ~60 sessions/day, the
+// typical smartphone unlock count).
+func NewScreenModel(rng *rand.Rand, sessionsPerDay int) *ScreenModel {
+	if sessionsPerDay <= 0 {
+		sessionsPerDay = 60
+	}
+	return &ScreenModel{rng: rng, SessionsPerDay: sessionsPerDay}
+}
+
+// Session is one screen-on interval.
+type Session struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Day draws the sessions of one day starting at midnight.
+func (m *ScreenModel) Day(midnight time.Time) []Session {
+	sessions := make([]Session, 0, m.SessionsPerDay)
+	for i := 0; i < m.SessionsPerDay; i++ {
+		// Hour weighted by the population diurnal curve.
+		hour := m.sampleHour()
+		start := midnight.Add(time.Duration(hour)*time.Hour +
+			time.Duration(m.rng.Float64()*float64(time.Hour)))
+		length := 30*time.Second + time.Duration(m.rng.ExpFloat64()*float64(90*time.Second))
+		sessions = append(sessions, Session{Start: start, End: start.Add(length)})
+	}
+	return sessions
+}
+
+func (m *ScreenModel) sampleHour() int {
+	total := 0.0
+	for h := 0; h < 24; h++ {
+		total += populationHourWeight(h)
+	}
+	u := m.rng.Float64() * total
+	for h := 0; h < 24; h++ {
+		w := populationHourWeight(h)
+		if u < w {
+			return h
+		}
+		u -= w
+	}
+	return 23
+}
+
+// PiggybackConfig parameterizes the comparison of fixed-period
+// background sensing against piggyback sensing.
+type PiggybackConfig struct {
+	// Days simulated.
+	Days int
+	// Period of the fixed-interval strategy.
+	Period time.Duration
+	// SessionsPerDay of the screen model.
+	SessionsPerDay int
+	// Seed drives the randomness.
+	Seed int64
+	// Params are the energy costs.
+	Params EnergyParams
+}
+
+func (c PiggybackConfig) withDefaults() (PiggybackConfig, error) {
+	if c.Days <= 0 {
+		c.Days = 7
+	}
+	if c.Period <= 0 {
+		c.Period = 5 * time.Minute
+	}
+	if c.SessionsPerDay <= 0 {
+		c.SessionsPerDay = 60
+	}
+	if c.Params == (EnergyParams{}) {
+		c.Params = DefaultEnergyParams()
+	}
+	if c.Period < time.Second {
+		return c, errors.New("device: piggyback period too small")
+	}
+	return c, nil
+}
+
+// PiggybackResult summarizes one strategy's outcome. Energy excludes
+// the idle baseline (identical for both strategies), isolating the
+// sensing overhead.
+type PiggybackResult struct {
+	Measurements  int     `json:"measurements"`
+	SensingEnergy float64 `json:"sensingEnergy"` // percent of battery
+	// EnergyPerMeasurement in battery percent.
+	EnergyPerMeasurement float64 `json:"energyPerMeasurement"`
+	// HoursCovered counts distinct hours of day with >= 1 measurement
+	// over the run (temporal coverage).
+	HoursCovered int `json:"hoursCovered"`
+}
+
+// SimulatePiggyback runs both strategies over the same screen-session
+// timeline and returns (periodic, piggyback) results.
+func SimulatePiggyback(cfg PiggybackConfig) (PiggybackResult, PiggybackResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return PiggybackResult{}, PiggybackResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	screen := NewScreenModel(rng, cfg.SessionsPerDay)
+	start := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	var sessions []Session
+	for d := 0; d < cfg.Days; d++ {
+		sessions = append(sessions, screen.Day(start.AddDate(0, 0, d))...)
+	}
+	inSession := func(t time.Time) bool {
+		for _, s := range sessions {
+			if !t.Before(s.Start) && t.Before(s.End) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Periodic: sense every Period; a measurement outside a screen
+	// session pays the wake-up.
+	periodicBattery := NewBattery(cfg.Params, 100)
+	periodic := PiggybackResult{}
+	var periodicHours [24]bool
+	end := start.AddDate(0, 0, cfg.Days)
+	for t := start; t.Before(end); t = t.Add(cfg.Period) {
+		if !inSession(t) {
+			if err := periodicBattery.Wakeup(); err != nil {
+				return PiggybackResult{}, PiggybackResult{}, err
+			}
+		}
+		if err := periodicBattery.Sense(false); err != nil {
+			return PiggybackResult{}, PiggybackResult{}, err
+		}
+		periodic.Measurements++
+		periodicHours[t.Hour()] = true
+	}
+	bd := periodicBattery.Breakdown()
+	periodic.SensingEnergy = bd.Sense + bd.Wakeup + bd.GPS
+	periodic.HoursCovered = countTrue(periodicHours[:])
+
+	// Piggyback: one measurement per screen session (the app hooks
+	// the unlock), no wake-ups ever.
+	piggyBattery := NewBattery(cfg.Params, 100)
+	piggy := PiggybackResult{}
+	var piggyHours [24]bool
+	for _, s := range sessions {
+		if err := piggyBattery.Sense(false); err != nil {
+			return PiggybackResult{}, PiggybackResult{}, err
+		}
+		piggy.Measurements++
+		piggyHours[s.Start.Hour()] = true
+	}
+	pbd := piggyBattery.Breakdown()
+	piggy.SensingEnergy = pbd.Sense + pbd.Wakeup + pbd.GPS
+	piggy.HoursCovered = countTrue(piggyHours[:])
+
+	if periodic.Measurements > 0 {
+		periodic.EnergyPerMeasurement = periodic.SensingEnergy / float64(periodic.Measurements)
+	}
+	if piggy.Measurements > 0 {
+		piggy.EnergyPerMeasurement = piggy.SensingEnergy / float64(piggy.Measurements)
+	}
+	return periodic, piggy, nil
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

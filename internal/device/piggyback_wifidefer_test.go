@@ -1,0 +1,117 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestScreenModelSessions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewScreenModel(rng, 60)
+	midnight := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	sessions := m.Day(midnight)
+	if len(sessions) != 60 {
+		t.Fatalf("sessions = %d, want 60", len(sessions))
+	}
+	daytime := 0
+	for _, s := range sessions {
+		if s.End.Before(s.Start) {
+			t.Fatal("session ends before it starts")
+		}
+		if s.Start.Before(midnight) || !s.Start.Before(midnight.AddDate(0, 0, 1).Add(time.Hour)) {
+			t.Fatalf("session start %v outside the day", s.Start)
+		}
+		if h := s.Start.Hour(); h >= 10 && h <= 21 {
+			daytime++
+		}
+	}
+	// Phone use follows the diurnal curve: the 12 daytime hours
+	// carry well over half the sessions.
+	if float64(daytime)/float64(len(sessions)) < 0.5 {
+		t.Fatalf("daytime session share = %d/%d, want > 50%%", daytime, len(sessions))
+	}
+}
+
+func TestSimulatePiggybackSavesWakeEnergy(t *testing.T) {
+	periodic, piggy, err := SimulatePiggyback(PiggybackConfig{Days: 7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if periodic.Measurements == 0 || piggy.Measurements == 0 {
+		t.Fatal("both strategies must measure")
+	}
+	// The headline: piggyback pays no wake-ups, so its energy per
+	// measurement is a fraction of periodic background sensing's.
+	if piggy.EnergyPerMeasurement >= periodic.EnergyPerMeasurement*0.7 {
+		t.Fatalf("piggyback %.5f%%/obs vs periodic %.5f%%/obs — no wake saving",
+			piggy.EnergyPerMeasurement, periodic.EnergyPerMeasurement)
+	}
+	// The tradeoff: piggyback only measures when the user uses the
+	// phone, so it takes fewer measurements and its coverage follows
+	// phone use rather than the clock.
+	if piggy.Measurements >= periodic.Measurements {
+		t.Fatalf("piggyback measurements %d >= periodic %d", piggy.Measurements, periodic.Measurements)
+	}
+	if periodic.HoursCovered != 24 {
+		t.Fatalf("periodic must cover the clock, got %d hours", periodic.HoursCovered)
+	}
+	if piggy.HoursCovered < 12 {
+		t.Fatalf("piggyback covered only %d hours over a week", piggy.HoursCovered)
+	}
+}
+
+func TestSimulatePiggybackValidation(t *testing.T) {
+	if _, _, err := SimulatePiggyback(PiggybackConfig{Period: time.Millisecond}); err == nil {
+		t.Fatal("sub-second period must fail")
+	}
+}
+
+func TestSimulateWiFiDeferAvoidsCellular(t *testing.T) {
+	always, deferred, err := SimulateWiFiDefer(WiFiDeferConfig{Devices: 25, Days: 7, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if always.Batches == 0 || deferred.Batches == 0 {
+		t.Fatal("both policies must send batches")
+	}
+	// The headline: deferring cuts the cellular share of batches
+	// substantially (WiFi appears within the 2h cap most of the time).
+	alwaysShare := float64(always.CellularBatches) / float64(always.Batches)
+	deferShare := float64(deferred.CellularBatches) / float64(deferred.Batches)
+	if deferShare >= alwaysShare*0.7 {
+		t.Fatalf("cellular batch share %.2f -> %.2f — deferral ineffective", alwaysShare, deferShare)
+	}
+	// Transmission energy drops.
+	if deferred.TxEnergy >= always.TxEnergy {
+		t.Fatalf("tx energy %.3f%% -> %.3f%% — no saving", always.TxEnergy, deferred.TxEnergy)
+	}
+	// The price: mean delay grows, but stays bounded by MaxDefer +
+	// reconnection dynamics (the >2h share must not explode).
+	if deferred.MeanDelay <= always.MeanDelay {
+		t.Fatal("deferral must add delay (otherwise something is off)")
+	}
+	if deferred.Over2h > always.Over2h+0.25 {
+		t.Fatalf(">2h share %.2f -> %.2f — deferral blew the worst case", always.Over2h, deferred.Over2h)
+	}
+}
+
+func TestSimulateWiFiDeferValidation(t *testing.T) {
+	if _, _, err := SimulateWiFiDefer(WiFiDeferConfig{WiFiShare: 2}); err == nil {
+		t.Fatal("WiFiShare > 1 must fail")
+	}
+}
+
+func TestBatteryWakeupAccounting(t *testing.T) {
+	b := NewBattery(DefaultEnergyParams(), 100)
+	if err := b.Wakeup(); err != nil {
+		t.Fatal(err)
+	}
+	bd := b.Breakdown()
+	if bd.Wakeup <= 0 {
+		t.Fatal("wakeup drain not accounted")
+	}
+	if b.Depleted() != bd.Wakeup {
+		t.Fatal("depleted must include wakeups")
+	}
+}

@@ -1,0 +1,163 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/client"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// TransmissionConfig parameterizes the transmission-delay simulation
+// behind Figure 17: a set of devices senses on a fixed cycle under
+// the semi-Markov connectivity model, uploading with a given client
+// version/policy; the output is one (sensed, sent) record per
+// observation.
+type TransmissionConfig struct {
+	// Devices is the number of simulated phones.
+	Devices int
+	// Days is the simulated span per device.
+	Days int
+	// Cycle is the sensing period (the app default is 5 minutes).
+	Cycle time.Duration
+	// BufferSize selects the upload policy: 1 = unbuffered
+	// (v1.1/v1.2.9), 10 = buffered (v1.3).
+	BufferSize int
+	// Version is stamped on the records.
+	Version string
+	// Seed drives the randomness.
+	Seed int64
+	// WiFiShare of connected episodes.
+	WiFiShare float64
+}
+
+func (c TransmissionConfig) withDefaults() (TransmissionConfig, error) {
+	if c.Devices <= 0 {
+		c.Devices = 50
+	}
+	if c.Days <= 0 {
+		c.Days = 14
+	}
+	if c.Cycle <= 0 {
+		c.Cycle = 5 * time.Minute
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 1
+	}
+	if c.Version == "" {
+		if c.BufferSize > 1 {
+			c.Version = "1.3"
+		} else {
+			c.Version = "1.2.9"
+		}
+	}
+	if c.WiFiShare <= 0 {
+		c.WiFiShare = 0.6
+	}
+	if c.WiFiShare > 1 {
+		return c, errors.New("device: WiFiShare must be <= 1")
+	}
+	return c, nil
+}
+
+// SimulateTransmission runs the virtual-time upload simulation and
+// returns every observation's transmission record. It exercises the
+// real client.Uploader emission policy.
+func SimulateTransmission(cfg TransmissionConfig) ([]client.SendRecord, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := ReleaseV129
+	var records []client.SendRecord
+	micModel := TopModels()[0]
+
+	for d := 0; d < cfg.Devices; d++ {
+		devRng := rand.New(rand.NewSource(rng.Int63()))
+		conn := NewConnectivity(devRng, ConnectivityParams{WiFiShare: cfg.WiFiShare}, start)
+		transport := &client.RecordingTransport{}
+		up, err := client.NewUploader(client.Config{
+			ClientID:   fmt.Sprintf("dev-%03d", d),
+			AppID:      "SC",
+			Version:    cfg.Version,
+			BufferSize: cfg.BufferSize,
+		}, transport)
+		if err != nil {
+			return nil, err
+		}
+
+		end := start.AddDate(0, 0, cfg.Days)
+		for now := start; now.Before(end); now = now.Add(cfg.Cycle) {
+			obs := &sensing.Observation{
+				UserID:             up.Config().ClientID,
+				DeviceModel:        micModel.Name,
+				Mode:               sensing.Opportunistic,
+				SPL:                micModel.Mic.SampleRawSPL(devRng, 0),
+				Activity:           sensing.ActivityStill,
+				ActivityConfidence: 0.9,
+				SensedAt:           now,
+			}
+			if err := up.Record(obs); err != nil {
+				return nil, err
+			}
+			connected, _ := conn.Connected(now)
+			// Connected emissions land within seconds (the 2-10 s
+			// jitter of a live socket); the record keeps the cycle
+			// instant plus jitter.
+			jitter := time.Duration(2+devRng.Intn(9)) * time.Second
+			if _, err := up.Flush(now.Add(jitter), connected); err != nil {
+				return nil, err
+			}
+		}
+		records = append(records, transport.Records...)
+	}
+	return records, nil
+}
+
+// DelayBuckets are the Figure 17 delay histogram edges.
+var DelayBuckets = []time.Duration{
+	0,
+	10 * time.Second,
+	time.Minute,
+	5 * time.Minute,
+	15 * time.Minute,
+	30 * time.Minute,
+	time.Hour,
+	2 * time.Hour,
+	24 * 365 * time.Hour, // "more than 2 hours"
+}
+
+// DelayBucketLabels returns printable labels for DelayBuckets
+// intervals.
+func DelayBucketLabels() []string {
+	return []string{
+		"<=10s", "10s-1m", "1m-5m", "5m-15m", "15m-30m", "30m-1h", "1h-2h", ">2h",
+	}
+}
+
+// DelayDistribution bins transmission delays into DelayBuckets and
+// returns per-bucket shares (fractions summing to 1 for non-empty
+// input).
+func DelayDistribution(records []client.SendRecord) []float64 {
+	counts := make([]float64, len(DelayBuckets)-1)
+	total := 0
+	for _, r := range records {
+		d := r.SentAt.Sub(r.SensedAt)
+		for i := 0; i+1 < len(DelayBuckets); i++ {
+			if d >= DelayBuckets[i] && d < DelayBuckets[i+1] {
+				counts[i]++
+				total++
+				break
+			}
+		}
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= float64(total)
+		}
+	}
+	return counts
+}

@@ -1,0 +1,135 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSimulateTransmissionRecordsValid(t *testing.T) {
+	records, err := SimulateTransmission(TransmissionConfig{Devices: 10, Days: 3, BufferSize: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no records produced")
+	}
+	for i, r := range records {
+		if r.SentAt.Before(r.SensedAt) {
+			t.Fatalf("record %d sent before sensed", i)
+		}
+		if r.Version != "1.2.9" {
+			t.Fatalf("record %d version = %q", i, r.Version)
+		}
+		if r.Batch < 1 {
+			t.Fatalf("record %d batch = %d", i, r.Batch)
+		}
+	}
+}
+
+func TestSimulateTransmissionBufferedBatches(t *testing.T) {
+	records, err := SimulateTransmission(TransmissionConfig{Devices: 10, Days: 3, BufferSize: 10, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBigBatch := false
+	for _, r := range records {
+		if r.Batch >= 10 {
+			sawBigBatch = true
+		}
+		if r.Version != "1.3" {
+			t.Fatalf("buffered default version = %q, want 1.3", r.Version)
+		}
+	}
+	if !sawBigBatch {
+		t.Fatal("buffered client never sent a full batch")
+	}
+}
+
+func TestSimulateTransmissionDeterministic(t *testing.T) {
+	a, err := SimulateTransmission(TransmissionConfig{Devices: 5, Days: 2, BufferSize: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTransmission(TransmissionConfig{Devices: 5, Days: 2, BufferSize: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed must give same record count")
+	}
+	for i := range a {
+		if !a[i].SentAt.Equal(b[i].SentAt) {
+			t.Fatal("same seed must give identical timelines")
+		}
+	}
+}
+
+func TestSimulateTransmissionValidation(t *testing.T) {
+	if _, err := SimulateTransmission(TransmissionConfig{WiFiShare: 1.5}); err == nil {
+		t.Fatal("WiFiShare > 1 must fail")
+	}
+}
+
+func TestDelayDistributionSumsToOne(t *testing.T) {
+	records, err := SimulateTransmission(TransmissionConfig{Devices: 20, Days: 5, BufferSize: 1, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := DelayDistribution(records)
+	if len(dist) != len(DelayBucketLabels()) {
+		t.Fatalf("distribution has %d buckets, labels %d", len(dist), len(DelayBucketLabels()))
+	}
+	sum := 0.0
+	for _, v := range dist {
+		if v < 0 {
+			t.Fatal("negative share")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+}
+
+func TestDelayShapeTargets(t *testing.T) {
+	// The headline Figure 17 result, asserted directly on the
+	// simulation output.
+	unbuf, err := SimulateTransmission(TransmissionConfig{Devices: 60, Days: 14, BufferSize: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := SimulateTransmission(TransmissionConfig{Devices: 60, Days: 14, BufferSize: 10, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	du := DelayDistribution(unbuf)
+	db := DelayDistribution(buf)
+	last := len(du) - 1
+	if du[0] < 0.22 || du[0] > 0.40 {
+		t.Errorf("unbuffered <=10s share = %.3f, want ~0.30", du[0])
+	}
+	if du[last] < 0.27 || du[last] > 0.47 {
+		t.Errorf("unbuffered >2h share = %.3f, want ~0.35", du[last])
+	}
+	if db[last] < du[last] {
+		t.Error("buffering must not reduce the >2h share")
+	}
+	if db[0] > du[0] {
+		t.Error("buffering must reduce the <=10s share")
+	}
+}
+
+func TestDelayBucketsMonotonic(t *testing.T) {
+	for i := 1; i < len(DelayBuckets); i++ {
+		if DelayBuckets[i] <= DelayBuckets[i-1] {
+			t.Fatalf("DelayBuckets not increasing at %d", i)
+		}
+	}
+	if DelayBuckets[0] != 0 {
+		t.Fatal("first bucket must start at 0")
+	}
+	if DelayBuckets[len(DelayBuckets)-1] < 24*time.Hour {
+		t.Fatal("last bucket must absorb arbitrarily late deliveries")
+	}
+}

@@ -1,0 +1,138 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+// UserProfile captures the habits of one contributor: where they
+// live, when their phone contributes (diurnal pattern), and how often
+// they use the participatory modes. Section 6.1 of the paper shows a
+// common population pattern (bulk of contributions between 10AM and
+// 9PM) with strong per-user diversity underneath — each user's curve
+// is the population curve re-weighted by personal active windows.
+type UserProfile struct {
+	// ID is the anonymized user id.
+	ID string
+	// Home is the user's anchor point; observations scatter around it.
+	Home geo.Point
+	// RoamSigmaM is the standard deviation (meters) of the scatter.
+	RoamSigmaM float64
+	// hourWeights is the user's 24-entry contribution intensity.
+	hourWeights [24]float64
+	// ManualRate / JourneyShare control participatory engagement:
+	// fraction of observations from manual mode and journey mode.
+	ManualRate   float64
+	JourneyShare float64
+}
+
+// populationHourWeight is the fleet-level diurnal curve (Figure 18):
+// near-zero overnight, ramping from 7AM, sustained 10AM-9PM, tapering
+// to midnight.
+func populationHourWeight(hour int) float64 {
+	switch {
+	case hour >= 10 && hour <= 21:
+		return 1.0
+	case hour >= 7 && hour < 10:
+		return 0.35 + 0.2*float64(hour-7)
+	case hour == 22 || hour == 23:
+		return 0.45
+	case hour >= 1 && hour <= 5:
+		return 0.06
+	default: // 0, 6
+		return 0.15
+	}
+}
+
+// NewUserProfile draws a user with personal diurnal windows layered
+// over the population curve (Figure 19 diversity).
+func NewUserProfile(id string, rng *rand.Rand, area geo.BBox) *UserProfile {
+	u := &UserProfile{
+		ID: id,
+		Home: geo.Point{
+			Lat: area.Min.Lat + rng.Float64()*(area.Max.Lat-area.Min.Lat),
+			Lon: area.Min.Lon + rng.Float64()*(area.Max.Lon-area.Min.Lon),
+		},
+		RoamSigmaM:   300 + rng.Float64()*1500,
+		ManualRate:   0.01 + rng.Float64()*0.04, // 1-5% manual
+		JourneyShare: rng.Float64() * 0.02,      // 0-2% journey
+	}
+	// Personal windows: 1-3 Gaussian bumps at random hours, mixed
+	// with the population curve. Some users are night owls, some
+	// commute-only — the union covers 24h.
+	nBumps := 1 + rng.Intn(3)
+	var personal [24]float64
+	for b := 0; b < nBumps; b++ {
+		center := rng.Float64() * 24
+		width := 1.5 + rng.Float64()*3.5
+		amp := 0.4 + rng.Float64()
+		for h := 0; h < 24; h++ {
+			d := circularHourDistance(float64(h)+0.5, center)
+			personal[h] += amp * math.Exp(-d*d/(2*width*width))
+		}
+	}
+	mix := 0.35 + rng.Float64()*0.45 // personal weight 35-80%
+	for h := 0; h < 24; h++ {
+		u.hourWeights[h] = (1-mix)*populationHourWeight(h) + mix*personal[h]
+	}
+	return u
+}
+
+// circularHourDistance is the distance between two hours on the
+// 24-hour circle.
+func circularHourDistance(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}
+
+// HourWeight returns the user's (unnormalized) contribution intensity
+// at the given hour of day.
+func (u *UserProfile) HourWeight(hour int) float64 {
+	return u.hourWeights[hour%24]
+}
+
+// SampleObservationTime draws one measurement instant within [start,
+// end) following the user's diurnal curve: a uniform day, then an
+// hour weighted by the curve, then a uniform offset inside the hour.
+func (u *UserProfile) SampleObservationTime(rng *rand.Rand, start, end time.Time) time.Time {
+	days := int(end.Sub(start).Hours() / 24)
+	if days < 1 {
+		days = 1
+	}
+	day := rng.Intn(days)
+	total := 0.0
+	for h := 0; h < 24; h++ {
+		total += u.hourWeights[h]
+	}
+	pick := rng.Float64() * total
+	hour := 0
+	for h := 0; h < 24; h++ {
+		if pick < u.hourWeights[h] {
+			hour = h
+			break
+		}
+		pick -= u.hourWeights[h]
+	}
+	offset := time.Duration(rng.Float64() * float64(time.Hour))
+	t := start.AddDate(0, 0, day).Truncate(24 * time.Hour).
+		Add(time.Duration(hour) * time.Hour).Add(offset)
+	if t.Before(start) {
+		t = start
+	}
+	if !t.Before(end) {
+		t = end.Add(-time.Minute)
+	}
+	return t
+}
+
+// SamplePosition draws a measurement location scattered around the
+// user's home.
+func (u *UserProfile) SamplePosition(rng *rand.Rand) geo.Point {
+	return u.Home.Offset(rng.NormFloat64()*u.RoamSigmaM, rng.NormFloat64()*u.RoamSigmaM)
+}

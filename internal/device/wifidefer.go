@@ -1,0 +1,176 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/client"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Defer-to-WiFi evaluation: Section 7 of the paper concludes that
+// "the frequency of the transfers must be tuned by the application"
+// against energy; Figure 16 shows the cellular radio costs ~2.3x a
+// WiFi transmission. The DeferToWiFi client policy holds emissions
+// back on cellular until WiFi appears (capped by MaxDefer); this
+// simulation quantifies the tradeoff: cellular transmissions avoided
+// versus delivery delay added.
+
+// WiFiDeferConfig parameterizes the comparison.
+type WiFiDeferConfig struct {
+	// Devices simulated.
+	Devices int
+	// Days per device.
+	Days int
+	// Cycle is the sensing period.
+	Cycle time.Duration
+	// BufferSize of the upload policy.
+	BufferSize int
+	// MaxDefer caps the added delay.
+	MaxDefer time.Duration
+	// WiFiShare of connected episodes.
+	WiFiShare float64
+	// Seed drives the randomness.
+	Seed int64
+}
+
+func (c WiFiDeferConfig) withDefaults() (WiFiDeferConfig, error) {
+	if c.Devices <= 0 {
+		c.Devices = 40
+	}
+	if c.Days <= 0 {
+		c.Days = 7
+	}
+	if c.Cycle <= 0 {
+		c.Cycle = 5 * time.Minute
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 10
+	}
+	if c.MaxDefer <= 0 {
+		c.MaxDefer = 2 * time.Hour
+	}
+	if c.WiFiShare <= 0 {
+		c.WiFiShare = 0.5
+	}
+	if c.WiFiShare > 1 {
+		return c, errors.New("device: WiFiShare must be <= 1")
+	}
+	return c, nil
+}
+
+// WiFiDeferResult summarizes one policy's outcome.
+type WiFiDeferResult struct {
+	// Batches sent in total and over cellular.
+	Batches         int `json:"batches"`
+	CellularBatches int `json:"cellularBatches"`
+	// TxEnergy is the transmission energy in battery percent
+	// (per-device average).
+	TxEnergy float64 `json:"txEnergy"`
+	// MeanDelay from sensing to emission.
+	MeanDelay time.Duration `json:"meanDelay"`
+	// Over2h share of deliveries later than two hours.
+	Over2h float64 `json:"over2h"`
+}
+
+// SimulateWiFiDefer runs the always-send and defer-to-WiFi policies
+// over identical connectivity timelines and returns
+// (alwaysSend, deferred) results.
+func SimulateWiFiDefer(cfg WiFiDeferConfig) (WiFiDeferResult, WiFiDeferResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return WiFiDeferResult{}, WiFiDeferResult{}, err
+	}
+	always, err := runWiFiDefer(cfg, false)
+	if err != nil {
+		return WiFiDeferResult{}, WiFiDeferResult{}, fmt.Errorf("always-send: %w", err)
+	}
+	deferred, err := runWiFiDefer(cfg, true)
+	if err != nil {
+		return WiFiDeferResult{}, WiFiDeferResult{}, fmt.Errorf("defer-to-wifi: %w", err)
+	}
+	return always, deferred, nil
+}
+
+func runWiFiDefer(cfg WiFiDeferConfig, deferToWiFi bool) (WiFiDeferResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := ReleaseV13
+	params := DefaultEnergyParams()
+	model := TopModels()[0]
+
+	out := WiFiDeferResult{}
+	var delaySum time.Duration
+	var delays int
+	var over2h int
+
+	for d := 0; d < cfg.Devices; d++ {
+		devRng := rand.New(rand.NewSource(rng.Int63()))
+		conn := NewConnectivity(devRng, ConnectivityParams{WiFiShare: cfg.WiFiShare}, start)
+		transport := &client.RecordingTransport{}
+		up, err := client.NewUploader(client.Config{
+			ClientID:    fmt.Sprintf("dev-%03d", d),
+			AppID:       "SC",
+			Version:     "1.3",
+			BufferSize:  cfg.BufferSize,
+			DeferToWiFi: deferToWiFi,
+			MaxDefer:    cfg.MaxDefer,
+		}, transport)
+		if err != nil {
+			return WiFiDeferResult{}, err
+		}
+		battery := NewBattery(params, 100)
+
+		end := start.AddDate(0, 0, cfg.Days)
+		sentBefore := 0
+		for now := start; now.Before(end); now = now.Add(cfg.Cycle) {
+			obs := &sensing.Observation{
+				UserID:             up.Config().ClientID,
+				DeviceModel:        model.Name,
+				Mode:               sensing.Opportunistic,
+				SPL:                model.Mic.SampleRawSPL(devRng, 0),
+				Activity:           sensing.ActivityStill,
+				ActivityConfidence: 0.9,
+				SensedAt:           now,
+			}
+			if err := up.Record(obs); err != nil {
+				return WiFiDeferResult{}, err
+			}
+			connected, network := conn.Connected(now)
+			bearer := client.BearerWiFi
+			if network == ThreeG {
+				bearer = client.BearerCellular
+			}
+			sent, err := up.FlushOn(now, connected, bearer)
+			if err != nil {
+				return WiFiDeferResult{}, err
+			}
+			if sent > 0 {
+				if err := battery.Transmit(network, sent); err != nil {
+					return WiFiDeferResult{}, err
+				}
+			}
+			// Delay accounting from the transport records.
+			for _, r := range transport.Records[sentBefore:] {
+				dly := r.SentAt.Sub(r.SensedAt)
+				delaySum += dly
+				delays++
+				if dly > 2*time.Hour {
+					over2h++
+				}
+			}
+			sentBefore = len(transport.Records)
+		}
+		st := up.Stats()
+		out.Batches += st.Batches
+		out.CellularBatches += st.CellularBatches
+		out.TxEnergy += battery.Breakdown().Transmit
+	}
+	out.TxEnergy /= float64(cfg.Devices)
+	if delays > 0 {
+		out.MeanDelay = delaySum / time.Duration(delays)
+		out.Over2h = float64(over2h) / float64(delays)
+	}
+	return out, nil
+}

@@ -1,0 +1,455 @@
+// Package docstore implements the storage substrate of the GoFlow
+// server: an in-process, concurrency-safe document store in the spirit
+// of MongoDB. It stores JSON-like documents in named collections and
+// supports filter queries with comparison operators, sorting,
+// pagination, projections, secondary equality indexes and atomic
+// updates.
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Doc is a JSON-like document. Values should be JSON-compatible:
+// string, float64/int, bool, nil, []any, Doc/map[string]any,
+// time.Time.
+type Doc = map[string]any
+
+// Errors callers may match with errors.Is.
+var (
+	ErrNotFound    = errors.New("docstore: document not found")
+	ErrNoID        = errors.New("docstore: document has no _id")
+	ErrDuplicateID = errors.New("docstore: duplicate _id")
+)
+
+// IDField is the reserved primary-key field.
+const IDField = "_id"
+
+// Store is a set of named collections.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Collection returns the named collection, creating it if absent.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok {
+		return c
+	}
+	c := newCollection(name)
+	s.collections[name] = c
+	return c
+}
+
+// Drop removes a collection and its documents.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.collections, name)
+}
+
+// Collections lists collection names sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Collection holds documents keyed by _id plus optional secondary
+// equality indexes.
+type Collection struct {
+	name string
+
+	mu      sync.RWMutex
+	docs    map[string]Doc
+	order   []string // insertion order of ids, for stable scans
+	indexes map[string]*index
+
+	inserted uint64
+	updated  uint64
+	deleted  uint64
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		docs:    make(map[string]Doc),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+var _idCounter atomic.Uint64
+
+// nextID mints a collection-agnostic unique id.
+func nextID() string {
+	return "d" + strconv.FormatUint(_idCounter.Add(1), 36)
+}
+
+// Insert stores a copy of doc. When doc carries no _id one is
+// assigned; the id is returned. Inserting an existing _id fails with
+// ErrDuplicateID.
+func (c *Collection) Insert(doc Doc) (string, error) {
+	cp := cloneDoc(doc)
+	id, _ := cp[IDField].(string)
+	if id == "" {
+		id = nextID()
+		cp[IDField] = id
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.docs[id]; exists {
+		return "", fmt.Errorf("insert %q: %w", id, ErrDuplicateID)
+	}
+	c.docs[id] = cp
+	c.order = append(c.order, id)
+	c.inserted++
+	for field, idx := range c.indexes {
+		idx.add(id, cp[field])
+	}
+	return id, nil
+}
+
+// InsertMany inserts docs in order, stopping at the first error.
+func (c *Collection) InsertMany(docs []Doc) ([]string, error) {
+	ids := make([]string, 0, len(docs))
+	for i, d := range docs {
+		id, err := c.Insert(d)
+		if err != nil {
+			return ids, fmt.Errorf("insert #%d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Get returns a copy of the document with the given id.
+func (c *Collection) Get(id string) (Doc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("get %q: %w", id, ErrNotFound)
+	}
+	return cloneDoc(d), nil
+}
+
+// Update merges fields into the document with the given id (shallow
+// merge; set a field to nil via Unset).
+func (c *Collection) Update(id string, fields Doc) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("update %q: %w", id, ErrNotFound)
+	}
+	for k, v := range fields {
+		if k == IDField {
+			continue
+		}
+		if idx, has := c.indexes[k]; has {
+			idx.remove(id, d[k])
+			idx.add(id, v)
+		}
+		d[k] = cloneValue(v)
+	}
+	c.updated++
+	return nil
+}
+
+// Unset removes fields from a document.
+func (c *Collection) Unset(id string, fields ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("unset %q: %w", id, ErrNotFound)
+	}
+	for _, k := range fields {
+		if k == IDField {
+			continue
+		}
+		if idx, has := c.indexes[k]; has {
+			idx.remove(id, d[k])
+		}
+		delete(d, k)
+	}
+	c.updated++
+	return nil
+}
+
+// Delete removes the document with the given id.
+func (c *Collection) Delete(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
+	}
+	delete(c.docs, id)
+	for field, idx := range c.indexes {
+		idx.remove(id, d[field])
+	}
+	// Lazy order compaction: mark by replacing with empty string and
+	// compact when half the slots are dead.
+	for i, oid := range c.order {
+		if oid == id {
+			c.order[i] = ""
+			break
+		}
+	}
+	c.deleted++
+	if int(c.deleted)*2 > len(c.order) {
+		kept := c.order[:0]
+		for _, oid := range c.order {
+			if oid != "" {
+				kept = append(kept, oid)
+			}
+		}
+		c.order = kept
+		c.deleted = 0
+	}
+	return nil
+}
+
+// DeleteMany removes every document matching filter; it returns the
+// number removed.
+func (c *Collection) DeleteMany(filter Doc) (int, error) {
+	ids, err := c.FindIDs(filter)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		if err := c.Delete(id); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Count returns the number of documents matching filter (nil matches
+// all).
+func (c *Collection) Count(filter Doc) (int, error) {
+	if len(filter) == 0 {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return len(c.docs), nil
+	}
+	ids, err := c.FindIDs(filter)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// FindIDs returns the ids of matching documents in insertion order.
+func (c *Collection) FindIDs(filter Doc) ([]string, error) {
+	m, err := compileFilter(filter)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	// Use an equality index when the filter pins an indexed field.
+	if ids, ok := c.indexCandidatesLocked(filter); ok {
+		out := make([]string, 0, len(ids))
+		for _, id := range ids {
+			if d, exists := c.docs[id]; exists && m.matches(d) {
+				out = append(out, id)
+			}
+		}
+		sort.Strings(out)
+		return out, nil
+	}
+
+	out := make([]string, 0)
+	for _, id := range c.order {
+		if id == "" {
+			continue
+		}
+		if d, exists := c.docs[id]; exists && m.matches(d) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// indexCandidatesLocked returns candidate ids from the most selective
+// applicable equality index. Caller holds at least a read lock.
+func (c *Collection) indexCandidatesLocked(filter Doc) ([]string, bool) {
+	best := -1
+	var bestIDs []string
+	for field, idx := range c.indexes {
+		v, ok := filter[field]
+		if !ok {
+			continue
+		}
+		if _, isOp := v.(map[string]any); isOp {
+			continue // operator filters scan
+		}
+		ids := idx.lookup(v)
+		if best == -1 || len(ids) < best {
+			best = len(ids)
+			bestIDs = ids
+		}
+	}
+	return bestIDs, best >= 0
+}
+
+// FindOptions control Find result shaping.
+type FindOptions struct {
+	// SortField orders results by this field (missing values sort
+	// first). Empty keeps insertion order.
+	SortField string
+	// SortDesc reverses the sort.
+	SortDesc bool
+	// Skip drops the first n results.
+	Skip int
+	// Limit caps results (0 = unlimited).
+	Limit int
+	// Projection restricts returned fields (the _id is always kept).
+	Projection []string
+}
+
+// Find returns copies of the documents matching filter, shaped by
+// opts.
+func (c *Collection) Find(filter Doc, opts FindOptions) ([]Doc, error) {
+	ids, err := c.FindIDs(filter)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	docs := make([]Doc, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := c.docs[id]; ok {
+			docs = append(docs, cloneDoc(d))
+		}
+	}
+	c.mu.RUnlock()
+
+	if opts.SortField != "" {
+		field := opts.SortField
+		sort.SliceStable(docs, func(i, j int) bool {
+			less := compareValues(docs[i][field], docs[j][field]) < 0
+			if opts.SortDesc {
+				return !less && compareValues(docs[i][field], docs[j][field]) != 0
+			}
+			return less
+		})
+	}
+	if opts.Skip > 0 {
+		if opts.Skip >= len(docs) {
+			docs = nil
+		} else {
+			docs = docs[opts.Skip:]
+		}
+	}
+	if opts.Limit > 0 && len(docs) > opts.Limit {
+		docs = docs[:opts.Limit]
+	}
+	if len(opts.Projection) > 0 {
+		for i, d := range docs {
+			p := Doc{IDField: d[IDField]}
+			for _, f := range opts.Projection {
+				if v, ok := d[f]; ok {
+					p[f] = v
+				}
+			}
+			docs[i] = p
+		}
+	}
+	return docs, nil
+}
+
+// FindOne returns the first matching document.
+func (c *Collection) FindOne(filter Doc) (Doc, error) {
+	docs, err := c.Find(filter, FindOptions{Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// EnsureIndex creates an equality index on field (idempotent).
+func (c *Collection) EnsureIndex(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[field]; ok {
+		return
+	}
+	idx := newIndex()
+	for id, d := range c.docs {
+		idx.add(id, d[field])
+	}
+	c.indexes[field] = idx
+}
+
+// Stats reports collection counters.
+type Stats struct {
+	Name     string `json:"name"`
+	Docs     int    `json:"docs"`
+	Indexes  int    `json:"indexes"`
+	Inserted uint64 `json:"inserted"`
+	Updated  uint64 `json:"updated"`
+}
+
+// Stats snapshots collection counters.
+func (c *Collection) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Name:     c.name,
+		Docs:     len(c.docs),
+		Indexes:  len(c.indexes),
+		Inserted: c.inserted,
+		Updated:  c.updated,
+	}
+}
+
+// cloneDoc deep-copies a document.
+func cloneDoc(d Doc) Doc {
+	out := make(Doc, len(d))
+	for k, v := range d {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+func cloneValue(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		return cloneDoc(t)
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = cloneValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

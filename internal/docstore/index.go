@@ -1,0 +1,67 @@
+package docstore
+
+import (
+	"strconv"
+	"time"
+)
+
+// index is a secondary equality index: canonicalized value -> set of
+// document ids. It is guarded by the owning collection's mutex.
+type index struct {
+	byValue map[string]map[string]struct{}
+}
+
+func newIndex() *index {
+	return &index{byValue: make(map[string]map[string]struct{})}
+}
+
+// canonKey folds equal-comparing values (e.g. int 3 and float64 3.0)
+// to the same index key, matching compareValues semantics.
+func canonKey(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "n:"
+	case bool:
+		if t {
+			return "b:1"
+		}
+		return "b:0"
+	case int, int32, int64, uint, uint32, uint64, float32, float64:
+		return "f:" + strconv.FormatFloat(toFloat(v), 'g', -1, 64)
+	case time.Time:
+		return "t:" + strconv.FormatInt(t.UnixNano(), 10)
+	case string:
+		return "s:" + t
+	default:
+		return "x:" // unindexable kinds share one bucket; scan filters
+	}
+}
+
+func (ix *index) add(id string, v any) {
+	k := canonKey(v)
+	set, ok := ix.byValue[k]
+	if !ok {
+		set = make(map[string]struct{})
+		ix.byValue[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (ix *index) remove(id string, v any) {
+	k := canonKey(v)
+	if set, ok := ix.byValue[k]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(ix.byValue, k)
+		}
+	}
+}
+
+func (ix *index) lookup(v any) []string {
+	set := ix.byValue[canonKey(v)]
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}

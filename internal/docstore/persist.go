@@ -1,0 +1,171 @@
+package docstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// Snapshot persistence: the store serializes every collection
+// (documents, insertion order, index definitions) to a gob stream, so
+// a GoFlow server can stop and resume without losing the crowd's
+// contributions. Writes go through a temp file + rename for crash
+// safety.
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+type snapshot struct {
+	Version     int
+	Collections []collectionSnapshot
+}
+
+type collectionSnapshot struct {
+	Name    string
+	Order   []string
+	Docs    map[string]Doc
+	Indexes []string
+}
+
+func init() {
+	// Document values are held behind `any`; gob needs the concrete
+	// types registered. These are the kinds the store documents use.
+	gob.Register(time.Time{})
+	gob.Register(map[string]any{})
+	gob.Register([]any{})
+}
+
+// Snapshot serializes the store. It takes consistent per-collection
+// snapshots (not a global point-in-time cut; collections written
+// later may include newer data — acceptable for the periodic-backup
+// use case).
+func (s *Store) Snapshot(w io.Writer) error {
+	snap := snapshot{Version: snapshotVersion}
+	for _, name := range s.Collections() {
+		c := s.Collection(name)
+		snap.Collections = append(snap.Collections, c.snapshot())
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// snapshot captures one collection under its lock.
+func (c *Collection) snapshot() collectionSnapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := collectionSnapshot{
+		Name: c.name,
+		Docs: make(map[string]Doc, len(c.docs)),
+	}
+	for id, d := range c.docs {
+		out.Docs[id] = cloneDoc(d)
+	}
+	out.Order = make([]string, 0, len(c.order))
+	for _, id := range c.order {
+		if id != "" {
+			out.Order = append(out.Order, id)
+		}
+	}
+	for field := range c.indexes {
+		out.Indexes = append(out.Indexes, field)
+	}
+	return out
+}
+
+// Restore loads a snapshot into the store, replacing any same-named
+// collections.
+func (s *Store) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("docstore: snapshot version %d unsupported (want %d)", snap.Version, snapshotVersion)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cs := range snap.Collections {
+		c := newCollection(cs.Name)
+		c.order = make([]string, len(cs.Order))
+		copy(c.order, cs.Order)
+		for id, d := range cs.Docs {
+			c.docs[id] = cloneDoc(d)
+		}
+		c.inserted = uint64(len(cs.Docs))
+		for _, field := range cs.Indexes {
+			idx := newIndex()
+			for id, d := range c.docs {
+				idx.add(id, d[field])
+			}
+			c.indexes[field] = idx
+		}
+		s.collections[cs.Name] = c
+		// Advance the process-wide id counter past every restored
+		// auto-assigned id, so new inserts in this process cannot
+		// collide with ids minted by the process that wrote the
+		// snapshot.
+		for id := range c.docs {
+			advanceIDCounter(id)
+		}
+	}
+	return nil
+}
+
+// advanceIDCounter bumps the auto-id counter beyond an auto-assigned
+// id ("d" + base36 counter); foreign id shapes are ignored.
+func advanceIDCounter(id string) {
+	if len(id) < 2 || id[0] != 'd' {
+		return
+	}
+	n, err := strconv.ParseUint(id[1:], 36, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := _idCounter.Load()
+		if cur >= n {
+			return
+		}
+		if _idCounter.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// SaveFile writes the snapshot atomically to path.
+func (s *Store) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".docstore-*.tmp")
+	if err != nil {
+		return fmt.Errorf("snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() { _ = os.Remove(tmpName) }() // no-op after a successful rename
+	if err := s.Snapshot(tmp); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile loads a snapshot from path into the store.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open snapshot: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return s.Restore(f)
+}

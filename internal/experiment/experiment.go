@@ -1,0 +1,136 @@
+// Package experiment contains one harness per table and figure of the
+// paper's evaluation (Figures 4 and 8-21). Each harness computes the
+// same quantity the paper reports from the simulated deployment and
+// attaches shape checks: the qualitative findings (who wins, by what
+// factor, where the mass sits) that the reproduction must preserve.
+// EXPERIMENTS.md records paper-vs-measured for every harness.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/urbancivics/goflow/internal/device"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Check is one shape target derived from the paper.
+type Check struct {
+	// Name states the paper's finding.
+	Name string `json:"name"`
+	// Pass reports whether the simulated data reproduces it.
+	Pass bool `json:"pass"`
+	// Detail carries the measured value(s).
+	Detail string `json:"detail"`
+}
+
+// Result is the output of one harness.
+type Result struct {
+	// ID is the experiment id ("fig10").
+	ID string `json:"id"`
+	// Title describes the reproduced figure/table.
+	Title string `json:"title"`
+	// Header / Rows form the printable table.
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	// Checks are the shape targets.
+	Checks []Check `json:"checks"`
+}
+
+// AllPass reports whether every check passed.
+func (r *Result) AllPass() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the result as a fixed-width text table.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, "  "))
+		return err
+	}
+	if err := printRow(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  [%s] %s — %s\n", status, c.Name, c.Detail); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Dataset is the simulated deployment shared by the distribution
+// figures (8-15, 18-21): one fleet and its generated observations.
+type Dataset struct {
+	Fleet        *device.Fleet
+	Observations []*sensing.Observation
+}
+
+// NewDataset builds the scaled deployment. Scale 0.01 (the default
+// when <= 0) yields ~230k observations and runs in seconds.
+func NewDataset(scale float64, seed int64) (*Dataset, error) {
+	fleet, err := device.NewFleet(device.GeneratorConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("build fleet: %w", err)
+	}
+	obs, err := fleet.GenerateAll()
+	if err != nil {
+		return nil, fmt.Errorf("generate observations: %w", err)
+	}
+	return &Dataset{Fleet: fleet, Observations: obs}, nil
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// checkRange builds a Check asserting lo <= got <= hi.
+func checkRange(name string, got, lo, hi float64, format string) Check {
+	return Check{
+		Name:   name,
+		Pass:   got >= lo && got <= hi,
+		Detail: fmt.Sprintf("measured "+format+" (target [%s, %s])", got, fmt.Sprintf(format, lo), fmt.Sprintf(format, hi)),
+	}
+}
+
+// checkTrue builds a boolean Check.
+func checkTrue(name string, pass bool, detail string) Check {
+	return Check{Name: name, Pass: pass, Detail: detail}
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/urbancivics/goflow/internal/analysis"
+	"github.com/urbancivics/goflow/internal/device"
+)
+
+// Fig08 reproduces Figure 8: the cumulative growth of contributed
+// observations over the 10-month study, with the localized share.
+func Fig08(ds *Dataset) (*Result, error) {
+	months, cum := analysis.MonthlyCumulative(ds.Observations)
+	localized := analysis.LocalizedFraction(ds.Observations)
+
+	res := &Result{
+		ID:     "fig08",
+		Title:  "Contributed observations over time (cumulative)",
+		Header: []string{"month", "cumulative observations"},
+	}
+	for i, m := range months {
+		res.Rows = append(res.Rows, []string{m, fmt.Sprintf("%d", cum[i])})
+	}
+	monotone := true
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			monotone = false
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkTrue("cumulative contributions grow monotonically over the study",
+			monotone && len(months) >= 9,
+			fmt.Sprintf("%d months, final %d observations", len(months), cum[len(cum)-1])),
+		checkRange("about 40%% of observations are localized (paper: ~40%%)",
+			localized, 0.34, 0.48, "%.3f"),
+	)
+	return res, nil
+}
+
+// Fig09 reproduces the Figure 9 table: per-model devices,
+// measurements and localized measurements, checking that the scaled
+// simulation preserves the published per-model localized ratios.
+func Fig09(ds *Dataset) (*Result, error) {
+	byModel := analysis.CountByModel(ds.Observations)
+	users := analysis.DistinctUsersByModel(ds.Observations)
+
+	res := &Result{
+		ID:     "fig09",
+		Title:  "Top 20 models: devices / measurements / localized",
+		Header: []string{"model", "devices", "measurements", "localized", "localized%", "paper%"},
+	}
+	models := device.TopModels()
+	sort.SliceStable(models, func(i, j int) bool {
+		return models[i].PublishedLocalized > models[j].PublishedLocalized
+	})
+
+	maxDev := 0.0
+	totalMeas, totalLoc := 0, 0
+	for _, m := range models {
+		counts := byModel[m.Name]
+		meas, loc := counts[0], counts[1]
+		totalMeas += meas
+		totalLoc += loc
+		measured := 0.0
+		if meas > 0 {
+			measured = float64(loc) / float64(meas)
+		}
+		published := m.LocalizedFraction()
+		dev := math.Abs(measured - published)
+		if dev > maxDev {
+			maxDev = dev
+		}
+		res.Rows = append(res.Rows, []string{
+			m.Name,
+			fmt.Sprintf("%d", users[m.Name]),
+			fmt.Sprintf("%d", meas),
+			fmt.Sprintf("%d", loc),
+			pct(measured),
+			pct(published),
+		})
+	}
+	overall := 0.0
+	if totalMeas > 0 {
+		overall = float64(totalLoc) / float64(totalMeas)
+	}
+	res.Rows = append(res.Rows, []string{
+		"TOTAL", fmt.Sprintf("%d", len(ds.Fleet.Devices)),
+		fmt.Sprintf("%d", totalMeas), fmt.Sprintf("%d", totalLoc),
+		pct(overall),
+		pct(float64(device.PublishedTotalLocalized) / float64(device.PublishedTotalMeasurements)),
+	})
+
+	res.Checks = append(res.Checks,
+		checkRange("overall localized share matches the published 41.4%%",
+			overall, 0.36, 0.47, "%.3f"),
+		checkTrue("per-model localized shares within 5pp of Figure 9",
+			maxDev < 0.05, fmt.Sprintf("max deviation %.1fpp", maxDev*100)),
+		checkTrue("all 20 models contribute",
+			len(byModel) == 20, fmt.Sprintf("%d models observed", len(byModel))),
+	)
+	return res, nil
+}

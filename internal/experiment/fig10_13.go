@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/urbancivics/goflow/internal/analysis"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Figures 10-13: distributions of the OS-reported location accuracy,
+// overall and per provider, plus the provider shares of Section 5.1
+// (7% GPS, 86% network, 7% fused).
+
+// accuracyResult builds the histogram table for one provider filter.
+func accuracyResult(ds *Dataset, id, title string, provider sensing.Provider) (*Result, *analysis.Histogram, error) {
+	h, err := analysis.AccuracyDistribution(ds.Observations, provider)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{
+		ID:     id,
+		Title:  title,
+		Header: []string{"accuracy bucket", "share"},
+	}
+	labels := sensing.AccuracyBucketLabels()
+	for i, share := range h.Percent() {
+		res.Rows = append(res.Rows, []string{labels[i], fmt.Sprintf("%.1f%%", share)})
+	}
+	return res, h, nil
+}
+
+// Fig10 reproduces Figure 10: accuracy distribution over all
+// localized observations — most mass in [20,50] m plus a secondary
+// peak just below 100 m.
+func Fig10(ds *Dataset) (*Result, error) {
+	res, h, err := accuracyResult(ds, "fig10", "Location accuracy distribution (all providers)", sensing.ProviderNone)
+	if err != nil {
+		return nil, err
+	}
+	in2050 := h.ShareBetween(20, 50)
+	near100 := h.ShareBetween(75, 100)
+	res.Checks = append(res.Checks,
+		checkRange("bulk of accuracy in [20-50] m (paper: most observations)",
+			in2050, 0.35, 0.75, "%.3f"),
+		checkRange("secondary peak just below 100 m (paper: peak at <100 m)",
+			near100, 0.10, 0.35, "%.3f"),
+	)
+	return res, nil
+}
+
+// Fig11 reproduces Figure 11: GPS accuracy — most mass in [6,20] m,
+// and GPS accounts for ~7% of localized observations.
+func Fig11(ds *Dataset) (*Result, error) {
+	res, h, err := accuracyResult(ds, "fig11", "Location accuracy distribution (GPS)", sensing.ProviderGPS)
+	if err != nil {
+		return nil, err
+	}
+	shares, err := analysis.ProviderShares(ds.Observations, 0)
+	if err != nil {
+		return nil, err
+	}
+	in620 := h.ShareBetween(6, 20)
+	res.Checks = append(res.Checks,
+		checkRange("most GPS fixes in [6-20] m", in620, 0.5, 0.95, "%.3f"),
+		checkRange("GPS provides ~7%% of localized observations",
+			shares[sensing.ProviderGPS], 0.05, 0.10, "%.3f"),
+	)
+	return res, nil
+}
+
+// Fig12 reproduces Figure 12: network accuracy — ~86% of localized
+// observations, bulk in [20,50] m.
+func Fig12(ds *Dataset) (*Result, error) {
+	res, h, err := accuracyResult(ds, "fig12", "Location accuracy distribution (network)", sensing.ProviderNetwork)
+	if err != nil {
+		return nil, err
+	}
+	shares, err := analysis.ProviderShares(ds.Observations, 0)
+	if err != nil {
+		return nil, err
+	}
+	in2050 := h.ShareBetween(20, 50)
+	res.Checks = append(res.Checks,
+		checkRange("network provides ~86%% of localized observations",
+			shares[sensing.ProviderNetwork], 0.80, 0.92, "%.3f"),
+		checkRange("bulk of network accuracy in [20-50] m", in2050, 0.45, 0.85, "%.3f"),
+	)
+	return res, nil
+}
+
+// Fig13 reproduces Figure 13: fused accuracy — ~7% of localized
+// observations, provided by few models, comparatively low accuracy.
+func Fig13(ds *Dataset) (*Result, error) {
+	res, h, err := accuracyResult(ds, "fig13", "Location accuracy distribution (fused)", sensing.ProviderFused)
+	if err != nil {
+		return nil, err
+	}
+	shares, err := analysis.ProviderShares(ds.Observations, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Count models reporting fused fixes.
+	fusedModels := make(map[string]bool)
+	for _, o := range ds.Observations {
+		if o.Loc != nil && o.Loc.Provider == sensing.ProviderFused {
+			fusedModels[o.DeviceModel] = true
+		}
+	}
+	// Median fused accuracy must be worse than the network median.
+	var fusedAcc, netAcc []float64
+	for _, o := range ds.Observations {
+		if o.Loc == nil {
+			continue
+		}
+		switch o.Loc.Provider {
+		case sensing.ProviderFused:
+			fusedAcc = append(fusedAcc, o.Loc.AccuracyM)
+		case sensing.ProviderNetwork:
+			netAcc = append(netAcc, o.Loc.AccuracyM)
+		}
+	}
+	_ = h
+	res.Checks = append(res.Checks,
+		checkRange("fused provides ~7%% of localized observations",
+			shares[sensing.ProviderFused], 0.04, 0.11, "%.3f"),
+		checkTrue("few models provide fused fixes (paper: few models)",
+			len(fusedModels) <= 8, fmt.Sprintf("%d of 20 models", len(fusedModels))),
+		checkTrue("fused accuracy is lower (larger radius) than network",
+			analysis.Median(fusedAcc) > analysis.Median(netAcc),
+			fmt.Sprintf("fused median %.0f m vs network %.0f m",
+				analysis.Median(fusedAcc), analysis.Median(netAcc))),
+	)
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/urbancivics/goflow/internal/analysis"
+)
+
+// Figures 14-15: raw SPL distributions. Across models the shape is
+// shared (a low-level peak plus an active-environment bump) but the
+// peak's dB(A) position varies model to model (sensor
+// heterogeneity); within one model, users' distributions align
+// (calibration per model suffices).
+
+// splPeakDB locates the mode of an SPL histogram in dB(A).
+func splPeakDB(h *analysis.Histogram) float64 {
+	i := h.ModeBucket()
+	if i < 0 {
+		return 0
+	}
+	return (h.Edges[i] + h.Edges[i+1]) / 2
+}
+
+// Fig14 reproduces Figure 14: per-model raw SPL distributions.
+func Fig14(ds *Dataset) (*Result, error) {
+	byModel, err := analysis.SPLDistributionByModel(ds.Observations)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "fig14",
+		Title:  "Raw SPL distribution per model (peak position, per-mille at peak)",
+		Header: []string{"model", "peak dB(A)", "peak per-mille", "active bump dB(A)"},
+	}
+	models := make([]string, 0, len(byModel))
+	for m := range byModel {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+
+	var peaks []float64
+	bimodalCount := 0
+	for _, m := range models {
+		h := byModel[m]
+		peak := splPeakDB(h)
+		peaks = append(peaks, peak)
+		perMille := h.PerMille()
+		peakPM := 0.0
+		if i := h.ModeBucket(); i >= 0 {
+			peakPM = perMille[i]
+		}
+		// Look for the active-environment bump: a local concentration
+		// of mass at least 25 dB above the quiet peak.
+		bumpLo, bumpHi := peak+25, peak+45
+		bumpShare := h.ShareBetween(bumpLo, bumpHi)
+		if bumpShare > 0.08 {
+			bimodalCount++
+		}
+		res.Rows = append(res.Rows, []string{
+			m,
+			fmt.Sprintf("%.0f", peak),
+			fmt.Sprintf("%.0f", peakPM),
+			fmt.Sprintf("%.0f-%.0f (%.0f%%)", bumpLo, bumpHi, bumpShare*100),
+		})
+	}
+	spread := analysis.Percentile(peaks, 95) - analysis.Percentile(peaks, 5)
+	res.Checks = append(res.Checks,
+		checkTrue("quiet-peak position varies significantly across models (heterogeneity)",
+			spread >= 10, fmt.Sprintf("peak spread %.0f dB(A) across models", spread)),
+		checkTrue("every model shows the shared shape: quiet peak + active bump",
+			bimodalCount == len(models), fmt.Sprintf("%d/%d models bimodal", bimodalCount, len(models))),
+	)
+	return res, nil
+}
+
+// Fig15 reproduces Figure 15: per-user SPL distributions for one
+// model (SAMSUNG SM-G901F) — peaks aligned within the model.
+func Fig15(ds *Dataset) (*Result, error) {
+	const model = "SAMSUNG SM-G901F"
+	perUser, err := analysis.SPLDistributionByUser(ds.Observations, model, 20)
+	if err != nil {
+		return nil, err
+	}
+	if len(perUser) == 0 {
+		return nil, fmt.Errorf("fig15: no observations for %s", model)
+	}
+	res := &Result{
+		ID:     "fig15",
+		Title:  fmt.Sprintf("Raw SPL distribution per user (%s)", model),
+		Header: []string{"user", "observations", "peak dB(A)"},
+	}
+	users := make([]string, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	var peaks []float64
+	for _, u := range users {
+		h := perUser[u]
+		peak := splPeakDB(h)
+		peaks = append(peaks, peak)
+		res.Rows = append(res.Rows, []string{u, fmt.Sprintf("%d", h.Total()), fmt.Sprintf("%.0f", peak)})
+	}
+	spread := analysis.Percentile(peaks, 95) - analysis.Percentile(peaks, 5)
+	res.Checks = append(res.Checks, checkTrue(
+		"within one model, user peaks align (calibration per model suffices)",
+		spread <= 8, fmt.Sprintf("per-user peak spread %.0f dB(A)", spread)))
+	return res, nil
+}

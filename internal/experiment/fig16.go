@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/urbancivics/goflow/internal/device"
+)
+
+// Fig16 reproduces Figure 16: battery depletion per app version over
+// the paper's controlled experiment — 7 hours (10AM-5PM), intensive
+// 1-minute sensing, phones at 80%, only SoundCity running. Compared:
+// no app, unbuffered on WiFi, unbuffered on 3G, buffered on WiFi,
+// buffered on 3G. Shape targets: unbuffered-WiFi ≈ 2x no-app; 3G ≈
+// +50% over unbuffered-WiFi; buffered-WiFi < +50% over no-app.
+func Fig16() (*Result, error) {
+	type setup struct {
+		label string
+		cfg   device.BatteryRunConfig
+	}
+	setups := []setup{
+		{"no MPS app", device.BatteryRunConfig{MPS: false}},
+		{"unbuffered, WiFi", device.BatteryRunConfig{MPS: true, Network: device.WiFi, BufferSize: 1}},
+		{"unbuffered, 3G", device.BatteryRunConfig{MPS: true, Network: device.ThreeG, BufferSize: 1}},
+		{"buffered x10, WiFi", device.BatteryRunConfig{MPS: true, Network: device.WiFi, BufferSize: 10}},
+		{"buffered x10, 3G", device.BatteryRunConfig{MPS: true, Network: device.ThreeG, BufferSize: 10}},
+	}
+	res := &Result{
+		ID:     "fig16",
+		Title:  "Battery depletion per app version (7h, 1-min sensing, from 80%)",
+		Header: []string{"configuration", "depletion %", "vs no-app", "transmissions"},
+	}
+	depletion := make(map[string]float64, len(setups))
+	for _, s := range setups {
+		out, err := device.RunBattery(s.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("battery run %q: %w", s.label, err)
+		}
+		depletion[s.label] = out.DepletionPercent
+		ratio := out.DepletionPercent / depletionOr(depletion, "no MPS app", out.DepletionPercent)
+		res.Rows = append(res.Rows, []string{
+			s.label,
+			fmt.Sprintf("%.1f", out.DepletionPercent),
+			fmt.Sprintf("%.2fx", ratio),
+			fmt.Sprintf("%d", out.Breakdown.Transmissions),
+		})
+	}
+	base := depletion["no MPS app"]
+	unbufWiFi := depletion["unbuffered, WiFi"]
+	unbuf3G := depletion["unbuffered, 3G"]
+	bufWiFi := depletion["buffered x10, WiFi"]
+
+	res.Checks = append(res.Checks,
+		checkRange("unbuffered on WiFi doubles depletion vs no app (paper: 2x)",
+			unbufWiFi/base, 1.7, 2.3, "%.2f"),
+		checkRange("3G raises unbuffered depletion by ~50%% over WiFi (paper: +50%%)",
+			unbuf3G/unbufWiFi, 1.3, 1.7, "%.2f"),
+		checkTrue("buffering keeps WiFi overhead under +50%% (paper: <+50%%)",
+			bufWiFi/base < 1.5, fmt.Sprintf("buffered/baseline = %.2fx", bufWiFi/base)),
+		checkTrue("buffering always saves energy vs unbuffered",
+			bufWiFi < unbufWiFi, fmt.Sprintf("%.1f%% vs %.1f%%", bufWiFi, unbufWiFi)),
+	)
+	return res, nil
+}
+
+func depletionOr(m map[string]float64, key string, fallback float64) float64 {
+	if v, ok := m[key]; ok && v > 0 {
+		return v
+	}
+	return fallback
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/urbancivics/goflow/internal/analysis"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Figures 18-21: the social-perspective analyses.
+
+// Fig18 reproduces Figure 18: the daily (hourly) distribution of
+// measurements over the whole fleet — highest participation from
+// 10AM to 9PM.
+func Fig18(ds *Dataset) (*Result, error) {
+	hourly := analysis.HourlyDistribution(ds.Observations)
+	res := &Result{
+		ID:     "fig18",
+		Title:  "Daily distribution of measurements (all top-20 models)",
+		Header: []string{"hour", "share"},
+	}
+	daytime := 0.0
+	for h := 0; h < 24; h++ {
+		res.Rows = append(res.Rows, []string{fmt.Sprintf("%02d:00", h), pct(hourly[h])})
+		if h >= 10 && h <= 21 {
+			daytime += hourly[h]
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkRange("bulk of contributions between 10AM and 9PM",
+			daytime, 0.55, 0.85, "%.3f"),
+		checkTrue("contributions cover all 24 hours (crowd heterogeneity)",
+			allPositive(hourly[:]), "every hour received contributions"),
+	)
+	return res, nil
+}
+
+func allPositive(xs []float64) bool {
+	for _, x := range xs {
+		if x <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fig19 reproduces Figure 19: per-user daily distributions for
+// OnePlus owners — strong diversity across users, whose union covers
+// the full day.
+func Fig19(ds *Dataset) (*Result, error) {
+	const model = "ONEPLUS A0001"
+	perUser := analysis.HourlyDistributionByUser(ds.Observations, model, 12)
+	if len(perUser) == 0 {
+		return nil, fmt.Errorf("fig19: no observations for %s", model)
+	}
+	res := &Result{
+		ID:     "fig19",
+		Title:  fmt.Sprintf("Per-user daily distributions (%s)", model),
+		Header: []string{"user", "peak hour", "peak share"},
+	}
+	users := make([]string, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	peakHours := make(map[int]bool)
+	var unionCoverage [24]bool
+	for _, u := range users {
+		dist := perUser[u]
+		peakH, peakV := 0, 0.0
+		for h, v := range dist {
+			if v > peakV {
+				peakH, peakV = h, v
+			}
+			if v > 0 {
+				unionCoverage[h] = true
+			}
+		}
+		peakHours[peakH] = true
+		res.Rows = append(res.Rows, []string{u, fmt.Sprintf("%02d:00", peakH), pct(peakV)})
+	}
+	covered := 0
+	for _, c := range unionCoverage {
+		if c {
+			covered++
+		}
+	}
+	res.Checks = append(res.Checks,
+		checkTrue("users peak at diverse hours (paper: large diversity)",
+			len(peakHours) >= 4, fmt.Sprintf("%d distinct peak hours across %d users", len(peakHours), len(users))),
+		checkTrue("the union of user patterns covers (nearly) the whole day",
+			covered >= 20, fmt.Sprintf("%d/24 hours covered", covered)),
+	)
+	return res, nil
+}
+
+// Fig20 reproduces Figure 20: location-provider shares per sensing
+// mode — participatory modes shift share to GPS (+~20pp manual,
+// +~40pp journey over opportunistic).
+func Fig20(ds *Dataset) (*Result, error) {
+	res := &Result{
+		ID:     "fig20",
+		Title:  "Location providers per sensing mode",
+		Header: []string{"mode", "gps", "network", "fused"},
+	}
+	shares := make(map[sensing.Mode]map[sensing.Provider]float64, 3)
+	for _, mode := range sensing.Modes() {
+		s, err := analysis.ProviderShares(ds.Observations, mode)
+		if err != nil {
+			return nil, fmt.Errorf("fig20 %s: %w", mode, err)
+		}
+		shares[mode] = s
+		res.Rows = append(res.Rows, []string{
+			mode.String(),
+			pct(s[sensing.ProviderGPS]),
+			pct(s[sensing.ProviderNetwork]),
+			pct(s[sensing.ProviderFused]),
+		})
+	}
+	gpsOpp := shares[sensing.Opportunistic][sensing.ProviderGPS]
+	gpsMan := shares[sensing.Manual][sensing.ProviderGPS]
+	gpsJou := shares[sensing.Journey][sensing.ProviderGPS]
+	res.Checks = append(res.Checks,
+		checkRange("manual mode gains ~20pp of GPS share over opportunistic",
+			gpsMan-gpsOpp, 0.12, 0.30, "%.3f"),
+		checkRange("journey mode gains ~40pp of GPS share over opportunistic",
+			gpsJou-gpsOpp, 0.30, 0.55, "%.3f"),
+		checkTrue("journey observations are comparatively few (recent release)",
+			countMode(ds, sensing.Journey) < countMode(ds, sensing.Opportunistic)/10,
+			fmt.Sprintf("%d journey vs %d opportunistic observations",
+				countMode(ds, sensing.Journey), countMode(ds, sensing.Opportunistic))),
+	)
+	return res, nil
+}
+
+func countMode(ds *Dataset, mode sensing.Mode) int {
+	n := 0
+	for _, o := range ds.Observations {
+		if o.Mode == mode {
+			n++
+		}
+	}
+	return n
+}
+
+// Fig21 reproduces Figure 21: the distribution of user activities —
+// ~20% unqualified, ~70% still, <10% moving.
+func Fig21(ds *Dataset) (*Result, error) {
+	shares := analysis.ActivityShares(ds.Observations)
+	res := &Result{
+		ID:     "fig21",
+		Title:  "Distribution of user activities",
+		Header: []string{"activity", "share"},
+	}
+	for _, a := range sensing.Activities() {
+		res.Rows = append(res.Rows, []string{a.String(), pct(shares[a])})
+	}
+	unqualified := analysis.UnqualifiedActivityShare(ds.Observations)
+	moving := analysis.MovingShare(ds.Observations)
+	res.Checks = append(res.Checks,
+		checkRange("activity unqualified for ~20%% of observations",
+			unqualified, 0.14, 0.28, "%.3f"),
+		checkRange("population still ~70%% of the time",
+			shares[sensing.ActivityStill], 0.60, 0.78, "%.3f"),
+		checkTrue("population moving less than 10%% of the time",
+			moving < 0.10, fmt.Sprintf("moving share %.1f%%", moving*100)),
+	)
+	return res, nil
+}

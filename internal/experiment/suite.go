@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Suite runs every harness against one shared dataset and the
+// standalone simulations.
+type Suite struct {
+	// Scale of the shared dataset (<=0 defaults to 0.01).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Extensions also runs the Section 8 future-work experiments
+	// (crowd-calibration, adaptive scheduling, streaming BLUE).
+	Extensions bool
+}
+
+// RunAll executes every experiment in paper order and returns the
+// results. The shared dataset is generated once.
+func (s Suite) RunAll() ([]*Result, error) {
+	ds, err := NewDataset(s.Scale, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	type entry struct {
+		name string
+		run  func() (*Result, error)
+	}
+	entries := []entry{
+		{"fig04", func() (*Result, error) { return Fig04(s.Seed) }},
+		{"fig08", func() (*Result, error) { return Fig08(ds) }},
+		{"fig09", func() (*Result, error) { return Fig09(ds) }},
+		{"fig10", func() (*Result, error) { return Fig10(ds) }},
+		{"fig11", func() (*Result, error) { return Fig11(ds) }},
+		{"fig12", func() (*Result, error) { return Fig12(ds) }},
+		{"fig13", func() (*Result, error) { return Fig13(ds) }},
+		{"fig14", func() (*Result, error) { return Fig14(ds) }},
+		{"fig15", func() (*Result, error) { return Fig15(ds) }},
+		{"fig16", Fig16},
+		{"fig17", func() (*Result, error) { return Fig17(s.Seed) }},
+		{"fig18", func() (*Result, error) { return Fig18(ds) }},
+		{"fig19", func() (*Result, error) { return Fig19(ds) }},
+		{"fig20", func() (*Result, error) { return Fig20(ds) }},
+		{"fig21", func() (*Result, error) { return Fig21(ds) }},
+	}
+	if s.Extensions {
+		entries = append(entries,
+			entry{"ext1", func() (*Result, error) { return ExtCrowdCal(ds) }},
+			entry{"ext2", func() (*Result, error) { return ExtAdaptive(s.Seed) }},
+			entry{"ext3", func() (*Result, error) { return ExtStream(s.Seed) }},
+		)
+	}
+	results := make([]*Result, 0, len(entries))
+	for _, e := range entries {
+		r, err := e.run()
+		if err != nil {
+			return results, fmt.Errorf("%s: %w", e.name, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// WriteCSVFiles writes one CSV per result into dir ("<id>.csv":
+// header row + data rows), so the figures can be re-plotted with any
+// tool. It returns the file paths written.
+func WriteCSVFiles(dir string, results []*Result) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment csv dir: %w", err)
+	}
+	paths := make([]string, 0, len(results))
+	for _, r := range results {
+		path := filepath.Join(dir, r.ID+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, fmt.Errorf("create %s: %w", path, err)
+		}
+		cw := csv.NewWriter(f)
+		if err := cw.Write(r.Header); err != nil {
+			_ = f.Close()
+			return paths, err
+		}
+		for _, row := range r.Rows {
+			if err := cw.Write(row); err != nil {
+				_ = f.Close()
+				return paths, err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			_ = f.Close()
+			return paths, err
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// RenderAll writes every result plus a pass/fail summary.
+func RenderAll(w io.Writer, results []*Result) error {
+	passed, total := 0, 0
+	for _, r := range results {
+		if err := r.Render(w); err != nil {
+			return err
+		}
+		for _, c := range r.Checks {
+			total++
+			if c.Pass {
+				passed++
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "shape checks: %d/%d passed\n", passed, total)
+	return err
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSuiteReproducesAllShapeTargets is the reproduction test: at a
+// small scale, every figure harness must reproduce the paper's
+// qualitative findings.
+func TestSuiteReproducesAllShapeTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is seconds-long; skipped in -short")
+	}
+	suite := Suite{Scale: 0.005, Seed: 42, Extensions: true}
+	results, err := suite.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 18 {
+		t.Fatalf("ran %d experiments, want 18 (15 figures + 3 extensions)", len(results))
+	}
+	for _, r := range results {
+		for _, c := range r.Checks {
+			if !c.Pass {
+				t.Errorf("%s: FAILED shape check %q — %s", r.ID, c.Name, c.Detail)
+			}
+		}
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a, err := NewDataset(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDataset(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Observations) != len(b.Observations) {
+		t.Fatal("same seed must generate the same dataset size")
+	}
+	for i := range a.Observations {
+		if a.Observations[i].SPL != b.Observations[i].SPL ||
+			!a.Observations[i].SensedAt.Equal(b.Observations[i].SensedAt) {
+			t.Fatal("same seed must generate identical observations")
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{
+		ID:     "figX",
+		Title:  "Test figure",
+		Header: []string{"k", "v"},
+		Rows:   [][]string{{"a", "1"}, {"long-label", "2"}},
+		Checks: []Check{
+			{Name: "passes", Pass: true, Detail: "ok"},
+			{Name: "fails", Pass: false, Detail: "boom"},
+		},
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"figX", "Test figure", "long-label", "[PASS] passes", "[FAIL] fails"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if r.AllPass() {
+		t.Fatal("AllPass must be false with a failing check")
+	}
+	r.Checks = r.Checks[:1]
+	if !r.AllPass() {
+		t.Fatal("AllPass must be true with only passing checks")
+	}
+}
+
+func TestRenderAllSummary(t *testing.T) {
+	var sb strings.Builder
+	results := []*Result{
+		{ID: "a", Checks: []Check{{Pass: true}}},
+		{ID: "b", Checks: []Check{{Pass: false}}},
+	}
+	if err := RenderAll(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "shape checks: 1/2 passed") {
+		t.Fatalf("summary missing:\n%s", sb.String())
+	}
+}
+
+func TestFig16Standalone(t *testing.T) {
+	r, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AllPass() {
+		for _, c := range r.Checks {
+			if !c.Pass {
+				t.Errorf("fig16 check %q failed: %s", c.Name, c.Detail)
+			}
+		}
+	}
+}
+
+func TestFig04Standalone(t *testing.T) {
+	r, err := Fig04(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AllPass() {
+		t.Fatalf("fig04 checks failed: %+v", r.Checks)
+	}
+}
+
+func TestWriteCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	results := []*Result{
+		{ID: "figX", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}, {"3", "4"}}},
+		{ID: "figY", Header: []string{"k"}, Rows: [][]string{{"v"}}},
+	}
+	paths, err := WriteCSVFiles(dir, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	raw, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if string(raw) != want {
+		t.Fatalf("csv = %q, want %q", raw, want)
+	}
+}

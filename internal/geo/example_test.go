@@ -1,0 +1,36 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"github.com/urbancivics/goflow/internal/geo"
+)
+
+func ExamplePoint_DistanceMeters() {
+	notreDame := geo.Point{Lat: 48.8530, Lon: 2.3499}
+	louvre := geo.Point{Lat: 48.8606, Lon: 2.3376}
+	fmt.Printf("%.0f m\n", notreDame.DistanceMeters(louvre))
+	// Output: 1234 m
+}
+
+func ExampleZoneGrid_ZoneID() {
+	zones := geo.ParisZones()
+	center := geo.Point{Lat: 48.8566, Lon: 2.3522}
+	fmt.Println(zones.ZoneID(center))
+	fmt.Println(zones.ZoneID(geo.Point{Lat: 0, Lon: 0})) // outside the grid
+	// Output:
+	// FR75056
+	// FRXXXXX
+}
+
+func ExampleNewGrid() {
+	grid, err := geo.NewGrid(geo.ParisBBox(), 4, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	grid.Set(2, 2, 61.5)
+	v, ok := grid.Sample(grid.CellCenter(2, 2))
+	fmt.Printf("%.1f dB %v\n", v, ok)
+	// Output: 61.5 dB true
+}

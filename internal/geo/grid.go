@@ -1,0 +1,112 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Grid is a dense regular raster over a bounding box, used by the data
+// assimilation engine to hold scalar fields (noise levels, error
+// variances). Values are stored row-major, row 0 at the southern edge.
+type Grid struct {
+	Box    BBox
+	NRows  int
+	NCols  int
+	Values []float64
+}
+
+// NewGrid allocates a zero-valued grid of nRows x nCols cells over box.
+func NewGrid(box BBox, nRows, nCols int) (*Grid, error) {
+	if err := box.Validate(); err != nil {
+		return nil, fmt.Errorf("grid box: %w", err)
+	}
+	if nRows <= 0 || nCols <= 0 {
+		return nil, errors.New("geo: grid dimensions must be positive")
+	}
+	return &Grid{
+		Box:    box,
+		NRows:  nRows,
+		NCols:  nCols,
+		Values: make([]float64, nRows*nCols),
+	}, nil
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	out := &Grid{
+		Box:    g.Box,
+		NRows:  g.NRows,
+		NCols:  g.NCols,
+		Values: make([]float64, len(g.Values)),
+	}
+	copy(out.Values, g.Values)
+	return out
+}
+
+// At returns the value at (row, col).
+func (g *Grid) At(row, col int) float64 {
+	return g.Values[row*g.NCols+col]
+}
+
+// Set assigns the value at (row, col).
+func (g *Grid) Set(row, col int, v float64) {
+	g.Values[row*g.NCols+col] = v
+}
+
+// CellOf maps a point to its (row, col) cell. ok is false when the
+// point lies outside the grid box.
+func (g *Grid) CellOf(p Point) (row, col int, ok bool) {
+	if !g.Box.Contains(p) {
+		return 0, 0, false
+	}
+	latSpan := g.Box.Max.Lat - g.Box.Min.Lat
+	lonSpan := g.Box.Max.Lon - g.Box.Min.Lon
+	row = int((p.Lat - g.Box.Min.Lat) / latSpan * float64(g.NRows))
+	col = int((p.Lon - g.Box.Min.Lon) / lonSpan * float64(g.NCols))
+	if row >= g.NRows {
+		row = g.NRows - 1
+	}
+	if col >= g.NCols {
+		col = g.NCols - 1
+	}
+	return row, col, true
+}
+
+// CellCenter returns the center point of cell (row, col).
+func (g *Grid) CellCenter(row, col int) Point {
+	latSpan := g.Box.Max.Lat - g.Box.Min.Lat
+	lonSpan := g.Box.Max.Lon - g.Box.Min.Lon
+	return Point{
+		Lat: g.Box.Min.Lat + (float64(row)+0.5)*latSpan/float64(g.NRows),
+		Lon: g.Box.Min.Lon + (float64(col)+0.5)*lonSpan/float64(g.NCols),
+	}
+}
+
+// Sample returns the grid value at p using nearest-cell lookup; ok is
+// false outside the grid.
+func (g *Grid) Sample(p Point) (v float64, ok bool) {
+	row, col, ok := g.CellOf(p)
+	if !ok {
+		return 0, false
+	}
+	return g.At(row, col), true
+}
+
+// Stats returns the min, max and mean of the grid values.
+func (g *Grid) Stats() (minV, maxV, mean float64) {
+	if len(g.Values) == 0 {
+		return 0, 0, 0
+	}
+	minV, maxV = g.Values[0], g.Values[0]
+	sum := 0.0
+	for _, v := range g.Values {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+	}
+	return minV, maxV, sum / float64(len(g.Values))
+}

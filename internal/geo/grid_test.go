@@ -1,0 +1,96 @@
+package geo
+
+import (
+	"testing"
+)
+
+func testBox() BBox {
+	return BBox{Min: Point{48, 2}, Max: Point{49, 3}}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(testBox(), 0, 10); err == nil {
+		t.Fatal("zero rows must fail")
+	}
+	if _, err := NewGrid(testBox(), 10, -1); err == nil {
+		t.Fatal("negative cols must fail")
+	}
+	g, err := NewGrid(testBox(), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Values) != 32 {
+		t.Fatalf("values len = %d, want 32", len(g.Values))
+	}
+}
+
+func TestGridSetAtCellOf(t *testing.T) {
+	g, err := NewGrid(testBox(), 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(3, 7, 42.5)
+	if got := g.At(3, 7); got != 42.5 {
+		t.Fatalf("At(3,7) = %v, want 42.5", got)
+	}
+	// Cell centers must map back to their own cell.
+	for r := 0; r < g.NRows; r++ {
+		for c := 0; c < g.NCols; c++ {
+			rr, cc, ok := g.CellOf(g.CellCenter(r, c))
+			if !ok || rr != r || cc != c {
+				t.Fatalf("CellOf(CellCenter(%d,%d)) = (%d,%d,%v)", r, c, rr, cc, ok)
+			}
+		}
+	}
+}
+
+func TestGridCellOfOutside(t *testing.T) {
+	g, err := NewGrid(testBox(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := g.CellOf(Point{0, 0}); ok {
+		t.Fatal("point outside the box must not map to a cell")
+	}
+	if _, ok := g.Sample(Point{0, 0}); ok {
+		t.Fatal("Sample outside the box must report !ok")
+	}
+}
+
+func TestGridBoundaryMapsToLastCell(t *testing.T) {
+	g, err := NewGrid(testBox(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c, ok := g.CellOf(g.Box.Max)
+	if !ok || r != 3 || c != 3 {
+		t.Fatalf("max corner maps to (%d,%d,%v), want (3,3,true)", r, c, ok)
+	}
+}
+
+func TestGridCloneIndependence(t *testing.T) {
+	g, err := NewGrid(testBox(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(0, 0, 1)
+	clone := g.Clone()
+	clone.Set(0, 0, 99)
+	if g.At(0, 0) != 1 {
+		t.Fatal("mutating the clone must not affect the original")
+	}
+}
+
+func TestGridStats(t *testing.T) {
+	g, err := NewGrid(testBox(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 2, 3, 6} {
+		g.Values[i] = v
+	}
+	minV, maxV, mean := g.Stats()
+	if minV != 1 || maxV != 6 || mean != 3 {
+		t.Fatalf("Stats() = (%v,%v,%v), want (1,6,3)", minV, maxV, mean)
+	}
+}

@@ -1,0 +1,107 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Zone identifiers name the location exchanges of the GoFlow messaging
+// layer. The paper uses country + zip style ids such as "FR75013" (13th
+// arrondissement of Paris). For the simulation we derive zone ids from a
+// fixed-size zone grid anchored at a city origin, which yields stable,
+// human-readable ids like "FR75001".."FR75NNN".
+
+// ZoneGrid maps points to zone identifiers by slicing a bounding box
+// into cells of roughly zoneSizeMeters.
+type ZoneGrid struct {
+	country string
+	prefix  string
+	box     BBox
+	rows    int
+	cols    int
+	cellLat float64
+	cellLon float64
+}
+
+// NewZoneGrid builds a zone grid over box with approximately square
+// cells of side cellMeters. Country is the two-letter country code and
+// prefix the numeric department-style prefix (e.g. "75").
+func NewZoneGrid(country, prefix string, box BBox, cellMeters float64) (*ZoneGrid, error) {
+	if len(country) != 2 {
+		return nil, errors.New("geo: country code must be two letters")
+	}
+	if err := box.Validate(); err != nil {
+		return nil, fmt.Errorf("zone grid box: %w", err)
+	}
+	if cellMeters <= 0 {
+		return nil, errors.New("geo: cell size must be positive")
+	}
+	heightM := box.Min.DistanceMeters(Point{Lat: box.Max.Lat, Lon: box.Min.Lon})
+	widthM := box.Min.DistanceMeters(Point{Lat: box.Min.Lat, Lon: box.Max.Lon})
+	rows := int(math.Max(1, math.Round(heightM/cellMeters)))
+	cols := int(math.Max(1, math.Round(widthM/cellMeters)))
+	return &ZoneGrid{
+		country: strings.ToUpper(country),
+		prefix:  prefix,
+		box:     box,
+		rows:    rows,
+		cols:    cols,
+		cellLat: (box.Max.Lat - box.Min.Lat) / float64(rows),
+		cellLon: (box.Max.Lon - box.Min.Lon) / float64(cols),
+	}, nil
+}
+
+// Rows returns the number of grid rows.
+func (g *ZoneGrid) Rows() int { return g.rows }
+
+// Cols returns the number of grid columns.
+func (g *ZoneGrid) Cols() int { return g.cols }
+
+// ZoneID returns the zone identifier for p, or the out-of-area id
+// "<CC>XXXXX" when p lies outside the grid box.
+func (g *ZoneGrid) ZoneID(p Point) string {
+	if !g.box.Contains(p) {
+		return g.country + "XXXXX"
+	}
+	r := int((p.Lat - g.box.Min.Lat) / g.cellLat)
+	c := int((p.Lon - g.box.Min.Lon) / g.cellLon)
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return fmt.Sprintf("%s%s%03d", g.country, g.prefix, r*g.cols+c+1)
+}
+
+// CellCenter returns the center point of the zone cell (row, col).
+func (g *ZoneGrid) CellCenter(row, col int) Point {
+	return Point{
+		Lat: g.box.Min.Lat + (float64(row)+0.5)*g.cellLat,
+		Lon: g.box.Min.Lon + (float64(col)+0.5)*g.cellLon,
+	}
+}
+
+// ParisBBox is the bounding box used by the SoundCity simulation: a
+// roughly 10 km x 10 km area centered on Paris.
+func ParisBBox() BBox {
+	center := Point{Lat: 48.8566, Lon: 2.3522}
+	return BBox{
+		Min: center.Offset(-5000, -5000),
+		Max: center.Offset(5000, 5000),
+	}
+}
+
+// ParisZones returns the default zone grid for the SoundCity deployment
+// area (1 km zones, "FR75xxx" ids).
+func ParisZones() *ZoneGrid {
+	g, err := NewZoneGrid("FR", "75", ParisBBox(), 1000)
+	if err != nil {
+		// The inputs are compile-time constants; failure here is a
+		// programming error.
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,91 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewZoneGridValidation(t *testing.T) {
+	box := BBox{Min: Point{48, 2}, Max: Point{49, 3}}
+	tests := []struct {
+		name    string
+		country string
+		cell    float64
+		box     BBox
+		wantErr bool
+	}{
+		{"valid", "FR", 1000, box, false},
+		{"bad country", "FRA", 1000, box, true},
+		{"zero cell", "FR", 0, box, true},
+		{"negative cell", "FR", -5, box, true},
+		{"inverted box", "FR", 1000, BBox{Min: Point{49, 2}, Max: Point{48, 3}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewZoneGrid(tt.country, "75", tt.box, tt.cell)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewZoneGrid() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestZoneIDStableAndInPrefix(t *testing.T) {
+	g := ParisZones()
+	p := Point{48.8566, 2.3522}
+	id1 := g.ZoneID(p)
+	id2 := g.ZoneID(p)
+	if id1 != id2 {
+		t.Fatalf("zone id not stable: %q vs %q", id1, id2)
+	}
+	if !strings.HasPrefix(id1, "FR75") {
+		t.Fatalf("zone id %q should start with FR75", id1)
+	}
+}
+
+func TestZoneIDOutOfArea(t *testing.T) {
+	g := ParisZones()
+	if got := g.ZoneID(Point{0, 0}); got != "FRXXXXX" {
+		t.Fatalf("out-of-area zone = %q, want FRXXXXX", got)
+	}
+}
+
+func TestZoneIDDistinguishesCells(t *testing.T) {
+	g := ParisZones()
+	center := Point{48.8566, 2.3522}
+	far := center.Offset(3000, 3000)
+	if g.ZoneID(center) == g.ZoneID(far) {
+		t.Fatal("points 4 km apart should fall in different 1 km zones")
+	}
+	near := center.Offset(5, 5)
+	if g.ZoneID(center) != g.ZoneID(near) {
+		t.Fatal("points 7 m apart should share a 1 km zone")
+	}
+}
+
+func TestCellCenterRoundTrip(t *testing.T) {
+	g, err := NewZoneGrid("FR", "75", BBox{Min: Point{48, 2}, Max: Point{48.1, 2.1}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < g.Rows(); r++ {
+		for c := 0; c < g.Cols(); c++ {
+			center := g.CellCenter(r, c)
+			wantID := g.ZoneID(center)
+			// The center of cell (r, c) must map back to that cell's id.
+			gotIdx := r*g.Cols() + c + 1
+			if !strings.HasSuffix(wantID, zoneSuffix(gotIdx)) {
+				t.Fatalf("cell (%d,%d) center %v maps to %q, want index %d", r, c, center, wantID, gotIdx)
+			}
+		}
+	}
+}
+
+func zoneSuffix(idx int) string {
+	s := []byte{'0', '0', '0'}
+	for i := 2; i >= 0 && idx > 0; i-- {
+		s[i] = byte('0' + idx%10)
+		idx /= 10
+	}
+	return string(s)
+}

@@ -1,0 +1,112 @@
+package goflow
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+)
+
+// seedCrossModelObservations ingests observations from several models
+// with known relative biases, co-located by hour (the default
+// crowd-calibration cell).
+func seedCrossModelObservations(t *testing.T, dm *DataManager) map[string]float64 {
+	t.Helper()
+	biases := map[string]float64{"MODEL-A": -4, "MODEL-B": 0, "MODEL-C": 4}
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	for model, bias := range biases {
+		for cell := 0; cell < 12; cell++ {
+			ambient := 40.0 + float64(cell)
+			for k := 0; k < 15; k++ {
+				o := obsAt(t, model, ambient+bias, false, base.Add(time.Duration(cell)*time.Hour))
+				if _, err := dm.Ingest("SC", "c-"+model, o, o.SensedAt); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return biases
+}
+
+func TestCrowdCalibrateJob(t *testing.T) {
+	j, dm := newJobs(t, 1)
+	biases := seedCrossModelObservations(t, dm)
+
+	id, err := j.Submit("SC", "crowd-calibrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	job, err := j.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobDone {
+		t.Fatalf("job state = %v (error %q)", job.State, job.Error)
+	}
+	summary, ok := job.Result.(map[string]int)
+	if !ok || summary["models"] != 3 {
+		t.Fatalf("job result = %v", job.Result)
+	}
+
+	// The calibration collection holds crowd entries whose relative
+	// spacing matches the seeded biases (zero-median gauge).
+	col := dm.store.Collection(CalibrationCollection)
+	got := make(map[string]float64, 3)
+	for model := range biases {
+		doc, err := col.FindOne(docstore.Doc{"appId": "SC", "model": model, "source": "crowd"})
+		if err != nil {
+			t.Fatalf("calibration doc for %s: %v", model, err)
+		}
+		bias, ok := doc["biasDb"].(float64)
+		if !ok {
+			t.Fatalf("biasDb missing: %v", doc)
+		}
+		got[model] = bias
+	}
+	if d := got["MODEL-C"] - got["MODEL-A"]; math.Abs(d-8) > 0.5 {
+		t.Fatalf("C-A bias gap = %.2f, want ~8", d)
+	}
+	if math.Abs(got["MODEL-B"]) > 0.5 {
+		t.Fatalf("median model bias = %.2f, want ~0 (gauge)", got["MODEL-B"])
+	}
+
+	// Re-running updates in place instead of duplicating.
+	id2, err := j.Submit("SC", "crowd-calibrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	job2, err := j.Status(id2)
+	if err != nil || job2.State != JobDone {
+		t.Fatalf("rerun state = %v, %v", job2.State, err)
+	}
+	n, err := col.Count(docstore.Doc{"appId": "SC", "source": "crowd"})
+	if err != nil || n != 3 {
+		t.Fatalf("calibration docs after rerun = %d, want 3", n)
+	}
+}
+
+func TestCrowdCalibrateJobInsufficientData(t *testing.T) {
+	j, dm := newJobs(t, 1)
+	// One model only: no cross-model overlap.
+	at := time.Now()
+	for i := 0; i < 30; i++ {
+		if _, err := dm.Ingest("SC", "c", obsAt(t, "LONELY", 50, false, at), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := j.Submit("SC", "crowd-calibrate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Wait()
+	job, err := j.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobFailed {
+		t.Fatalf("job state = %v, want failed (insufficient overlap)", job.State)
+	}
+}

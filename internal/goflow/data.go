@@ -1,0 +1,292 @@
+package goflow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Crowd-sensed data management: observations arriving through the
+// broker (or bulk-loaded by simulations) are validated, anonymized,
+// stamped and stored as documents; retrieval applies filter
+// parameters and, for foreign apps, the owning app's open-data
+// policy.
+
+// ObservationsCollection is the docstore collection name.
+const ObservationsCollection = "observations"
+
+// DataManager stores and retrieves crowd-sensed observations.
+type DataManager struct {
+	store    *docstore.Store
+	accounts *Accounts
+	zones    *geo.ZoneGrid
+}
+
+// NewDataManager wires the storage layer. zones may be nil to skip
+// zone derivation.
+func NewDataManager(store *docstore.Store, accounts *Accounts, zones *geo.ZoneGrid) *DataManager {
+	col := store.Collection(ObservationsCollection)
+	col.EnsureIndex("deviceModel")
+	col.EnsureIndex("appId")
+	col.EnsureIndex("userId")
+	col.EnsureIndex("provider")
+	col.EnsureIndex("mode")
+	col.EnsureIndex("appVersion")
+	col.EnsureIndex("zone")
+	return &DataManager{store: store, accounts: accounts, zones: zones}
+}
+
+// Ingest validates, anonymizes and stores one observation published
+// by clientID for appID; it returns the stored document id.
+func (dm *DataManager) Ingest(appID, clientID string, o *sensing.Observation, receivedAt time.Time) (string, error) {
+	if o == nil {
+		return "", errors.New("goflow: nil observation")
+	}
+	if err := o.Validate(); err != nil {
+		return "", fmt.Errorf("ingest: %w", err)
+	}
+	doc := dm.toDoc(appID, clientID, o, receivedAt)
+	id, err := dm.store.Collection(ObservationsCollection).Insert(doc)
+	if err != nil {
+		return "", fmt.Errorf("store observation: %w", err)
+	}
+	return id, nil
+}
+
+// toDoc flattens an observation into a document. The contributor is
+// stored under the anonymized id only (CNIL privacy policy).
+func (dm *DataManager) toDoc(appID, clientID string, o *sensing.Observation, receivedAt time.Time) docstore.Doc {
+	doc := docstore.Doc{
+		"appId":        appID,
+		"userId":       dm.accounts.Anonymize(clientID),
+		"deviceModel":  o.DeviceModel,
+		"appVersion":   o.AppVersion,
+		"mode":         o.Mode.String(),
+		"spl":          o.SPL,
+		"activity":     o.Activity.String(),
+		"activityConf": o.ActivityConfidence,
+		"sensedAt":     o.SensedAt,
+		"receivedAt":   receivedAt,
+		"localized":    o.Localized(),
+		"provider":     sensing.ProviderNone.String(),
+	}
+	if o.Loc != nil {
+		doc["provider"] = o.Loc.Provider.String()
+		doc["lat"] = o.Loc.Point.Lat
+		doc["lon"] = o.Loc.Point.Lon
+		doc["accuracyM"] = o.Loc.AccuracyM
+		if dm.zones != nil {
+			doc["zone"] = dm.zones.ZoneID(o.Loc.Point)
+		}
+	}
+	return doc
+}
+
+// Query selects stored observations.
+type Query struct {
+	AppID       string     `json:"appId,omitempty"`
+	DeviceModel string     `json:"deviceModel,omitempty"`
+	UserID      string     `json:"userId,omitempty"` // anonymized id
+	Provider    string     `json:"provider,omitempty"`
+	Mode        string     `json:"mode,omitempty"`
+	AppVersion  string     `json:"appVersion,omitempty"`
+	Zone        string     `json:"zone,omitempty"`
+	Localized   *bool      `json:"localized,omitempty"`
+	From        *time.Time `json:"from,omitempty"`
+	To          *time.Time `json:"to,omitempty"`
+	MinSPL      *float64   `json:"minSpl,omitempty"`
+	MaxSPL      *float64   `json:"maxSpl,omitempty"`
+	Limit       int        `json:"limit,omitempty"`
+	Skip        int        `json:"skip,omitempty"`
+}
+
+// toFilter compiles the query into a docstore filter.
+func (q Query) toFilter() docstore.Doc {
+	f := docstore.Doc{}
+	if q.AppID != "" {
+		f["appId"] = q.AppID
+	}
+	if q.DeviceModel != "" {
+		f["deviceModel"] = q.DeviceModel
+	}
+	if q.UserID != "" {
+		f["userId"] = q.UserID
+	}
+	if q.Provider != "" {
+		f["provider"] = q.Provider
+	}
+	if q.Mode != "" {
+		f["mode"] = q.Mode
+	}
+	if q.AppVersion != "" {
+		f["appVersion"] = q.AppVersion
+	}
+	if q.Zone != "" {
+		f["zone"] = q.Zone
+	}
+	if q.Localized != nil {
+		f["localized"] = *q.Localized
+	}
+	timeCond := map[string]any{}
+	if q.From != nil {
+		timeCond["$gte"] = *q.From
+	}
+	if q.To != nil {
+		timeCond["$lt"] = *q.To
+	}
+	if len(timeCond) > 0 {
+		f["sensedAt"] = timeCond
+	}
+	splCond := map[string]any{}
+	if q.MinSPL != nil {
+		splCond["$gte"] = *q.MinSPL
+	}
+	if q.MaxSPL != nil {
+		splCond["$lt"] = *q.MaxSPL
+	}
+	if len(splCond) > 0 {
+		f["spl"] = splCond
+	}
+	return f
+}
+
+// Retrieve returns matching observation documents sorted by sensing
+// time.
+func (dm *DataManager) Retrieve(q Query) ([]docstore.Doc, error) {
+	docs, err := dm.store.Collection(ObservationsCollection).Find(q.toFilter(), docstore.FindOptions{
+		SortField: "sensedAt",
+		Skip:      q.Skip,
+		Limit:     q.Limit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("retrieve: %w", err)
+	}
+	return docs, nil
+}
+
+// Count returns the number of matching observations.
+func (dm *DataManager) Count(q Query) (int, error) {
+	return dm.store.Collection(ObservationsCollection).Count(q.toFilter())
+}
+
+// RetrieveShared returns matching observations of appID as visible to
+// requestingApp under the owning app's open-data policy: foreign apps
+// see only the declared shared fields and never the contributor id.
+func (dm *DataManager) RetrieveShared(ownerApp, requestingApp string, q Query) ([]docstore.Doc, error) {
+	q.AppID = ownerApp
+	docs, err := dm.Retrieve(q)
+	if err != nil {
+		return nil, err
+	}
+	if requestingApp == ownerApp {
+		return docs, nil
+	}
+	app, err := dm.accounts.App(ownerApp)
+	if err != nil {
+		return nil, err
+	}
+	return applyPolicy(docs, app.Policy), nil
+}
+
+// applyPolicy projects documents to an app's shared fields; user ids
+// are never shared.
+func applyPolicy(docs []docstore.Doc, policy DataPolicy) []docstore.Doc {
+	shared := make(map[string]bool, len(policy.SharedFields))
+	for _, f := range policy.SharedFields {
+		if f == "userId" {
+			continue
+		}
+		shared[f] = true
+	}
+	out := make([]docstore.Doc, len(docs))
+	for i, d := range docs {
+		p := docstore.Doc{}
+		for k, v := range d {
+			if shared[k] {
+				p[k] = v
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// DeleteUserData erases a contributor's stored observations (right to
+// erasure); it returns the number of documents removed.
+func (dm *DataManager) DeleteUserData(anonID string) (int, error) {
+	return dm.store.Collection(ObservationsCollection).DeleteMany(docstore.Doc{"userId": anonID})
+}
+
+// ObservationFromDoc rebuilds a sensing.Observation from its stored
+// document form (the inverse of the ingest flattening). Server-side
+// analyses — background jobs, the SoundCity exposure dashboards —
+// use it to run the sensing-layer algorithms on stored data.
+func ObservationFromDoc(d docstore.Doc) (*sensing.Observation, error) {
+	o := &sensing.Observation{}
+	var ok bool
+	if o.UserID, ok = d["userId"].(string); !ok {
+		return nil, errors.New("goflow: document without userId")
+	}
+	if o.DeviceModel, ok = d["deviceModel"].(string); !ok {
+		return nil, errors.New("goflow: document without deviceModel")
+	}
+	o.AppVersion, _ = d["appVersion"].(string)
+	modeStr, _ := d["mode"].(string)
+	mode, err := sensing.ParseMode(modeStr)
+	if err != nil {
+		return nil, err
+	}
+	o.Mode = mode
+	if o.SPL, ok = docFloat(d["spl"]); !ok {
+		return nil, errors.New("goflow: document without spl")
+	}
+	actStr, _ := d["activity"].(string)
+	if act, err := sensing.ParseActivity(actStr); err == nil {
+		o.Activity = act
+	} else {
+		o.Activity = sensing.ActivityUnknown
+	}
+	if conf, ok := docFloat(d["activityConf"]); ok {
+		o.ActivityConfidence = conf
+	}
+	if o.SensedAt, ok = d["sensedAt"].(time.Time); !ok {
+		return nil, errors.New("goflow: document without sensedAt")
+	}
+	o.ReceivedAt, _ = d["receivedAt"].(time.Time)
+	if localized, _ := d["localized"].(bool); localized {
+		lat, latOK := docFloat(d["lat"])
+		lon, lonOK := docFloat(d["lon"])
+		acc, accOK := docFloat(d["accuracyM"])
+		providerStr, _ := d["provider"].(string)
+		provider, err := sensing.ParseProvider(providerStr)
+		if latOK && lonOK && accOK && err == nil {
+			o.Loc = &sensing.Location{
+				Point:     geo.Point{Lat: lat, Lon: lon},
+				AccuracyM: acc,
+				Provider:  provider,
+			}
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("rebuild observation: %w", err)
+	}
+	return o, nil
+}
+
+// docFloat accepts the numeric kinds a document may carry.
+func docFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}

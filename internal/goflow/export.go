@@ -1,0 +1,159 @@
+package goflow
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+)
+
+// Data packaging (Figure 2's crowd-sensed data management: "various
+// packaging solutions (file, json stream, ...)"). Exports stream
+// pages from the store so arbitrarily large result sets never
+// materialize in memory at once.
+
+// ExportFormat selects the packaging.
+type ExportFormat int
+
+// Export formats.
+const (
+	// NDJSON streams one JSON document per line.
+	NDJSON ExportFormat = iota + 1
+	// CSV streams a header plus one row per document.
+	CSV
+)
+
+// ParseExportFormat converts a wire string to a format.
+func ParseExportFormat(s string) (ExportFormat, error) {
+	switch s {
+	case "ndjson", "":
+		return NDJSON, nil
+	case "csv":
+		return CSV, nil
+	default:
+		return 0, fmt.Errorf("goflow: unknown export format %q", s)
+	}
+}
+
+// exportPageSize bounds per-page memory during exports.
+const exportPageSize = 2000
+
+// Export streams the observations matching q (its Limit/Skip are
+// overridden for paging) of ownerApp as visible to requestingApp, in
+// the given format. It returns the number of documents written.
+func (dm *DataManager) Export(w io.Writer, ownerApp, requestingApp string, q Query, format ExportFormat) (int, error) {
+	switch format {
+	case NDJSON:
+		return dm.exportPaged(ownerApp, requestingApp, q, func(docs []docstore.Doc) error {
+			enc := json.NewEncoder(w)
+			for _, d := range docs {
+				if err := enc.Encode(d); err != nil {
+					return fmt.Errorf("encode document: %w", err)
+				}
+			}
+			return nil
+		})
+	case CSV:
+		return dm.exportCSV(w, ownerApp, requestingApp, q)
+	default:
+		return 0, errors.New("goflow: invalid export format")
+	}
+}
+
+// exportPaged walks result pages through the policy-applying
+// retrieval path.
+func (dm *DataManager) exportPaged(ownerApp, requestingApp string, q Query, emit func([]docstore.Doc) error) (int, error) {
+	written := 0
+	skip := 0
+	for {
+		page := q
+		page.Skip = skip
+		page.Limit = exportPageSize
+		docs, err := dm.RetrieveShared(ownerApp, requestingApp, page)
+		if err != nil {
+			return written, err
+		}
+		if len(docs) == 0 {
+			return written, nil
+		}
+		if err := emit(docs); err != nil {
+			return written, err
+		}
+		written += len(docs)
+		skip += len(docs)
+		if len(docs) < exportPageSize {
+			return written, nil
+		}
+	}
+}
+
+// exportCSV streams CSV with a stable column set: the union of the
+// first page's fields, sorted (documents are homogeneous per app in
+// practice).
+func (dm *DataManager) exportCSV(w io.Writer, ownerApp, requestingApp string, q Query) (int, error) {
+	cw := csv.NewWriter(w)
+	var columns []string
+	written, err := dm.exportPaged(ownerApp, requestingApp, q, func(docs []docstore.Doc) error {
+		if columns == nil {
+			fieldSet := make(map[string]bool)
+			for _, d := range docs {
+				for k := range d {
+					fieldSet[k] = true
+				}
+			}
+			columns = make([]string, 0, len(fieldSet))
+			for k := range fieldSet {
+				columns = append(columns, k)
+			}
+			sort.Strings(columns)
+			if err := cw.Write(columns); err != nil {
+				return err
+			}
+		}
+		row := make([]string, len(columns))
+		for _, d := range docs {
+			for i, col := range columns {
+				row[i] = csvCell(d[col])
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return written, err
+	}
+	cw.Flush()
+	return written, cw.Error()
+}
+
+// csvCell renders a document value for CSV.
+func csvCell(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return t
+	case bool:
+		return strconv.FormatBool(t)
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case int:
+		return strconv.Itoa(t)
+	case time.Time:
+		return t.Format(time.RFC3339Nano)
+	default:
+		raw, err := json.Marshal(t)
+		if err != nil {
+			return fmt.Sprintf("%v", t)
+		}
+		return string(raw)
+	}
+}

@@ -1,0 +1,271 @@
+package goflow
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// REST API (Figure 2): clients and administrators authenticate and
+// register publishers/subscribers, retrieve crowd-sensed data with
+// filter parameters, manage accounts and submit background jobs.
+//
+// Routes:
+//
+//	POST /v1/apps                         register an app
+//	POST /v1/apps/{app}/login             register a client, provision channels
+//	POST /v1/apps/{app}/subscriptions     subscribe a client to datatype@zone
+//	GET  /v1/apps/{app}/observations      retrieve with filters
+//	GET  /v1/apps/{app}/observations/count
+//	GET  /v1/apps/{app}/analytics
+//	POST /v1/apps/{app}/jobs              submit a background job
+//	GET  /v1/jobs/{id}                    job status
+//	GET  /v1/healthz
+type apiHandler struct {
+	server *Server
+}
+
+// NewHTTPHandler exposes the server's REST API.
+func NewHTTPHandler(s *Server) http.Handler {
+	h := &apiHandler{server: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", h.health)
+	mux.HandleFunc("POST /v1/apps", h.registerApp)
+	mux.HandleFunc("POST /v1/apps/{app}/login", h.login)
+	mux.HandleFunc("POST /v1/apps/{app}/subscriptions", h.subscribe)
+	mux.HandleFunc("GET /v1/apps/{app}/observations", h.observations)
+	mux.HandleFunc("GET /v1/apps/{app}/observations/count", h.observationCount)
+	mux.HandleFunc("GET /v1/apps/{app}/observations/export", h.exportObservations)
+	mux.HandleFunc("GET /v1/apps/{app}/analytics", h.analytics)
+	mux.HandleFunc("POST /v1/apps/{app}/jobs", h.submitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
+	return mux
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps domain errors to HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrAppNotFound), errors.Is(err, ErrClientNotFound), errors.Is(err, ErrJobNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrAppExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadCredentials):
+		status = http.StatusUnauthorized
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (h *apiHandler) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type registerAppRequest struct {
+	ID     string     `json:"id"`
+	Name   string     `json:"name"`
+	Policy DataPolicy `json:"policy"`
+}
+
+func (h *apiHandler) registerApp(w http.ResponseWriter, r *http.Request) {
+	var req registerAppRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body"})
+		return
+	}
+	app, err := h.server.RegisterApp(req.ID, req.Name, req.Policy)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":     app.ID,
+		"secret": app.Secret,
+	})
+}
+
+func (h *apiHandler) login(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	c, err := h.server.Login(appID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c)
+}
+
+type subscribeRequest struct {
+	ClientID string `json:"clientId"`
+	Datatype string `json:"datatype"`
+	Zone     string `json:"zone"`
+}
+
+func (h *apiHandler) subscribe(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	var req subscribeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body"})
+		return
+	}
+	if req.ClientID == "" || req.Datatype == "" || req.Zone == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "clientId, datatype and zone are required"})
+		return
+	}
+	if _, err := h.server.Accounts.Client(req.ClientID); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := h.server.Channels.Subscribe(appID, req.ClientID, req.Datatype, req.Zone); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "subscribed"})
+}
+
+// queryFromRequest decodes filter parameters from the URL.
+func queryFromRequest(r *http.Request, appID string) Query {
+	q := Query{AppID: appID}
+	get := r.URL.Query().Get
+	q.DeviceModel = get("model")
+	q.Provider = get("provider")
+	q.Mode = get("mode")
+	q.AppVersion = get("version")
+	q.Zone = get("zone")
+	q.UserID = get("user")
+	if v := get("localized"); v != "" {
+		b := v == "true" || v == "1"
+		q.Localized = &b
+	}
+	if v := get("from"); v != "" {
+		if t, err := time.Parse(time.RFC3339, v); err == nil {
+			q.From = &t
+		}
+	}
+	if v := get("to"); v != "" {
+		if t, err := time.Parse(time.RFC3339, v); err == nil {
+			q.To = &t
+		}
+	}
+	if v := get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			q.Limit = n
+		}
+	}
+	if v := get("skip"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			q.Skip = n
+		}
+	}
+	return q
+}
+
+func (h *apiHandler) observations(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	q := queryFromRequest(r, appID)
+	if q.Limit == 0 || q.Limit > 10000 {
+		q.Limit = 10000 // packaging: bounded JSON pages
+	}
+	requester := r.URL.Query().Get("requester")
+	if requester == "" {
+		requester = appID
+	}
+	docs, err := h.server.Data.RetrieveShared(appID, requester, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":        len(docs),
+		"observations": docs,
+	})
+}
+
+// exportObservations streams the full matching result set as NDJSON
+// or CSV (the "packaging solutions" of Figure 2), applying the
+// owner's open-data policy for foreign requesters.
+func (h *apiHandler) exportObservations(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	format, err := ParseExportFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	requester := r.URL.Query().Get("requester")
+	if requester == "" {
+		requester = appID
+	}
+	q := queryFromRequest(r, appID)
+	q.Limit, q.Skip = 0, 0 // the export pages internally
+	switch format {
+	case CSV:
+		w.Header().Set("Content-Type", "text/csv")
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	if _, err := h.server.Data.Export(w, appID, requester, q, format); err != nil {
+		// Headers are already sent; the broken stream is the signal.
+		return
+	}
+}
+
+func (h *apiHandler) observationCount(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	n, err := h.server.Data.Count(queryFromRequest(r, appID))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"count": n})
+}
+
+func (h *apiHandler) analytics(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	st, ok := h.server.Analytics.ForApp(appID)
+	if !ok {
+		writeJSON(w, http.StatusOK, AppAnalytics{AppID: appID})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+type submitJobRequest struct {
+	Name string `json:"name"`
+}
+
+// submitJob requires the app's secret (manager capability): jobs run
+// arbitrary registered scripts over the app's data.
+func (h *apiHandler) submitJob(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	if err := h.server.Accounts.AuthenticateApp(appID, r.Header.Get("X-App-Secret")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req submitJobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body"})
+		return
+	}
+	id, err := h.server.Jobs.Submit(appID, req.Name)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"jobId": id})
+}
+
+func (h *apiHandler) jobStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := h.server.Jobs.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}

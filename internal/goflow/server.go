@@ -1,0 +1,244 @@
+package goflow
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/sensing"
+	"github.com/urbancivics/goflow/internal/simclock"
+)
+
+// Server is the GoFlow crowd-sensing server: it wires the account
+// manager, channel management over the broker, the data manager over
+// the document store, analytics and background jobs, and runs the
+// ingest loop that drains the GoFlow queue.
+type Server struct {
+	Accounts  *Accounts
+	Channels  *Channels
+	Data      *DataManager
+	Analytics *Analytics
+	Jobs      *Jobs
+
+	broker *mq.Broker
+	clock  simclock.Clock
+
+	mu       sync.Mutex
+	consumer *mq.Consumer
+	done     chan struct{}
+}
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Broker is the messaging substrate (required).
+	Broker *mq.Broker
+	// Store is the document store (required).
+	Store *docstore.Store
+	// Zones derives observation zone ids; nil defaults to the Paris
+	// grid.
+	Zones *geo.ZoneGrid
+	// Clock stamps ReceivedAt; nil defaults to the system clock.
+	Clock simclock.Clock
+	// MaxConcurrentJobs bounds background-job parallelism.
+	MaxConcurrentJobs int
+}
+
+// NewServer builds a server and provisions the GoFlow broker
+// topology. Call StartIngest to begin draining the queue and Shutdown
+// to stop.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Broker == nil {
+		return nil, errors.New("goflow: server needs a broker")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("goflow: server needs a store")
+	}
+	if cfg.Zones == nil {
+		cfg.Zones = geo.ParisZones()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real()
+	}
+	if cfg.MaxConcurrentJobs <= 0 {
+		cfg.MaxConcurrentJobs = 2
+	}
+	accounts, err := NewAccounts()
+	if err != nil {
+		return nil, err
+	}
+	channels, err := NewChannels(cfg.Broker)
+	if err != nil {
+		return nil, err
+	}
+	dm := NewDataManager(cfg.Store, accounts, cfg.Zones)
+	s := &Server{
+		Accounts:  accounts,
+		Channels:  channels,
+		Data:      dm,
+		Analytics: NewAnalytics(),
+		Jobs:      NewJobs(dm, cfg.MaxConcurrentJobs),
+		broker:    cfg.Broker,
+		clock:     cfg.Clock,
+	}
+	return s, nil
+}
+
+// RegisterApp registers an application and provisions its exchange.
+func (s *Server) RegisterApp(id, name string, policy DataPolicy) (*App, error) {
+	app, err := s.Accounts.RegisterApp(id, name, policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Channels.ProvisionApp(id); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// Login registers a client of an app and provisions its private
+// exchange and queue (Figure 3); the returned Client carries the
+// endpoint names.
+func (s *Server) Login(appID string) (*Client, error) {
+	c, err := s.Accounts.RegisterClient(appID, RoleClient)
+	if err != nil {
+		return nil, err
+	}
+	ex, q, err := s.Channels.ProvisionClient(appID, c.ID)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Accounts.setClientChannels(c.ID, ex, q); err != nil {
+		return nil, err
+	}
+	c.Exchange = ex
+	c.Queue = q
+	return c, nil
+}
+
+// Logout deprovisions a client's endpoints.
+func (s *Server) Logout(clientID string) error {
+	return s.Channels.DeprovisionClient(clientID)
+}
+
+// StartIngest launches the consumer loop on the GoFlow queue. It is
+// idempotent.
+func (s *Server) StartIngest() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.consumer != nil {
+		return nil
+	}
+	consumer, err := s.broker.Consume(GoFlowQueue, 256)
+	if err != nil {
+		return fmt.Errorf("ingest consumer: %w", err)
+	}
+	s.consumer = consumer
+	s.done = make(chan struct{})
+	go s.ingestLoop(consumer, s.done)
+	return nil
+}
+
+// ingestLoop drains deliveries until the consumer channel closes.
+func (s *Server) ingestLoop(consumer *mq.Consumer, done chan struct{}) {
+	defer close(done)
+	for d := range consumer.C() {
+		if err := s.ingestDelivery(d.Message); err != nil {
+			s.Analytics.RecordRejection()
+			log.Printf("goflow ingest: %v", err)
+			if nackErr := consumer.Nack(d.Tag, false); nackErr != nil {
+				log.Printf("goflow ingest nack: %v", nackErr)
+			}
+			continue
+		}
+		if err := consumer.Ack(d.Tag); err != nil {
+			log.Printf("goflow ingest ack: %v", err)
+		}
+	}
+}
+
+// ingestDelivery decodes and stores one broker message. The routing
+// key carries "<app>.<client>.<datatype>.<zone>".
+func (s *Server) ingestDelivery(m mq.Message) error {
+	parts := strings.Split(m.RoutingKey, ".")
+	if len(parts) < 3 {
+		return fmt.Errorf("malformed routing key %q", m.RoutingKey)
+	}
+	appID, clientID, datatype := parts[0], parts[1], parts[2]
+	if datatype != "obs" {
+		// Feedback / journey notifications are fan-out only; the
+		// server stores observations.
+		return nil
+	}
+	obs, err := sensing.DecodeObservation(m.Body)
+	if err != nil {
+		return err
+	}
+	receivedAt := s.clock.Now()
+	if !m.PublishedAt.IsZero() {
+		receivedAt = m.PublishedAt
+	}
+	if _, err := s.Data.Ingest(appID, clientID, obs, receivedAt); err != nil {
+		return err
+	}
+	s.Analytics.RecordIngest(appID, s.Accounts.Anonymize(clientID), obs.DeviceModel, obs.Localized(), receivedAt)
+	return nil
+}
+
+// BulkIngest stores observations directly through the ingest pipeline
+// (validation, anonymization, analytics) without broker transport —
+// the fast path used by the large-scale simulations.
+func (s *Server) BulkIngest(appID, clientID string, observations []*sensing.Observation) (int, error) {
+	stored := 0
+	for _, o := range observations {
+		receivedAt := o.ReceivedAt
+		if receivedAt.IsZero() {
+			receivedAt = o.SensedAt
+		}
+		if _, err := s.Data.Ingest(appID, clientID, o, receivedAt); err != nil {
+			return stored, fmt.Errorf("bulk ingest #%d: %w", stored, err)
+		}
+		s.Analytics.RecordIngest(appID, s.Accounts.Anonymize(clientID), o.DeviceModel, o.Localized(), receivedAt)
+		stored++
+	}
+	return stored, nil
+}
+
+// WaitIdle blocks until the GoFlow queue is fully drained and acked
+// (test/simulation synchronization helper).
+func (s *Server) WaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := s.broker.QueueStats(GoFlowQueue)
+		if err != nil {
+			return err
+		}
+		if st.Ready == 0 && st.Unacked == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goflow: queue not drained (ready=%d unacked=%d)", st.Ready, st.Unacked)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Shutdown stops the ingest loop and background jobs.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	consumer := s.consumer
+	done := s.done
+	s.consumer = nil
+	s.done = nil
+	s.mu.Unlock()
+	if consumer != nil {
+		consumer.Cancel()
+		<-done
+	}
+	s.Jobs.Shutdown()
+}

@@ -1,0 +1,469 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ExchangeType selects the routing discipline of an exchange.
+type ExchangeType int
+
+// Exchange types, mirroring AMQP.
+const (
+	// Direct routes to bindings whose pattern equals the routing key.
+	Direct ExchangeType = iota + 1
+	// Fanout routes to every binding, ignoring the routing key.
+	Fanout
+	// Topic routes using dot-separated patterns with * and # wildcards.
+	Topic
+)
+
+// String implements fmt.Stringer.
+func (t ExchangeType) String() string {
+	switch t {
+	case Direct:
+		return "direct"
+	case Fanout:
+		return "fanout"
+	case Topic:
+		return "topic"
+	default:
+		return fmt.Sprintf("ExchangeType(%d)", int(t))
+	}
+}
+
+// ParseExchangeType converts a wire-protocol string to an ExchangeType.
+func ParseExchangeType(s string) (ExchangeType, error) {
+	switch s {
+	case "direct":
+		return Direct, nil
+	case "fanout":
+		return Fanout, nil
+	case "topic":
+		return Topic, nil
+	default:
+		return 0, fmt.Errorf("mq: unknown exchange type %q", s)
+	}
+}
+
+// Broker-level errors callers may match with errors.Is.
+var (
+	ErrExchangeNotFound = errors.New("mq: exchange not found")
+	ErrQueueNotFound    = errors.New("mq: queue not found")
+	ErrExchangeExists   = errors.New("mq: exchange already exists with a different type")
+	ErrBrokerClosed     = errors.New("mq: broker closed")
+)
+
+// binding routes messages from an exchange to a queue or another
+// exchange when the pattern matches.
+type binding struct {
+	pattern string
+	// exactly one of toQueue / toExchange is set
+	toQueue    string
+	toExchange string
+}
+
+// exchange is a named routing node.
+type exchange struct {
+	name     string
+	typ      ExchangeType
+	bindings []binding
+}
+
+// matches reports whether the binding pattern accepts the key under
+// the exchange's routing discipline.
+func (e *exchange) matches(b binding, key string) bool {
+	switch e.typ {
+	case Fanout:
+		return true
+	case Direct:
+		return b.pattern == key
+	case Topic:
+		return TopicMatch(b.pattern, key)
+	default:
+		return false
+	}
+}
+
+// BrokerStats aggregates broker counters.
+type BrokerStats struct {
+	Exchanges  int    `json:"exchanges"`
+	Queues     int    `json:"queues"`
+	Published  uint64 `json:"published"`
+	Routed     uint64 `json:"routed"`
+	Unroutable uint64 `json:"unroutable"`
+}
+
+// Broker is an in-process AMQP-style message broker. It is safe for
+// concurrent use. Serve it over TCP with NewServer.
+type Broker struct {
+	mu         sync.RWMutex
+	exchanges  map[string]*exchange
+	queues     map[string]*queue
+	closed     bool
+	published  uint64
+	routed     uint64
+	unroutable uint64
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		exchanges: make(map[string]*exchange),
+		queues:    make(map[string]*queue),
+	}
+}
+
+// DeclareExchange creates an exchange; redeclaring with the same type
+// is idempotent, a different type is an error.
+func (b *Broker) DeclareExchange(name string, typ ExchangeType) error {
+	if name == "" {
+		return errors.New("mq: exchange name must not be empty")
+	}
+	if typ < Direct || typ > Topic {
+		return fmt.Errorf("mq: invalid exchange type %d", int(typ))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBrokerClosed
+	}
+	if ex, ok := b.exchanges[name]; ok {
+		if ex.typ != typ {
+			return fmt.Errorf("declare %q as %v: %w", name, typ, ErrExchangeExists)
+		}
+		return nil
+	}
+	b.exchanges[name] = &exchange{name: name, typ: typ}
+	return nil
+}
+
+// DeleteExchange removes an exchange and every binding pointing at it.
+func (b *Broker) DeleteExchange(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.exchanges[name]; !ok {
+		return fmt.Errorf("delete exchange %q: %w", name, ErrExchangeNotFound)
+	}
+	delete(b.exchanges, name)
+	for _, ex := range b.exchanges {
+		kept := ex.bindings[:0]
+		for _, bd := range ex.bindings {
+			if bd.toExchange != name {
+				kept = append(kept, bd)
+			}
+		}
+		ex.bindings = kept
+	}
+	return nil
+}
+
+// DeclareQueue creates a queue; redeclaration is idempotent (options
+// of the first declaration win).
+func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
+	if name == "" {
+		return errors.New("mq: queue name must not be empty")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBrokerClosed
+	}
+	if _, ok := b.queues[name]; ok {
+		return nil
+	}
+	b.queues[name] = newQueue(name, opts)
+	return nil
+}
+
+// DeleteQueue removes a queue, closing its consumers, and removes
+// bindings pointing at it.
+func (b *Broker) DeleteQueue(name string) error {
+	b.mu.Lock()
+	q, ok := b.queues[name]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("delete queue %q: %w", name, ErrQueueNotFound)
+	}
+	delete(b.queues, name)
+	for _, ex := range b.exchanges {
+		kept := ex.bindings[:0]
+		for _, bd := range ex.bindings {
+			if bd.toQueue != name {
+				kept = append(kept, bd)
+			}
+		}
+		ex.bindings = kept
+	}
+	b.mu.Unlock()
+	q.close()
+	return nil
+}
+
+// BindQueue routes messages from exchange to queue when the pattern
+// matches. Duplicate bindings are collapsed.
+func (b *Broker) BindQueue(queueName, exchangeName, pattern string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ex, ok := b.exchanges[exchangeName]
+	if !ok {
+		return fmt.Errorf("bind to %q: %w", exchangeName, ErrExchangeNotFound)
+	}
+	if _, ok := b.queues[queueName]; !ok {
+		return fmt.Errorf("bind queue %q: %w", queueName, ErrQueueNotFound)
+	}
+	for _, bd := range ex.bindings {
+		if bd.toQueue == queueName && bd.pattern == pattern {
+			return nil
+		}
+	}
+	ex.bindings = append(ex.bindings, binding{pattern: pattern, toQueue: queueName})
+	return nil
+}
+
+// BindExchange routes messages from src to dst when the pattern
+// matches (exchange-to-exchange binding, used by GoFlow to forward a
+// client exchange into the application exchange, Figure 3).
+func (b *Broker) BindExchange(dstExchange, srcExchange, pattern string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	src, ok := b.exchanges[srcExchange]
+	if !ok {
+		return fmt.Errorf("bind from %q: %w", srcExchange, ErrExchangeNotFound)
+	}
+	if _, ok := b.exchanges[dstExchange]; !ok {
+		return fmt.Errorf("bind to exchange %q: %w", dstExchange, ErrExchangeNotFound)
+	}
+	for _, bd := range src.bindings {
+		if bd.toExchange == dstExchange && bd.pattern == pattern {
+			return nil
+		}
+	}
+	src.bindings = append(src.bindings, binding{pattern: pattern, toExchange: dstExchange})
+	return nil
+}
+
+// UnbindQueue removes a queue binding.
+func (b *Broker) UnbindQueue(queueName, exchangeName, pattern string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ex, ok := b.exchanges[exchangeName]
+	if !ok {
+		return fmt.Errorf("unbind from %q: %w", exchangeName, ErrExchangeNotFound)
+	}
+	kept := ex.bindings[:0]
+	for _, bd := range ex.bindings {
+		if !(bd.toQueue == queueName && bd.pattern == pattern) {
+			kept = append(kept, bd)
+		}
+	}
+	ex.bindings = kept
+	return nil
+}
+
+// Publish routes a message. It returns the number of queues the
+// message was delivered to (0 when unroutable, which is not an error).
+func (b *Broker) Publish(exchangeName, routingKey string, headers map[string]string, body []byte) (int, error) {
+	return b.PublishAt(exchangeName, routingKey, headers, body, time.Now())
+}
+
+// PublishAt is Publish with an explicit publish timestamp, used by the
+// simulation to stamp virtual time.
+func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]string, body []byte, at time.Time) (int, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, ErrBrokerClosed
+	}
+	ex, ok := b.exchanges[exchangeName]
+	if !ok {
+		b.mu.RUnlock()
+		return 0, fmt.Errorf("publish to %q: %w", exchangeName, ErrExchangeNotFound)
+	}
+	msg := Message{
+		ID:          nextMessageID(),
+		Exchange:    exchangeName,
+		RoutingKey:  routingKey,
+		Headers:     headers,
+		Body:        body,
+		PublishedAt: at,
+	}
+	// Resolve the full set of destination queues, following
+	// exchange-to-exchange bindings breadth-first with cycle
+	// protection.
+	targets := make(map[string]*queue)
+	visited := map[string]bool{ex.name: true}
+	frontier := []*exchange{ex}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, bd := range cur.bindings {
+			if !cur.matches(bd, routingKey) {
+				continue
+			}
+			if bd.toQueue != "" {
+				if q, ok := b.queues[bd.toQueue]; ok {
+					targets[bd.toQueue] = q
+				}
+				continue
+			}
+			if visited[bd.toExchange] {
+				continue
+			}
+			visited[bd.toExchange] = true
+			if next, ok := b.exchanges[bd.toExchange]; ok {
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	b.mu.RUnlock()
+
+	delivered := 0
+	for _, q := range targets {
+		if err := q.publish(msg.clone()); err == nil {
+			delivered++
+		}
+	}
+
+	b.mu.Lock()
+	b.published++
+	if delivered == 0 {
+		b.unroutable++
+	} else {
+		b.routed += uint64(delivered)
+	}
+	b.mu.Unlock()
+	return delivered, nil
+}
+
+// Consume subscribes to a queue. Prefetch bounds unacked deliveries in
+// flight to this consumer (0 = unlimited, capped by channel size).
+func (b *Broker) Consume(queueName string, prefetch int) (*Consumer, error) {
+	b.mu.RLock()
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("consume %q: %w", queueName, ErrQueueNotFound)
+	}
+	chanSize := prefetch
+	if chanSize <= 0 {
+		chanSize = 128
+	}
+	c := &Consumer{
+		queue:       q,
+		ch:          make(chan Delivery, chanSize),
+		prefetch:    prefetch,
+		outstanding: make(map[uint64]struct{}),
+	}
+	if err := c.queue.addConsumer(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Get synchronously fetches one message from a queue (basic.get). The
+// second result is false when the queue is empty. The delivery must be
+// acked or nacked via AckGet/NackGet.
+func (b *Broker) Get(queueName string) (Delivery, bool, error) {
+	b.mu.RLock()
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return Delivery{}, false, fmt.Errorf("get %q: %w", queueName, ErrQueueNotFound)
+	}
+	return q.get()
+}
+
+// AckGet acknowledges a delivery obtained via Get.
+func (b *Broker) AckGet(queueName string, tag uint64) error {
+	b.mu.RLock()
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("ack %q: %w", queueName, ErrQueueNotFound)
+	}
+	return q.ack(tag)
+}
+
+// NackGet rejects a delivery obtained via Get.
+func (b *Broker) NackGet(queueName string, tag uint64, requeue bool) error {
+	b.mu.RLock()
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("nack %q: %w", queueName, ErrQueueNotFound)
+	}
+	return q.nack(tag, requeue)
+}
+
+// QueueStats snapshots one queue's counters.
+func (b *Broker) QueueStats(queueName string) (QueueStats, error) {
+	b.mu.RLock()
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return QueueStats{}, fmt.Errorf("stats %q: %w", queueName, ErrQueueNotFound)
+	}
+	return q.stats(), nil
+}
+
+// Queues returns the sorted queue names.
+func (b *Broker) Queues() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.queues))
+	for n := range b.queues {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Exchanges returns the sorted exchange names.
+func (b *Broker) Exchanges() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.exchanges))
+	for n := range b.exchanges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats snapshots broker counters.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return BrokerStats{
+		Exchanges:  len(b.exchanges),
+		Queues:     len(b.queues),
+		Published:  b.published,
+		Routed:     b.routed,
+		Unroutable: b.unroutable,
+	}
+}
+
+// Close shuts the broker: all queues are closed and further operations
+// fail with ErrBrokerClosed.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	queues := make([]*queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		queues = append(queues, q)
+	}
+	b.queues = make(map[string]*queue)
+	b.exchanges = make(map[string]*exchange)
+	b.mu.Unlock()
+	for _, q := range queues {
+		q.close()
+	}
+}

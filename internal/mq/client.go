@@ -1,0 +1,348 @@
+package mq
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a client connection to a broker Server. It multiplexes
+// synchronous RPCs (declare, bind, publish, ...) and asynchronous
+// deliveries over one TCP connection, mirroring an AMQP channel.
+type Conn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu        sync.Mutex
+	nextCorr  uint64
+	pending   map[uint64]chan *frame
+	consumers map[uint64]*RemoteConsumer
+	closed    bool
+	closeErr  error
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a broker server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("mq dial %s: %w", addr, err)
+	}
+	c := &Conn{
+		conn:       nc,
+		pending:    make(map[uint64]chan *frame),
+		consumers:  make(map[uint64]*RemoteConsumer),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; in-flight RPCs fail with
+// errConnClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+func (c *Conn) readLoop() {
+	defer close(c.readerDone)
+	r := bufio.NewReader(c.conn)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		switch f.Op {
+		case opDeliver:
+			c.mu.Lock()
+			rc := c.consumers[f.ConsumerID]
+			c.mu.Unlock()
+			if rc != nil {
+				rc.deliver(Delivery{
+					Message: Message{
+						ID:          f.MessageID,
+						Exchange:    f.Exchange,
+						RoutingKey:  f.RoutingKey,
+						Headers:     f.Headers,
+						Body:        f.Body,
+						PublishedAt: f.PublishedAt,
+						Redelivered: f.Redelivered,
+					},
+					Tag:   f.Tag,
+					Queue: f.Queue,
+				})
+			}
+		default:
+			c.mu.Lock()
+			ch := c.pending[f.Corr]
+			delete(c.pending, f.Corr)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		}
+	}
+}
+
+// failAll wakes every pending RPC and closes consumer channels after
+// the connection dies.
+func (c *Conn) failAll(err error) {
+	c.mu.Lock()
+	c.closeErr = err
+	c.closed = true
+	pending := c.pending
+	c.pending = make(map[uint64]chan *frame)
+	consumers := c.consumers
+	c.consumers = make(map[uint64]*RemoteConsumer)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, rc := range consumers {
+		rc.closeChan()
+	}
+}
+
+// rpc sends one frame and waits for the correlated response.
+func (c *Conn) rpc(f *frame) (*frame, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errConnClosed
+	}
+	c.nextCorr++
+	f.Corr = c.nextCorr
+	ch := make(chan *frame, 1)
+	c.pending[f.Corr] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, f)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, f.Corr)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		return nil, errConnClosed
+	}
+	if resp.Op == opError {
+		return nil, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// DeclareExchange declares an exchange on the remote broker.
+func (c *Conn) DeclareExchange(name string, typ ExchangeType) error {
+	_, err := c.rpc(&frame{Op: opDeclareExchange, Exchange: name, ExchangeType: typ.String()})
+	return err
+}
+
+// DeleteExchange deletes a remote exchange.
+func (c *Conn) DeleteExchange(name string) error {
+	_, err := c.rpc(&frame{Op: opDeleteExchange, Exchange: name})
+	return err
+}
+
+// DeclareQueue declares a remote queue.
+func (c *Conn) DeclareQueue(name string, opts QueueOptions) error {
+	_, err := c.rpc(&frame{
+		Op:        opDeclareQueue,
+		Queue:     name,
+		MaxLen:    opts.MaxLen,
+		TTLMillis: opts.TTL.Milliseconds(),
+		Exclusive: opts.Exclusive,
+	})
+	return err
+}
+
+// DeleteQueue deletes a remote queue.
+func (c *Conn) DeleteQueue(name string) error {
+	_, err := c.rpc(&frame{Op: opDeleteQueue, Queue: name})
+	return err
+}
+
+// BindQueue binds a remote queue to an exchange.
+func (c *Conn) BindQueue(queueName, exchangeName, pattern string) error {
+	_, err := c.rpc(&frame{Op: opBindQueue, Queue: queueName, Exchange: exchangeName, Pattern: pattern})
+	return err
+}
+
+// BindExchange binds exchange dst to receive from src.
+func (c *Conn) BindExchange(dstExchange, srcExchange, pattern string) error {
+	_, err := c.rpc(&frame{Op: opBindExchange, Exchange: dstExchange, SrcExchange: srcExchange, Pattern: pattern})
+	return err
+}
+
+// UnbindQueue removes a remote binding.
+func (c *Conn) UnbindQueue(queueName, exchangeName, pattern string) error {
+	_, err := c.rpc(&frame{Op: opUnbindQueue, Queue: queueName, Exchange: exchangeName, Pattern: pattern})
+	return err
+}
+
+// Publish publishes a message; it returns the number of destination
+// queues.
+func (c *Conn) Publish(exchangeName, routingKey string, headers map[string]string, body []byte) (int, error) {
+	resp, err := c.rpc(&frame{Op: opPublish, Exchange: exchangeName, RoutingKey: routingKey, Headers: headers, Body: body})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Delivered, nil
+}
+
+// PublishAt publishes with an explicit timestamp (virtual-time sims).
+func (c *Conn) PublishAt(exchangeName, routingKey string, headers map[string]string, body []byte, at time.Time) (int, error) {
+	resp, err := c.rpc(&frame{Op: opPublish, Exchange: exchangeName, RoutingKey: routingKey, Headers: headers, Body: body, PublishedAt: at})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Delivered, nil
+}
+
+// Get fetches one message from a remote queue (basic.get).
+func (c *Conn) Get(queueName string) (Delivery, bool, error) {
+	resp, err := c.rpc(&frame{Op: opGet, Queue: queueName})
+	if err != nil {
+		return Delivery{}, false, err
+	}
+	if !resp.Found {
+		return Delivery{}, false, nil
+	}
+	return Delivery{
+		Message: Message{
+			ID:          resp.MessageID,
+			Exchange:    resp.Exchange,
+			RoutingKey:  resp.RoutingKey,
+			Headers:     resp.Headers,
+			Body:        resp.Body,
+			PublishedAt: resp.PublishedAt,
+			Redelivered: resp.Redelivered,
+		},
+		Tag:   resp.Tag,
+		Queue: resp.Queue,
+	}, true, nil
+}
+
+// Ack acknowledges a Get delivery.
+func (c *Conn) Ack(queueName string, tag uint64) error {
+	_, err := c.rpc(&frame{Op: opAck, Queue: queueName, Tag: tag})
+	return err
+}
+
+// Nack rejects a Get delivery.
+func (c *Conn) Nack(queueName string, tag uint64, requeue bool) error {
+	_, err := c.rpc(&frame{Op: opNack, Queue: queueName, Tag: tag, Requeue: requeue})
+	return err
+}
+
+// QueueStats fetches remote queue counters.
+func (c *Conn) QueueStats(queueName string) (QueueStats, error) {
+	resp, err := c.rpc(&frame{Op: opQueueStats, Queue: queueName})
+	if err != nil {
+		return QueueStats{}, err
+	}
+	if resp.Stats == nil {
+		return QueueStats{}, errors.New("mq: missing stats in response")
+	}
+	return *resp.Stats, nil
+}
+
+// Consume subscribes to a remote queue; deliveries arrive on the
+// returned RemoteConsumer's channel.
+func (c *Conn) Consume(queueName string, prefetch int) (*RemoteConsumer, error) {
+	resp, err := c.rpc(&frame{Op: opConsume, Queue: queueName, Prefetch: prefetch})
+	if err != nil {
+		return nil, err
+	}
+	rc := &RemoteConsumer{
+		conn:  c,
+		id:    resp.ConsumerID,
+		queue: queueName,
+		ch:    make(chan Delivery, 128),
+	}
+	c.mu.Lock()
+	c.consumers[rc.id] = rc
+	c.mu.Unlock()
+	return rc, nil
+}
+
+// RemoteConsumer is the client-side view of a remote subscription.
+type RemoteConsumer struct {
+	conn  *Conn
+	id    uint64
+	queue string
+
+	mu     sync.Mutex
+	ch     chan Delivery
+	closed bool
+}
+
+// C returns the delivery channel; it closes when the consumer is
+// cancelled or the connection dies.
+func (rc *RemoteConsumer) C() <-chan Delivery { return rc.ch }
+
+func (rc *RemoteConsumer) deliver(d Delivery) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return
+	}
+	// Block-free best effort: the channel is sized above typical
+	// prefetch; if the application is too slow the delivery is
+	// nacked back to the queue.
+	select {
+	case rc.ch <- d:
+	default:
+		go func() { _ = rc.Nack(d.Tag, true) }()
+	}
+}
+
+func (rc *RemoteConsumer) closeChan() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if !rc.closed {
+		rc.closed = true
+		close(rc.ch)
+	}
+}
+
+// Ack acknowledges a delivery from this consumer.
+func (rc *RemoteConsumer) Ack(tag uint64) error {
+	_, err := rc.conn.rpc(&frame{Op: opAck, ConsumerID: rc.id, Tag: tag})
+	return err
+}
+
+// Nack rejects a delivery from this consumer.
+func (rc *RemoteConsumer) Nack(tag uint64, requeue bool) error {
+	_, err := rc.conn.rpc(&frame{Op: opNack, ConsumerID: rc.id, Tag: tag, Requeue: requeue})
+	return err
+}
+
+// Cancel stops the subscription.
+func (rc *RemoteConsumer) Cancel() error {
+	_, err := rc.conn.rpc(&frame{Op: opCancel, ConsumerID: rc.id})
+	rc.conn.mu.Lock()
+	delete(rc.conn.consumers, rc.id)
+	rc.conn.mu.Unlock()
+	rc.closeChan()
+	return err
+}

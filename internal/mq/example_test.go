@@ -1,0 +1,48 @@
+package mq_test
+
+import (
+	"fmt"
+
+	"github.com/urbancivics/goflow/internal/mq"
+)
+
+func ExampleTopicMatch() {
+	fmt.Println(mq.TopicMatch("SC.*.feedback.FR75013", "SC.mob1.feedback.FR75013"))
+	fmt.Println(mq.TopicMatch("SC.mob1.#", "SC.mob1.obs.FR75013"))
+	fmt.Println(mq.TopicMatch("SC.mob1.#", "SC.mob2.obs.FR75013"))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+func ExampleBroker() {
+	// The Figure 3 topology in miniature: a client exchange feeds the
+	// app exchange (filtered by client id), which feeds the GoFlow
+	// queue.
+	broker := mq.NewBroker()
+	defer broker.Close()
+
+	must := func(err error) {
+		if err != nil {
+			fmt.Println(err)
+		}
+	}
+	must(broker.DeclareExchange("E.mob1", mq.Topic))
+	must(broker.DeclareExchange("SC", mq.Topic))
+	must(broker.DeclareQueue("GF", mq.QueueOptions{}))
+	must(broker.BindExchange("SC", "E.mob1", "SC.mob1.#"))
+	must(broker.BindQueue("GF", "SC", "#"))
+
+	n, err := broker.Publish("E.mob1", "SC.mob1.obs.FR75013", nil, []byte(`{"spl":61.5}`))
+	must(err)
+	fmt.Println("delivered to", n, "queue(s)")
+
+	d, ok, err := broker.Get("GF")
+	must(err)
+	fmt.Println(ok, string(d.Body))
+	must(broker.AckGet("GF", d.Tag))
+	// Output:
+	// delivered to 1 queue(s)
+	// true {"spl":61.5}
+}

@@ -1,0 +1,64 @@
+// Package mq implements the messaging substrate of the GoFlow
+// middleware: an AMQP-style broker in the spirit of RabbitMQ, with
+// direct, fanout and topic exchanges, named queues, queue and
+// exchange-to-exchange bindings, consumer acknowledgements and a TCP
+// wire protocol for remote clients.
+//
+// The exchange/queue topology follows Figure 3 of the paper: each
+// application owns a topic exchange that forwards every crowd-sensed
+// message to the GoFlow exchange and queue; each mobile client gets a
+// private exchange (bound to the application exchange) and a private
+// queue for notifications; location and datatype exchanges fan
+// messages out to interested subscribers.
+package mq
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Message is a routed payload. Bodies are opaque bytes; GoFlow encodes
+// observations as JSON.
+type Message struct {
+	// ID is a broker-assigned unique id.
+	ID string `json:"id"`
+	// Exchange the message was published to.
+	Exchange string `json:"exchange"`
+	// RoutingKey used for binding matches (dot-separated words for
+	// topic exchanges, e.g. "soundcity.FR75013.noise").
+	RoutingKey string `json:"routingKey"`
+	// Headers carry application metadata (client id, app version).
+	Headers map[string]string `json:"headers,omitempty"`
+	// Body is the payload.
+	Body []byte `json:"body"`
+	// PublishedAt is the broker receive time.
+	PublishedAt time.Time `json:"publishedAt"`
+	// Redelivered is true when the message was requeued after a nack
+	// or a consumer cancellation.
+	Redelivered bool `json:"redelivered"`
+}
+
+// clone returns a copy safe to hand to an independent queue. Headers
+// are shared copy-on-write by convention: the broker never mutates
+// them after publish.
+func (m Message) clone() Message {
+	return m
+}
+
+var _msgCounter atomic.Uint64
+
+// nextMessageID mints a process-unique message id.
+func nextMessageID() string {
+	return "m" + strconv.FormatUint(_msgCounter.Add(1), 36)
+}
+
+// Delivery is a message handed to a consumer together with the tag
+// needed to acknowledge it.
+type Delivery struct {
+	Message
+	// Tag identifies this delivery for Ack/Nack.
+	Tag uint64 `json:"tag"`
+	// Queue the delivery came from.
+	Queue string `json:"queue"`
+}

@@ -1,0 +1,389 @@
+package mq
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrQueueClosed is returned on operations against a deleted queue.
+	ErrQueueClosed = errors.New("mq: queue closed")
+	// ErrUnknownTag is returned when acknowledging a delivery tag that
+	// is not outstanding.
+	ErrUnknownTag = errors.New("mq: unknown delivery tag")
+)
+
+// QueueOptions configure queue behaviour at declare time.
+type QueueOptions struct {
+	// MaxLen bounds the number of ready messages; 0 means unbounded.
+	// When full, the oldest ready message is dropped (the mobile
+	// buffering semantics: fresher observations win).
+	MaxLen int `json:"maxLen,omitempty"`
+	// TTL expires ready messages older than this (by publish time);
+	// 0 disables expiry. Expired messages are lazily dropped when the
+	// queue is touched — the notification-queue semantics: a phone
+	// reconnecting after a week does not want week-old zone feedback.
+	TTL time.Duration `json:"ttl,omitempty"`
+	// Exclusive marks a per-client private queue (informational; the
+	// broker does not enforce connection affinity).
+	Exclusive bool `json:"exclusive,omitempty"`
+}
+
+// QueueStats is a point-in-time snapshot of queue state.
+type QueueStats struct {
+	Name      string `json:"name"`
+	Ready     int    `json:"ready"`
+	Unacked   int    `json:"unacked"`
+	Consumers int    `json:"consumers"`
+	Published uint64 `json:"published"`
+	Delivered uint64 `json:"delivered"`
+	Acked     uint64 `json:"acked"`
+	Dropped   uint64 `json:"dropped"`
+	Expired   uint64 `json:"expired"`
+}
+
+// queue is a broker-internal message queue with competing consumers
+// and per-delivery acknowledgements.
+type queue struct {
+	name string
+	opts QueueOptions
+
+	mu        sync.Mutex
+	ready     *list.List // of Message
+	unacked   map[uint64]Message
+	consumers []*Consumer
+	nextRR    int // round-robin cursor over consumers
+	nextTag   uint64
+	closed    bool
+
+	// now stamps expiry checks; overridable in tests.
+	now func() time.Time
+
+	published uint64
+	delivered uint64
+	acked     uint64
+	dropped   uint64
+	expired   uint64
+}
+
+func newQueue(name string, opts QueueOptions) *queue {
+	return &queue{
+		name:    name,
+		opts:    opts,
+		ready:   list.New(),
+		unacked: make(map[uint64]Message),
+		now:     time.Now,
+	}
+}
+
+// expireLocked lazily drops ready messages older than the TTL.
+// Caller holds q.mu.
+func (q *queue) expireLocked() {
+	if q.opts.TTL <= 0 {
+		return
+	}
+	cutoff := q.now().Add(-q.opts.TTL)
+	for front := q.ready.Front(); front != nil; {
+		msg, ok := front.Value.(Message)
+		if !ok || !msg.PublishedAt.Before(cutoff) {
+			// Messages are ordered by publish time; the first fresh
+			// one ends the sweep.
+			return
+		}
+		next := front.Next()
+		q.ready.Remove(front)
+		q.expired++
+		front = next
+	}
+}
+
+// publish enqueues a message and dispatches it to a consumer with
+// spare prefetch capacity if one exists.
+func (q *queue) publish(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.published++
+	q.ready.PushBack(m)
+	if q.opts.MaxLen > 0 {
+		for q.ready.Len() > q.opts.MaxLen {
+			q.ready.Remove(q.ready.Front())
+			q.dropped++
+		}
+	}
+	q.dispatchLocked()
+	return nil
+}
+
+// dispatchLocked hands ready messages to consumers round-robin while
+// any consumer has prefetch headroom. Caller holds q.mu.
+func (q *queue) dispatchLocked() {
+	q.expireLocked()
+	if len(q.consumers) == 0 {
+		return
+	}
+	for q.ready.Len() > 0 {
+		c := q.pickConsumerLocked()
+		if c == nil {
+			return
+		}
+		front := q.ready.Front()
+		msg, ok := front.Value.(Message)
+		if !ok {
+			// Impossible by construction; drop defensively.
+			q.ready.Remove(front)
+			continue
+		}
+		q.nextTag++
+		tag := q.nextTag
+		d := Delivery{Message: msg, Tag: tag, Queue: q.name}
+		if !c.offer(d) {
+			// Consumer channel full beyond prefetch; stop here, the
+			// message stays ready and will be dispatched on ack.
+			return
+		}
+		q.ready.Remove(front)
+		q.unacked[tag] = msg
+		q.delivered++
+	}
+}
+
+// pickConsumerLocked returns the next consumer with prefetch headroom,
+// or nil when all are saturated.
+func (q *queue) pickConsumerLocked() *Consumer {
+	n := len(q.consumers)
+	for i := 0; i < n; i++ {
+		c := q.consumers[(q.nextRR+i)%n]
+		if c.hasCapacity() {
+			q.nextRR = (q.nextRR + i + 1) % n
+			return c
+		}
+	}
+	return nil
+}
+
+// get implements basic.get: synchronously dequeue one message (it
+// becomes unacked until Ack/Nack).
+func (q *queue) get() (Delivery, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Delivery{}, false, ErrQueueClosed
+	}
+	q.expireLocked()
+	front := q.ready.Front()
+	if front == nil {
+		return Delivery{}, false, nil
+	}
+	msg, ok := front.Value.(Message)
+	if !ok {
+		q.ready.Remove(front)
+		return Delivery{}, false, nil
+	}
+	q.ready.Remove(front)
+	q.nextTag++
+	q.unacked[q.nextTag] = msg
+	q.delivered++
+	return Delivery{Message: msg, Tag: q.nextTag, Queue: q.name}, true, nil
+}
+
+// ack discards an unacked delivery.
+func (q *queue) ack(tag uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.unacked[tag]; !ok {
+		return fmt.Errorf("queue %q: ack %d: %w", q.name, tag, ErrUnknownTag)
+	}
+	delete(q.unacked, tag)
+	q.acked++
+	q.dispatchLocked()
+	return nil
+}
+
+// nack returns an unacked delivery; requeue=true pushes it back to the
+// front of the ready list marked redelivered, requeue=false drops it.
+func (q *queue) nack(tag uint64, requeue bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m, ok := q.unacked[tag]
+	if !ok {
+		return fmt.Errorf("queue %q: nack %d: %w", q.name, tag, ErrUnknownTag)
+	}
+	delete(q.unacked, tag)
+	if requeue {
+		m.Redelivered = true
+		q.ready.PushFront(m)
+		q.dispatchLocked()
+	} else {
+		q.dropped++
+	}
+	return nil
+}
+
+// addConsumer registers a consumer and immediately dispatches backlog.
+func (q *queue) addConsumer(c *Consumer) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.consumers = append(q.consumers, c)
+	q.dispatchLocked()
+	return nil
+}
+
+// removeConsumer unregisters a consumer and requeues its undelivered
+// channel backlog is not tracked here; unacked messages stay unacked
+// until the owning session nacks them.
+func (q *queue) removeConsumer(c *Consumer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, x := range q.consumers {
+		if x == c {
+			q.consumers = append(q.consumers[:i], q.consumers[i+1:]...)
+			break
+		}
+	}
+}
+
+// close marks the queue deleted and closes every consumer channel.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, c := range q.consumers {
+		c.closeChan()
+	}
+	q.consumers = nil
+	q.ready.Init()
+	q.unacked = make(map[uint64]Message)
+}
+
+// stats snapshots queue counters.
+func (q *queue) stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	return QueueStats{
+		Name:      q.name,
+		Ready:     q.ready.Len(),
+		Unacked:   len(q.unacked),
+		Consumers: len(q.consumers),
+		Published: q.published,
+		Delivered: q.delivered,
+		Acked:     q.acked,
+		Dropped:   q.dropped,
+		Expired:   q.expired,
+	}
+}
+
+// Consumer receives deliveries from a queue. Obtain one via
+// Broker.Consume; receive from C; call Cancel when done.
+type Consumer struct {
+	queue    *queue
+	ch       chan Delivery
+	prefetch int
+
+	mu          sync.Mutex
+	inFlight    int
+	closed      bool
+	outstanding map[uint64]struct{}
+}
+
+// C returns the delivery channel. It is closed when the consumer is
+// cancelled or the queue deleted.
+func (c *Consumer) C() <-chan Delivery { return c.ch }
+
+// hasCapacity reports whether the consumer may take another delivery.
+func (c *Consumer) hasCapacity() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed && (c.prefetch == 0 || c.inFlight < c.prefetch)
+}
+
+// offer attempts a non-blocking delivery.
+func (c *Consumer) offer(d Delivery) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	select {
+	case c.ch <- d:
+		c.inFlight++
+		c.outstanding[d.Tag] = struct{}{}
+		c.mu.Unlock()
+		return true
+	default:
+		c.mu.Unlock()
+		return false
+	}
+}
+
+// Ack acknowledges a delivery received by this consumer.
+func (c *Consumer) Ack(tag uint64) error {
+	c.mu.Lock()
+	if c.inFlight > 0 {
+		c.inFlight--
+	}
+	delete(c.outstanding, tag)
+	c.mu.Unlock()
+	return c.queue.ack(tag)
+}
+
+// Nack rejects a delivery; requeue controls whether it returns to the
+// ready list.
+func (c *Consumer) Nack(tag uint64, requeue bool) error {
+	c.mu.Lock()
+	if c.inFlight > 0 {
+		c.inFlight--
+	}
+	delete(c.outstanding, tag)
+	c.mu.Unlock()
+	return c.queue.nack(tag, requeue)
+}
+
+// Cancel unsubscribes the consumer and closes its channel. Unacked
+// deliveries already received must still be acked or nacked.
+func (c *Consumer) Cancel() {
+	c.queue.removeConsumer(c)
+	c.closeChan()
+}
+
+// CancelAndRequeue cancels the subscription and returns every
+// delivery the consumer still held unacknowledged (including ones
+// sitting unread in its channel) to the queue — the teardown path for
+// a mobile session that disconnected mid-stream.
+func (c *Consumer) CancelAndRequeue() {
+	c.Cancel()
+	c.mu.Lock()
+	tags := make([]uint64, 0, len(c.outstanding))
+	for tag := range c.outstanding {
+		tags = append(tags, tag)
+	}
+	c.outstanding = make(map[uint64]struct{})
+	c.inFlight = 0
+	c.mu.Unlock()
+	for _, tag := range tags {
+		// A tag may already be acked/nacked through another path;
+		// ErrUnknownTag is expected and ignorable here.
+		_ = c.queue.nack(tag, true)
+	}
+}
+
+func (c *Consumer) closeChan() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+}

@@ -1,0 +1,332 @@
+package mq
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server exposes a Broker over TCP using the wire protocol. One server
+// goroutine accepts connections; each connection gets a reader
+// goroutine; deliveries for the connection's consumers are written by
+// per-consumer pump goroutines serialized through a write mutex.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewServer starts serving broker on addr ("host:port"; ":0" picks a
+// free port). Call Addr for the bound address and Close to stop.
+func NewServer(broker *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		broker: broker,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections, and waits for the
+// accept loop to exit.
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	_ = s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				wg.Wait()
+				return
+			default:
+			}
+			log.Printf("mq server: accept: %v", err)
+			wg.Wait()
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// connState tracks one connection's consumers so they can be torn
+// down when the connection dies — the "mobile session buffering"
+// behaviour: messages stay queued at the broker while the phone is
+// disconnected.
+type connState struct {
+	writeMu   sync.Mutex
+	conn      net.Conn
+	consumers map[uint64]*Consumer
+	mu        sync.Mutex
+}
+
+func (cs *connState) send(f *frame) error {
+	cs.writeMu.Lock()
+	defer cs.writeMu.Unlock()
+	return writeFrame(cs.conn, f)
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	cs := &connState{conn: conn, consumers: make(map[uint64]*Consumer)}
+	defer func() {
+		cs.mu.Lock()
+		consumers := make([]*Consumer, 0, len(cs.consumers))
+		for _, c := range cs.consumers {
+			consumers = append(consumers, c)
+		}
+		cs.consumers = make(map[uint64]*Consumer)
+		cs.mu.Unlock()
+		// Requeue what the dead session still held unacked, so the
+		// messages are redelivered when the phone reconnects.
+		for _, c := range consumers {
+			c.CancelAndRequeue()
+		}
+	}()
+
+	r := bufio.NewReader(conn)
+	var nextConsumerID uint64
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level noise (resets, partial frames) is
+				// expected with mobile clients; log at most.
+				select {
+				case <-s.stop:
+				default:
+					log.Printf("mq server: read: %v", err)
+				}
+			}
+			return
+		}
+		resp := s.dispatch(cs, f, &nextConsumerID)
+		if resp != nil {
+			if err := cs.send(resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// dispatch executes one request frame and returns the response frame.
+func (s *Server) dispatch(cs *connState, f *frame, nextConsumerID *uint64) *frame {
+	ok := func() *frame { return &frame{Op: opOK, Corr: f.Corr} }
+	fail := func(err error) *frame { return &frame{Op: opError, Corr: f.Corr, Error: err.Error()} }
+
+	switch f.Op {
+	case opDeclareExchange:
+		typ, err := ParseExchangeType(f.ExchangeType)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.broker.DeclareExchange(f.Exchange, typ); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opDeleteExchange:
+		if err := s.broker.DeleteExchange(f.Exchange); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opDeclareQueue:
+		opts := QueueOptions{
+			MaxLen:    f.MaxLen,
+			TTL:       time.Duration(f.TTLMillis) * time.Millisecond,
+			Exclusive: f.Exclusive,
+		}
+		if err := s.broker.DeclareQueue(f.Queue, opts); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opDeleteQueue:
+		if err := s.broker.DeleteQueue(f.Queue); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opBindQueue:
+		if err := s.broker.BindQueue(f.Queue, f.Exchange, f.Pattern); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opBindExchange:
+		if err := s.broker.BindExchange(f.Exchange, f.SrcExchange, f.Pattern); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opUnbindQueue:
+		if err := s.broker.UnbindQueue(f.Queue, f.Exchange, f.Pattern); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opPublish:
+		at := f.PublishedAt
+		if at.IsZero() {
+			at = time.Now()
+		}
+		n, err := s.broker.PublishAt(f.Exchange, f.RoutingKey, f.Headers, f.Body, at)
+		if err != nil {
+			return fail(err)
+		}
+		resp := ok()
+		resp.Delivered = n
+		return resp
+	case opConsume:
+		c, err := s.broker.Consume(f.Queue, f.Prefetch)
+		if err != nil {
+			return fail(err)
+		}
+		*nextConsumerID++
+		id := *nextConsumerID
+		cs.mu.Lock()
+		cs.consumers[id] = c
+		cs.mu.Unlock()
+		go pumpDeliveries(cs, id, c)
+		resp := ok()
+		resp.ConsumerID = id
+		return resp
+	case opCancel:
+		cs.mu.Lock()
+		c, found := cs.consumers[f.ConsumerID]
+		delete(cs.consumers, f.ConsumerID)
+		cs.mu.Unlock()
+		if found {
+			c.Cancel()
+		}
+		return ok()
+	case opGet:
+		d, found, err := s.broker.Get(f.Queue)
+		if err != nil {
+			return fail(err)
+		}
+		resp := ok()
+		resp.Found = found
+		if found {
+			resp.Queue = d.Queue
+			resp.Tag = d.Tag
+			resp.Exchange = d.Exchange
+			resp.RoutingKey = d.RoutingKey
+			resp.Headers = d.Headers
+			resp.Body = d.Body
+			resp.PublishedAt = d.PublishedAt
+			resp.MessageID = d.ID
+			resp.Redelivered = d.Redelivered
+		}
+		return resp
+	case opAck:
+		if f.ConsumerID != 0 {
+			cs.mu.Lock()
+			c, found := cs.consumers[f.ConsumerID]
+			cs.mu.Unlock()
+			if !found {
+				return fail(errors.New("mq: unknown consumer"))
+			}
+			if err := c.Ack(f.Tag); err != nil {
+				return fail(err)
+			}
+			return ok()
+		}
+		if err := s.broker.AckGet(f.Queue, f.Tag); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opNack:
+		if f.ConsumerID != 0 {
+			cs.mu.Lock()
+			c, found := cs.consumers[f.ConsumerID]
+			cs.mu.Unlock()
+			if !found {
+				return fail(errors.New("mq: unknown consumer"))
+			}
+			if err := c.Nack(f.Tag, f.Requeue); err != nil {
+				return fail(err)
+			}
+			return ok()
+		}
+		if err := s.broker.NackGet(f.Queue, f.Tag, f.Requeue); err != nil {
+			return fail(err)
+		}
+		return ok()
+	case opQueueStats:
+		st, err := s.broker.QueueStats(f.Queue)
+		if err != nil {
+			return fail(err)
+		}
+		resp := ok()
+		resp.Stats = &st
+		return resp
+	default:
+		return fail(errors.New("mq: unknown op " + f.Op))
+	}
+}
+
+// pumpDeliveries forwards consumer deliveries to the connection until
+// the consumer channel closes.
+func pumpDeliveries(cs *connState, consumerID uint64, c *Consumer) {
+	for d := range c.C() {
+		f := &frame{
+			Op:          opDeliver,
+			ConsumerID:  consumerID,
+			Queue:       d.Queue,
+			Tag:         d.Tag,
+			Exchange:    d.Exchange,
+			RoutingKey:  d.RoutingKey,
+			Headers:     d.Headers,
+			Body:        d.Body,
+			PublishedAt: d.PublishedAt,
+			MessageID:   d.ID,
+			Redelivered: d.Redelivered,
+		}
+		if err := cs.send(f); err != nil {
+			// Connection gone: return this and every other unacked
+			// delivery to the queue for redelivery on reconnect.
+			c.CancelAndRequeue()
+			return
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package mq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*Broker, *Server) {
+	t.Helper()
+	b := NewBroker()
+	s, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		b.Close()
+	})
+	return b, s
+}
+
+func dialTest(t *testing.T, s *Server) *Conn {
+	t.Helper()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	f := &frame{
+		Op:         opPublish,
+		Corr:       7,
+		Exchange:   "SC",
+		RoutingKey: "SC.mob1.obs.FR75013",
+		Headers:    map[string]string{"clientId": "mob1"},
+		Body:       []byte(`{"spl":61.5}`),
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != f.Op || got.Corr != f.Corr || got.Exchange != f.Exchange ||
+		got.RoutingKey != f.RoutingKey || string(got.Body) != string(f.Body) ||
+		got.Headers["clientId"] != "mob1" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestWireOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("oversized frame length must be rejected")
+	}
+}
+
+func TestRemoteDeclarePublishGet(t *testing.T) {
+	_, s := startServer(t)
+	c := dialTest(t, s)
+
+	if err := c.DeclareExchange("x", Topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindQueue("q", "x", "a.#"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Publish("x", "a.b", map[string]string{"h": "v"}, []byte("hello"))
+	if err != nil || n != 1 {
+		t.Fatalf("remote publish: n=%d err=%v", n, err)
+	}
+	d, found, err := c.Get("q")
+	if err != nil || !found {
+		t.Fatalf("remote get: found=%v err=%v", found, err)
+	}
+	if string(d.Body) != "hello" || d.Headers["h"] != "v" || d.RoutingKey != "a.b" {
+		t.Fatalf("delivery mismatch: %+v", d)
+	}
+	if err := c.Ack("q", d.Tag); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Acked != 1 || st.Ready != 0 {
+		t.Fatalf("remote stats: %+v", st)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	_, s := startServer(t)
+	c := dialTest(t, s)
+	if _, err := c.Publish("missing", "k", nil, nil); err == nil {
+		t.Fatal("publish to missing exchange must fail remotely")
+	}
+	if err := c.BindQueue("q", "x", "p"); err == nil {
+		t.Fatal("bind with missing endpoints must fail remotely")
+	}
+}
+
+func TestRemoteConsume(t *testing.T) {
+	_, s := startServer(t)
+	pub := dialTest(t, s)
+	sub := dialTest(t, s)
+
+	if err := pub.DeclareExchange("x", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.BindQueue("q", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := sub.Consume("q", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50
+	for i := 0; i < total; i++ {
+		if _, err := pub.Publish("x", "k", nil, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(map[string]bool)
+	deadline := time.After(5 * time.Second)
+	for len(got) < total {
+		select {
+		case d, open := <-rc.C():
+			if !open {
+				t.Fatalf("consumer closed after %d deliveries", len(got))
+			}
+			got[string(d.Body)] = true
+			if err := rc.Ack(d.Tag); err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d deliveries", len(got), total)
+		}
+	}
+	if err := rc.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteConsumerDisconnectRequeues(t *testing.T) {
+	b, s := startServer(t)
+	pub := dialTest(t, s)
+	if err := pub.DeclareExchange("x", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.BindQueue("q", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Consume("q", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish("x", "k", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the mobile session without acking: the message must come
+	// back to the queue (the paper's buffering-for-mobile-sessions
+	// behaviour).
+	_ = sub.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := b.QueueStats("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Ready == 1 && st.Unacked == 0 && st.Consumers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("message not requeued after disconnect: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRemoteConcurrentClients(t *testing.T) {
+	_, s := startServer(t)
+	setup := dialTest(t, s)
+	if err := setup.DeclareExchange("x", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.BindQueue("q", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		clients = 6
+		each    = 50
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer func() { _ = c.Close() }()
+			for j := 0; j < each; j++ {
+				if _, err := c.Publish("x", "k", nil, []byte{byte(i), byte(j)}); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st, err := setup.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Published != clients*each {
+		t.Fatalf("published = %d, want %d", st.Published, clients*each)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	_, s := startServer(t)
+	c := dialTest(t, s)
+	if err := c.DeclareExchange("x", Topic); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Subsequent RPCs must fail, not hang.
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- c.DeclareExchange("y", Topic)
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("RPC after server close must fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RPC after server close hung")
+	}
+}

@@ -1,0 +1,50 @@
+package mq
+
+import "strings"
+
+// TopicMatch reports whether a routing key matches a topic binding
+// pattern, following the AMQP topic-exchange rules:
+//
+//   - patterns and keys are dot-separated words;
+//   - "*" matches exactly one word;
+//   - "#" matches zero or more words.
+//
+// Examples: "soundcity.*.noise" matches "soundcity.FR75013.noise";
+// "soundcity.#" matches "soundcity" and "soundcity.a.b.c".
+func TopicMatch(pattern, key string) bool {
+	return topicMatchWords(splitWords(pattern), splitWords(key))
+}
+
+func splitWords(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ".")
+}
+
+func topicMatchWords(pat, key []string) bool {
+	// Dynamic-programming-free recursive matcher; patterns are short
+	// (a handful of words) so recursion depth is bounded.
+	for {
+		switch {
+		case len(pat) == 0:
+			return len(key) == 0
+		case pat[0] == "#":
+			// "#" may absorb zero or more words.
+			if topicMatchWords(pat[1:], key) {
+				return true
+			}
+			if len(key) == 0 {
+				return false
+			}
+			key = key[1:]
+		case len(key) == 0:
+			return false
+		case pat[0] == "*" || pat[0] == key[0]:
+			pat = pat[1:]
+			key = key[1:]
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package mq
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopicMatch(t *testing.T) {
+	tests := []struct {
+		pattern string
+		key     string
+		want    bool
+	}{
+		// Exact matches.
+		{"a.b.c", "a.b.c", true},
+		{"a.b.c", "a.b.d", false},
+		{"a.b", "a.b.c", false},
+		{"a.b.c", "a.b", false},
+		{"", "", true},
+		{"", "a", false},
+		// Single-word wildcard.
+		{"a.*.c", "a.b.c", true},
+		{"a.*.c", "a.xyz.c", true},
+		{"a.*.c", "a.b.d", false},
+		{"a.*.c", "a.c", false},     // * needs exactly one word
+		{"a.*.c", "a.b.b.c", false}, // * matches exactly one
+		{"*", "a", true},
+		{"*", "a.b", false},
+		{"*.*", "a.b", true},
+		// Multi-word wildcard.
+		{"#", "", true},
+		{"#", "a", true},
+		{"#", "a.b.c", true},
+		{"a.#", "a", true},
+		{"a.#", "a.b.c.d", true},
+		{"a.#", "b.c", false},
+		{"#.c", "c", true},
+		{"#.c", "a.b.c", true},
+		{"#.c", "a.b", false},
+		{"a.#.c", "a.c", true},
+		{"a.#.c", "a.x.y.c", true},
+		{"a.#.c", "a.x.y", false},
+		{"#.#", "a", true},
+		// Crowd-sensing keys from the paper's topology.
+		{"SC.client1.#", "SC.client1.obs.FR75013", true},
+		{"SC.client1.#", "SC.client2.obs.FR75013", false},
+		{"SC.*.feedback.FR75013", "SC.mob1.feedback.FR75013", true},
+		{"SC.*.feedback.FR75013", "SC.mob1.feedback.FR92120", false},
+		{"SC.*.*.FR75013", "SC.mob1.journey.FR75013", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.pattern+"~"+tt.key, func(t *testing.T) {
+			if got := TopicMatch(tt.pattern, tt.key); got != tt.want {
+				t.Fatalf("TopicMatch(%q, %q) = %v, want %v", tt.pattern, tt.key, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestTopicMatchLiteralProperty: a pattern without wildcards matches
+// exactly itself.
+func TestTopicMatchLiteralProperty(t *testing.T) {
+	f := func(words []uint8) bool {
+		parts := make([]string, 0, len(words)%6)
+		for i := 0; i < len(words)%6; i++ {
+			parts = append(parts, string(rune('a'+int(words[i])%26)))
+		}
+		key := strings.Join(parts, ".")
+		return TopicMatch(key, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopicMatchHashUniversal: "#" matches every key.
+func TestTopicMatchHashUniversal(t *testing.T) {
+	f := func(words []uint8) bool {
+		parts := make([]string, 0, len(words)%8)
+		for i := 0; i < len(words)%8; i++ {
+			parts = append(parts, string(rune('a'+int(words[i])%26)))
+		}
+		return TopicMatch("#", strings.Join(parts, "."))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopicMatchStarArity: a pattern of n stars matches exactly keys
+// of n words.
+func TestTopicMatchStarArity(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		pattern := strings.TrimSuffix(strings.Repeat("*.", n), ".")
+		for k := 1; k <= 6; k++ {
+			key := strings.TrimSuffix(strings.Repeat("w.", k), ".")
+			want := n == k
+			if got := TopicMatch(pattern, key); got != want {
+				t.Fatalf("TopicMatch(%q, %q) = %v, want %v", pattern, key, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package mq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The wire protocol is a stream of length-prefixed JSON frames:
+// 4-byte big-endian length followed by a JSON-encoded frame. Requests
+// carry a client-chosen correlation id echoed in the response;
+// deliveries are pushed asynchronously with Op "deliver".
+
+// maxFrameBytes bounds a single frame to protect against corrupt
+// length prefixes.
+const maxFrameBytes = 16 << 20
+
+// Frame ops.
+const (
+	opDeclareExchange = "declare-exchange"
+	opDeleteExchange  = "delete-exchange"
+	opDeclareQueue    = "declare-queue"
+	opDeleteQueue     = "delete-queue"
+	opBindQueue       = "bind-queue"
+	opBindExchange    = "bind-exchange"
+	opUnbindQueue     = "unbind-queue"
+	opPublish         = "publish"
+	opConsume         = "consume"
+	opCancel          = "cancel"
+	opGet             = "get"
+	opAck             = "ack"
+	opNack            = "nack"
+	opQueueStats      = "queue-stats"
+	opOK              = "ok"
+	opError           = "error"
+	opDeliver         = "deliver"
+)
+
+// frame is the single wire message shape; unused fields are omitted.
+type frame struct {
+	Op    string `json:"op"`
+	Corr  uint64 `json:"corr,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	Exchange     string            `json:"exchange,omitempty"`
+	ExchangeType string            `json:"exchangeType,omitempty"`
+	Queue        string            `json:"queue,omitempty"`
+	SrcExchange  string            `json:"srcExchange,omitempty"`
+	Pattern      string            `json:"pattern,omitempty"`
+	RoutingKey   string            `json:"routingKey,omitempty"`
+	Headers      map[string]string `json:"headers,omitempty"`
+	Body         []byte            `json:"body,omitempty"`
+	PublishedAt  time.Time         `json:"publishedAt,omitempty"`
+	MaxLen       int               `json:"maxLen,omitempty"`
+	TTLMillis    int64             `json:"ttlMillis,omitempty"`
+	Exclusive    bool              `json:"exclusive,omitempty"`
+	Prefetch     int               `json:"prefetch,omitempty"`
+	ConsumerID   uint64            `json:"consumerId,omitempty"`
+	Tag          uint64            `json:"tag,omitempty"`
+	Requeue      bool              `json:"requeue,omitempty"`
+	Delivered    int               `json:"delivered,omitempty"`
+	Found        bool              `json:"found,omitempty"`
+	MessageID    string            `json:"messageId,omitempty"`
+	Redelivered  bool              `json:"redelivered,omitempty"`
+	Stats        *QueueStats       `json:"stats,omitempty"`
+}
+
+// writeFrame encodes and writes one frame.
+func writeFrame(w io.Writer, f *frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("encode frame: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads and decodes one frame.
+func readFrame(r *bufio.Reader) (*frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("mq: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, fmt.Errorf("decode frame: %w", err)
+	}
+	return &f, nil
+}
+
+// errConnClosed reports a connection torn down mid-operation.
+var errConnClosed = errors.New("mq: connection closed")

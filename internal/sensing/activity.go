@@ -1,0 +1,132 @@
+package sensing
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Activity is the user activity recognized alongside a measurement
+// (Section 6.3; the categories are the Android activity-recognition
+// classes the paper lists).
+type Activity int
+
+// Activities.
+const (
+	ActivityUndefined Activity = iota + 1
+	ActivityUnknown
+	ActivityTilting
+	ActivityStill
+	ActivityFoot
+	ActivityBicycle
+	ActivityVehicle
+)
+
+// String implements fmt.Stringer.
+func (a Activity) String() string {
+	switch a {
+	case ActivityUndefined:
+		return "undefined"
+	case ActivityUnknown:
+		return "unknown"
+	case ActivityTilting:
+		return "tilting"
+	case ActivityStill:
+		return "still"
+	case ActivityFoot:
+		return "foot"
+	case ActivityBicycle:
+		return "bicycle"
+	case ActivityVehicle:
+		return "vehicle"
+	default:
+		return fmt.Sprintf("Activity(%d)", int(a))
+	}
+}
+
+// ParseActivity converts a wire string to an Activity.
+func ParseActivity(s string) (Activity, error) {
+	for _, a := range Activities() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("sensing: unknown activity %q", s)
+}
+
+// Activities lists all activity classes.
+func Activities() []Activity {
+	return []Activity{
+		ActivityUndefined, ActivityUnknown, ActivityTilting,
+		ActivityStill, ActivityFoot, ActivityBicycle, ActivityVehicle,
+	}
+}
+
+// Moving reports whether the activity implies user displacement.
+func (a Activity) Moving() bool {
+	return a == ActivityFoot || a == ActivityBicycle || a == ActivityVehicle
+}
+
+// ConfidenceCut is the recognizer confidence below which the paper
+// treats an activity as unqualified (Section 6.3: 80%).
+const ConfidenceCut = 0.8
+
+// ActivityModel is the population-level activity distribution used by
+// the fleet simulator, calibrated to Figure 21: ~70% still, <10%
+// moving, ~20% unqualified.
+type ActivityModel struct {
+	// Weights per activity; normalized at sampling.
+	Weights map[Activity]float64
+}
+
+// DefaultActivityModel reproduces the Figure 21 proportions.
+func DefaultActivityModel() ActivityModel {
+	return ActivityModel{Weights: map[Activity]float64{
+		ActivityUndefined: 0.09,
+		ActivityUnknown:   0.08,
+		ActivityTilting:   0.04,
+		ActivityStill:     0.70,
+		ActivityFoot:      0.045,
+		ActivityBicycle:   0.01,
+		ActivityVehicle:   0.035,
+	}}
+}
+
+// Sample draws an activity and a recognizer confidence. Undefined and
+// unknown classes draw low confidence (below the cut); recognized
+// classes draw high confidence with a small chance of a borderline
+// value, so roughly 20% of all samples fall below ConfidenceCut.
+func (m ActivityModel) Sample(rng *rand.Rand) (Activity, float64) {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	if total <= 0 {
+		return ActivityStill, 0.95
+	}
+	u := rng.Float64() * total
+	act := ActivityStill
+	for _, a := range Activities() {
+		w := m.Weights[a]
+		if u < w {
+			act = a
+			break
+		}
+		u -= w
+	}
+	var conf float64
+	switch act {
+	case ActivityUndefined, ActivityUnknown:
+		conf = 0.3 + 0.45*rng.Float64() // always below the 0.8 cut
+	default:
+		if rng.Float64() < 0.04 {
+			conf = 0.6 + 0.19*rng.Float64() // borderline recognition
+		} else {
+			conf = 0.82 + 0.17*rng.Float64()
+		}
+	}
+	return act, conf
+}
+
+// Qualified reports whether an observation's activity passes the
+// confidence cut.
+func Qualified(confidence float64) bool { return confidence >= ConfidenceCut }

@@ -1,0 +1,174 @@
+package sensing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// trustObs builds observations for users with given per-user noise
+// levels and optional spoofing offsets; all users visit all cells.
+func trustObs(t *testing.T, users map[string]struct{ noise, offset float64 }, cells, perCell int, seed int64) []*Observation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ambient := make([]float64, cells)
+	for c := range ambient {
+		ambient[c] = 45 + 10*rng.Float64()
+	}
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	var out []*Observation
+	for user, spec := range users {
+		for c := 0; c < cells; c++ {
+			for k := 0; k < perCell; k++ {
+				out = append(out, &Observation{
+					UserID:             user,
+					DeviceModel:        "M",
+					Mode:               Opportunistic,
+					SPL:                clampSPL(ambient[c] + spec.offset + spec.noise*rng.NormFloat64()),
+					Activity:           ActivityStill,
+					ActivityConfidence: 0.9,
+					SensedAt:           base.Add(time.Duration(c%24) * time.Hour),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestEstimateTrustDownweightsNoisyUsers(t *testing.T) {
+	users := map[string]struct{ noise, offset float64 }{
+		"good-1": {noise: 1.5},
+		"good-2": {noise: 1.5},
+		"good-3": {noise: 1.5},
+		"broken": {noise: 15}, // microphone in a bag
+	}
+	obs := trustObs(t, users, 12, 15, 1)
+	res, err := EstimateTrust(obs, TrustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights["broken"] >= res.Weights["good-1"]*0.3 {
+		t.Fatalf("broken user weight %.3f vs good %.3f — not downweighted",
+			res.Weights["broken"], res.Weights["good-1"])
+	}
+	if res.MeanAbsResidual["broken"] <= res.MeanAbsResidual["good-1"] {
+		t.Fatal("broken user residual must exceed a good user's")
+	}
+	// Normalization: mean weight 1.
+	sum := 0.0
+	for _, w := range res.Weights {
+		sum += w
+	}
+	if math.Abs(sum/float64(len(res.Weights))-1) > 1e-9 {
+		t.Fatalf("weights not normalized: mean %.4f", sum/float64(len(res.Weights)))
+	}
+}
+
+func TestEstimateTrustResistsSpoofing(t *testing.T) {
+	// A spoofing user reports levels shifted by +25 dB. With an
+	// unweighted mean consensus they would drag every cell up; the
+	// weighted-median iteration isolates them instead.
+	users := map[string]struct{ noise, offset float64 }{
+		"honest-1": {noise: 2},
+		"honest-2": {noise: 2},
+		"honest-3": {noise: 2},
+		"spoofer":  {noise: 2, offset: 25},
+	}
+	obs := trustObs(t, users, 12, 15, 2)
+	res, err := EstimateTrust(obs, TrustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights["spoofer"] >= 0.2 {
+		t.Fatalf("spoofer weight = %.3f, want < 0.2", res.Weights["spoofer"])
+	}
+	for _, honest := range []string{"honest-1", "honest-2", "honest-3"} {
+		if res.MeanAbsResidual[honest] > 4 {
+			t.Fatalf("%s residual %.1f polluted by the spoofer", honest, res.MeanAbsResidual[honest])
+		}
+	}
+}
+
+func TestEstimateTrustCalibrationSeparatesModelBias(t *testing.T) {
+	// A user on a model with a big (known) hardware bias is NOT
+	// unreliable once calibration removes the bias.
+	biasedModel := "LOUD-MODEL"
+	obs := trustObs(t, map[string]struct{ noise, offset float64 }{
+		"ref-1": {noise: 2},
+		"ref-2": {noise: 2},
+	}, 12, 15, 3)
+	rng := rand.New(rand.NewSource(4))
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	for c := 0; c < 12; c++ {
+		for k := 0; k < 15; k++ {
+			obs = append(obs, &Observation{
+				UserID:             "biased-model-user",
+				DeviceModel:        biasedModel,
+				Mode:               Opportunistic,
+				SPL:                clampSPL(50 + 10 + 2*rng.NormFloat64()), // +10 dB hardware bias
+				Activity:           ActivityStill,
+				ActivityConfidence: 0.9,
+				SensedAt:           base.Add(time.Duration(c%24) * time.Hour),
+			})
+		}
+	}
+	// Without calibration, the user looks unreliable... with the
+	// model's bias in the calibration DB, they do not.
+	db := NewCalibrationDB()
+	if err := db.Add(CalibrationEntry{Model: biasedModel, BiasDB: 10}); err != nil {
+		t.Fatal(err)
+	}
+	withCal, err := EstimateTrust(obs, TrustOptions{Calibration: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutCal, err := EstimateTrust(obs, TrustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCal.Weights["biased-model-user"] <= withoutCal.Weights["biased-model-user"] {
+		t.Fatalf("calibration should rehabilitate the user: %.3f (cal) vs %.3f (raw)",
+			withCal.Weights["biased-model-user"], withoutCal.Weights["biased-model-user"])
+	}
+}
+
+func TestEstimateTrustErrors(t *testing.T) {
+	if _, err := EstimateTrust(nil, TrustOptions{}); !errors.Is(err, ErrNoTrustData) {
+		t.Fatalf("empty input = %v", err)
+	}
+	// One user only.
+	obs := trustObs(t, map[string]struct{ noise, offset float64 }{"solo": {noise: 1}}, 6, 10, 5)
+	if _, err := EstimateTrust(obs, TrustOptions{}); !errors.Is(err, ErrNoTrustData) {
+		t.Fatalf("single user = %v", err)
+	}
+}
+
+func TestObservationSigma(t *testing.T) {
+	res := &TrustResult{Weights: map[string]float64{"good": 1.0, "bad": 0.04}}
+	base := 3.0
+	if got := res.ObservationSigma("good", base); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("good sigma = %v", got)
+	}
+	if got := res.ObservationSigma("bad", base); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("bad sigma = %v, want 15 (3/sqrt(0.04))", got)
+	}
+	if got := res.ObservationSigma("unknown", base); got != 30 {
+		t.Fatalf("unknown sigma = %v, want 30", got)
+	}
+}
+
+func TestWeightedMedian(t *testing.T) {
+	samples := []trustSample{
+		{user: "a", spl: 10},
+		{user: "b", spl: 20},
+		{user: "c", spl: 100},
+	}
+	weights := map[string]float64{"a": 1, "b": 1, "c": 0.01}
+	got := weightedMedian(samples, []int{0, 1, 2}, weights)
+	// The down-weighted outlier barely counts: median sits at 10-20.
+	if got > 20 {
+		t.Fatalf("weighted median = %v, outlier dominated", got)
+	}
+}

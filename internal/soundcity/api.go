@@ -1,0 +1,210 @@
+package soundcity
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/goflow"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// The SoundCity user-facing API (the Web application of Figure 1):
+// the server "maintains data about the contributing users in an
+// anonymized way, so that specific contributions may be retrieved
+// provided the user's credentials". Users authenticate with their
+// client id (the shared secret issued at login) and can retrieve
+// their own observations, their quantified-self exposure report,
+// their visible journeys, and submit qualitative feedback.
+//
+// Routes (all under the handler's root):
+//
+//	GET  /me/observations        own contributions (X-Client-ID)
+//	GET  /me/exposure            daily/monthly exposure report
+//	GET  /me/journeys            journeys visible to the user
+//	POST /feedback               submit a feedback report
+type userAPI struct {
+	server *goflow.Server
+	store  *docstore.Store
+	broker *mq.Broker
+	zones  *geo.ZoneGrid
+	calib  *sensing.CalibrationDB
+	trips  *JourneyStore
+}
+
+// APIConfig wires the user API.
+type APIConfig struct {
+	// Server is the GoFlow server (required).
+	Server *goflow.Server
+	// Store is the document store backing observations and journeys
+	// (required).
+	Store *docstore.Store
+	// Broker routes feedback; nil disables feedback submission.
+	Broker *mq.Broker
+	// Zones derives feedback zones; nil defaults to Paris.
+	Zones *geo.ZoneGrid
+	// Calibration corrects exposure reports; nil reports raw levels.
+	Calibration *sensing.CalibrationDB
+}
+
+// NewUserAPI builds the user-facing handler.
+func NewUserAPI(cfg APIConfig) (http.Handler, error) {
+	if cfg.Server == nil || cfg.Store == nil {
+		return nil, errors.New("soundcity: user API needs a server and a store")
+	}
+	if cfg.Zones == nil {
+		cfg.Zones = geo.ParisZones()
+	}
+	api := &userAPI{
+		server: cfg.Server,
+		store:  cfg.Store,
+		broker: cfg.Broker,
+		zones:  cfg.Zones,
+		calib:  cfg.Calibration,
+		trips:  NewJourneyStore(cfg.Store, cfg.Broker, cfg.Zones),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /me/observations", api.myObservations)
+	mux.HandleFunc("GET /me/exposure", api.myExposure)
+	mux.HandleFunc("GET /me/journeys", api.myJourneys)
+	mux.HandleFunc("POST /feedback", api.postFeedback)
+	return mux, nil
+}
+
+// authenticate resolves the X-Client-ID credential to the client
+// record; it writes the error response itself when authentication
+// fails.
+func (a *userAPI) authenticate(w http.ResponseWriter, r *http.Request) (*goflow.Client, bool) {
+	id := r.Header.Get("X-Client-ID")
+	if id == "" {
+		writeUserErr(w, http.StatusUnauthorized, "missing X-Client-ID credential")
+		return nil, false
+	}
+	client, err := a.server.Accounts.Client(id)
+	if err != nil {
+		writeUserErr(w, http.StatusUnauthorized, "unknown credential")
+		return nil, false
+	}
+	if client.AppID != AppID {
+		writeUserErr(w, http.StatusForbidden, "credential belongs to another app")
+		return nil, false
+	}
+	return client, true
+}
+
+func writeUserErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeUserJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// myObservations returns the caller's own stored contributions.
+func (a *userAPI) myObservations(w http.ResponseWriter, r *http.Request) {
+	client, ok := a.authenticate(w, r)
+	if !ok {
+		return
+	}
+	docs, err := a.server.Data.Retrieve(goflow.Query{
+		AppID:  AppID,
+		UserID: client.AnonID,
+		Limit:  10000,
+	})
+	if err != nil {
+		writeUserErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeUserJSON(w, map[string]any{"count": len(docs), "observations": docs})
+}
+
+// myExposure computes the caller's quantified-self report from their
+// stored contributions.
+func (a *userAPI) myExposure(w http.ResponseWriter, r *http.Request) {
+	client, ok := a.authenticate(w, r)
+	if !ok {
+		return
+	}
+	docs, err := a.server.Data.Retrieve(goflow.Query{AppID: AppID, UserID: client.AnonID})
+	if err != nil {
+		writeUserErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	obs := make([]*sensing.Observation, 0, len(docs))
+	for _, d := range docs {
+		o, err := goflow.ObservationFromDoc(d)
+		if err != nil {
+			continue // tolerate legacy documents
+		}
+		obs = append(obs, o)
+	}
+	report, err := BuildExposureReport(client.AnonID, obs, a.calib)
+	if err != nil {
+		writeUserErr(w, http.StatusNotFound, "no contributions yet")
+		return
+	}
+	writeUserJSON(w, report)
+}
+
+// myJourneys lists the journeys visible to the caller.
+func (a *userAPI) myJourneys(w http.ResponseWriter, r *http.Request) {
+	client, ok := a.authenticate(w, r)
+	if !ok {
+		return
+	}
+	communities := r.URL.Query()["community"]
+	docs, err := a.trips.Visible(client.AnonID, communities)
+	if err != nil {
+		writeUserErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeUserJSON(w, map[string]any{"count": len(docs), "journeys": docs})
+}
+
+// feedbackRequest is the POST /feedback body.
+type feedbackRequest struct {
+	Where     geo.Point `json:"where"`
+	Annoyance int       `json:"annoyance"`
+	Comment   string    `json:"comment,omitempty"`
+}
+
+// postFeedback routes a qualitative report through the broker.
+func (a *userAPI) postFeedback(w http.ResponseWriter, r *http.Request) {
+	client, ok := a.authenticate(w, r)
+	if !ok {
+		return
+	}
+	if a.broker == nil {
+		writeUserErr(w, http.StatusServiceUnavailable, "feedback routing disabled")
+		return
+	}
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeUserErr(w, http.StatusBadRequest, "bad request body")
+		return
+	}
+	f := &Feedback{
+		Reporter:  client.AnonID,
+		Where:     req.Where,
+		Annoyance: req.Annoyance,
+		Comment:   req.Comment,
+		At:        time.Now(),
+	}
+	if err := f.Validate(); err != nil {
+		writeUserErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := PublishFeedback(a.broker, a.zones, client.ID, f); err != nil {
+		writeUserErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeUserJSON(w, map[string]string{"status": "routed"})
+}

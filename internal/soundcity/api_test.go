@@ -1,0 +1,266 @@
+package soundcity
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/goflow"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+type userAPIEnv struct {
+	server *goflow.Server
+	broker *mq.Broker
+	store  *docstore.Store
+	ts     *httptest.Server
+	client *goflow.Client
+}
+
+func newUserAPIEnv(t *testing.T) *userAPIEnv {
+	t.Helper()
+	broker := mq.NewBroker()
+	store := docstore.NewStore()
+	server, err := goflow.NewServer(goflow.ServerConfig{Broker: broker, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		server.Shutdown()
+		broker.Close()
+	})
+	if _, err := Register(server); err != nil {
+		t.Fatal(err)
+	}
+	client, err := server.Login(AppID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := NewUserAPI(APIConfig{Server: server, Store: store, Broker: broker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return &userAPIEnv{server: server, broker: broker, store: store, ts: ts, client: client}
+}
+
+func (e *userAPIEnv) get(t *testing.T, path, credential string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, e.ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if credential != "" {
+		req.Header.Set("X-Client-ID", credential)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, body
+}
+
+func (e *userAPIEnv) seedObservations(t *testing.T, n int) {
+	t.Helper()
+	base := time.Date(2016, 3, 10, 9, 0, 0, 0, time.UTC)
+	obs := make([]*sensing.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		o := &sensing.Observation{
+			UserID:             "ignored", // replaced by anonymization on ingest
+			DeviceModel:        "LGE NEXUS 5",
+			Mode:               sensing.Opportunistic,
+			SPL:                55 + float64(i%20),
+			Activity:           sensing.ActivityStill,
+			ActivityConfidence: 0.9,
+			SensedAt:           base.Add(time.Duration(i) * time.Hour),
+		}
+		if i%2 == 0 {
+			o.Loc = &sensing.Location{Point: geo.Point{Lat: 48.85, Lon: 2.35}, AccuracyM: 20, Provider: sensing.ProviderGPS}
+		}
+		obs = append(obs, o)
+	}
+	if _, err := e.server.BulkIngest(AppID, e.client.ID, obs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserAPIAuthentication(t *testing.T) {
+	env := newUserAPIEnv(t)
+	resp, _ := env.get(t, "/me/observations", "")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no credential = %d, want 401", resp.StatusCode)
+	}
+	resp, _ = env.get(t, "/me/observations", "bogus")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bogus credential = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestUserAPIMyObservations(t *testing.T) {
+	env := newUserAPIEnv(t)
+	env.seedObservations(t, 6)
+	// A second client contributes too; the first must not see it.
+	other, err := env.server.Login(AppID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.server.BulkIngest(AppID, other.ID, []*sensing.Observation{{
+		UserID: "x", DeviceModel: "SONY D5803", Mode: sensing.Opportunistic,
+		SPL: 70, Activity: sensing.ActivityStill, ActivityConfidence: 0.9,
+		SensedAt: time.Date(2016, 3, 10, 9, 0, 0, 0, time.UTC),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := env.get(t, "/me/observations", env.client.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if int(body["count"].(float64)) != 6 {
+		t.Fatalf("count = %v, want 6 (own only)", body["count"])
+	}
+}
+
+func TestUserAPIMyExposure(t *testing.T) {
+	env := newUserAPIEnv(t)
+	env.seedObservations(t, 30)
+	resp, body := env.get(t, "/me/exposure", env.client.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body=%v", resp.StatusCode, body)
+	}
+	daily, ok := body["daily"].([]any)
+	if !ok || len(daily) == 0 {
+		t.Fatalf("exposure daily = %v", body["daily"])
+	}
+	monthly, ok := body["monthly"].([]any)
+	if !ok || len(monthly) == 0 {
+		t.Fatalf("exposure monthly = %v", body["monthly"])
+	}
+	// A user without contributions gets 404.
+	fresh, err := env.server.Login(AppID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = env.get(t, "/me/exposure", fresh.ID)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fresh user exposure = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestUserAPIFeedbackRouting(t *testing.T) {
+	env := newUserAPIEnv(t)
+	// A neighbour subscribes to feedback in the zone.
+	neighbour, err := env.server.Login(AppID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := geo.Point{Lat: 48.8566, Lon: 2.3522}
+	zone := geo.ParisZones().ZoneID(where)
+	if err := env.server.Channels.Subscribe(AppID, neighbour.ID, DatatypeFeedback, zone); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(feedbackRequest{Where: where, Annoyance: 7, Comment: "sirens"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, env.ts.URL+"/feedback", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Client-ID", env.client.ID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("feedback status = %d", resp.StatusCode)
+	}
+	d, found, err := env.broker.Get(neighbour.Queue)
+	if err != nil || !found {
+		t.Fatalf("feedback not routed: found=%v err=%v", found, err)
+	}
+	f, err := DecodeFeedback(d.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Annoyance != 7 || f.Reporter != env.server.Accounts.Anonymize(env.client.ID) {
+		t.Fatalf("routed feedback = %+v", f)
+	}
+	if err := env.broker.AckGet(neighbour.Queue, d.Tag); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid annoyance rejected.
+	bad, err := json.Marshal(feedbackRequest{Where: where, Annoyance: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2, err := http.NewRequest(http.MethodPost, env.ts.URL+"/feedback", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("X-Client-ID", env.client.ID)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp2.Body.Close() }()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid feedback = %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestUserAPIMyJourneys(t *testing.T) {
+	env := newUserAPIEnv(t)
+	store := NewJourneyStore(env.store, env.broker, geo.ParisZones())
+	j, err := BuildFromObservations(env.server.Accounts.Anonymize(env.client.ID), journeyObs(t, 3), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// journeyObs hard-codes owner "anon-1"; rebuild with the real
+	// anon id.
+	j.Owner = env.server.Accounts.Anonymize(env.client.ID)
+	if _, err := store.Save(j, env.client.ID); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := env.get(t, "/me/journeys", env.client.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if int(body["count"].(float64)) != 1 {
+		t.Fatalf("journeys = %v", body["count"])
+	}
+}
+
+func TestObservationFromDocRoundTrip(t *testing.T) {
+	env := newUserAPIEnv(t)
+	env.seedObservations(t, 2)
+	docs, err := env.server.Data.Retrieve(goflow.Query{AppID: AppID})
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("retrieve: %d, %v", len(docs), err)
+	}
+	for _, d := range docs {
+		o, err := goflow.ObservationFromDoc(d)
+		if err != nil {
+			t.Fatalf("docToObservation: %v", err)
+		}
+		if o.DeviceModel != "LGE NEXUS 5" {
+			t.Fatalf("model = %q", o.DeviceModel)
+		}
+	}
+	// Corrupt documents are rejected, not panicking.
+	if _, err := goflow.ObservationFromDoc(docstore.Doc{"userId": "u"}); err == nil {
+		t.Fatal("incomplete document must fail")
+	}
+}

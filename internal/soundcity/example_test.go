@@ -1,0 +1,30 @@
+package soundcity_test
+
+import (
+	"fmt"
+
+	"github.com/urbancivics/goflow/internal/soundcity"
+)
+
+func ExampleLAeq() {
+	// The equivalent continuous level weighs loud moments much more
+	// than an arithmetic mean would.
+	laeq, err := soundcity.LAeq([]float64{40, 40, 40, 80})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.1f dB(A)\n", laeq)
+	// Output: 74.0 dB(A)
+}
+
+func ExampleBandOf() {
+	for _, level := range []float64{45, 58, 67, 75} {
+		fmt.Printf("%.0f dB(A): %s\n", level, soundcity.BandOf(level))
+	}
+	// Output:
+	// 45 dB(A): safe
+	// 58 dB(A): moderate
+	// 67 dB(A): high
+	// 75 dB(A): harmful
+}

@@ -1,0 +1,222 @@
+package soundcity
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/sensing"
+)
+
+// Journey mode (Section 4.2, experience 2): the user engages in noise
+// measurement along a path at a chosen frequency, then optionally
+// shares the resulting collaborative noise map with a community or
+// publicly; new public journeys are announced through the broker so
+// subscribed users in the zone get notified (Figure 3's Journeys
+// exchange).
+
+// Visibility of a journey.
+type Visibility int
+
+// Visibilities.
+const (
+	// Private journeys stay with the user (the app default: data is
+	// the user's unless they opt into sharing).
+	Private Visibility = iota + 1
+	// Community journeys are visible to a named community.
+	Community
+	// Public journeys are open data.
+	Public
+)
+
+// String implements fmt.Stringer.
+func (v Visibility) String() string {
+	switch v {
+	case Private:
+		return "private"
+	case Community:
+		return "community"
+	case Public:
+		return "public"
+	default:
+		return fmt.Sprintf("Visibility(%d)", int(v))
+	}
+}
+
+// JourneyPoint is one measurement along a journey.
+type JourneyPoint struct {
+	At    time.Time `json:"at"`
+	Where geo.Point `json:"where"`
+	SPL   float64   `json:"spl"`
+}
+
+// Journey is a participatory measurement session.
+type Journey struct {
+	ID          string         `json:"id,omitempty"`
+	Owner       string         `json:"owner"` // anonymized user id
+	StartedAt   time.Time      `json:"startedAt"`
+	EndedAt     time.Time      `json:"endedAt"`
+	FrequencyS  int            `json:"frequencyS"` // user-chosen sensing period
+	Visibility  Visibility     `json:"visibility"`
+	CommunityID string         `json:"communityId,omitempty"`
+	Points      []JourneyPoint `json:"points"`
+}
+
+// Validate checks journey invariants.
+func (j *Journey) Validate() error {
+	if j.Owner == "" {
+		return errors.New("soundcity: journey without owner")
+	}
+	if len(j.Points) == 0 {
+		return errors.New("soundcity: journey without points")
+	}
+	if j.FrequencyS <= 0 {
+		return errors.New("soundcity: journey frequency must be positive")
+	}
+	if j.Visibility == Community && j.CommunityID == "" {
+		return errors.New("soundcity: community journey without community id")
+	}
+	for i, p := range j.Points {
+		if err := p.Where.Validate(); err != nil {
+			return fmt.Errorf("journey point %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LAeq computes the journey's equivalent level.
+func (j *Journey) LAeq() (float64, error) {
+	levels := make([]float64, len(j.Points))
+	for i, p := range j.Points {
+		levels[i] = p.SPL
+	}
+	return LAeq(levels)
+}
+
+// Length returns the path length in meters.
+func (j *Journey) Length() float64 {
+	total := 0.0
+	for i := 1; i < len(j.Points); i++ {
+		total += j.Points[i-1].Where.DistanceMeters(j.Points[i].Where)
+	}
+	return total
+}
+
+// BuildFromObservations assembles a journey from the journey-mode
+// observations of one user session.
+func BuildFromObservations(owner string, obs []*sensing.Observation, frequency time.Duration) (*Journey, error) {
+	j := &Journey{
+		Owner:      owner,
+		FrequencyS: int(frequency.Seconds()),
+		Visibility: Private,
+	}
+	for _, o := range obs {
+		if o.Mode != sensing.Journey || o.Loc == nil {
+			continue
+		}
+		j.Points = append(j.Points, JourneyPoint{At: o.SensedAt, Where: o.Loc.Point, SPL: o.SPL})
+	}
+	if len(j.Points) == 0 {
+		return nil, errors.New("soundcity: no localized journey observations")
+	}
+	j.StartedAt = j.Points[0].At
+	j.EndedAt = j.Points[len(j.Points)-1].At
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// JourneysCollection is the docstore collection.
+const JourneysCollection = "journeys"
+
+// JourneyStore persists journeys and announces shared ones.
+type JourneyStore struct {
+	col    *docstore.Collection
+	broker *mq.Broker
+	zones  *geo.ZoneGrid
+}
+
+// NewJourneyStore wires journey persistence; broker and zones may be
+// nil to disable announcements.
+func NewJourneyStore(store *docstore.Store, broker *mq.Broker, zones *geo.ZoneGrid) *JourneyStore {
+	col := store.Collection(JourneysCollection)
+	col.EnsureIndex("owner")
+	col.EnsureIndex("visibility")
+	return &JourneyStore{col: col, broker: broker, zones: zones}
+}
+
+// Save persists a journey and, for non-private journeys, publishes a
+// notification on the app exchange with the journey datatype and the
+// start zone, so subscribers of "journey@zone" learn about it.
+func (s *JourneyStore) Save(j *Journey, clientID string) (string, error) {
+	if err := j.Validate(); err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(j)
+	if err != nil {
+		return "", fmt.Errorf("encode journey: %w", err)
+	}
+	var doc docstore.Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return "", fmt.Errorf("journey to doc: %w", err)
+	}
+	doc["visibility"] = j.Visibility.String()
+	id, err := s.col.Insert(doc)
+	if err != nil {
+		return "", fmt.Errorf("store journey: %w", err)
+	}
+	if j.Visibility != Private && s.broker != nil && s.zones != nil {
+		zone := s.zones.ZoneID(j.Points[0].Where)
+		key := AppID + "." + clientID + "." + DatatypeJourney + "." + zone
+		note := map[string]any{"journeyId": id, "zone": zone, "laeqPoints": len(j.Points)}
+		body, err := json.Marshal(note)
+		if err != nil {
+			return "", fmt.Errorf("encode journey note: %w", err)
+		}
+		if _, err := s.broker.PublishAt(AppID, key, nil, body, j.EndedAt); err != nil {
+			return "", fmt.Errorf("announce journey: %w", err)
+		}
+	}
+	return id, nil
+}
+
+// Visible returns the journeys a viewer may see: their own, their
+// communities', and public ones.
+func (s *JourneyStore) Visible(viewerAnonID string, communities []string) ([]docstore.Doc, error) {
+	own, err := s.col.Find(docstore.Doc{"owner": viewerAnonID}, docstore.FindOptions{})
+	if err != nil {
+		return nil, err
+	}
+	public, err := s.col.Find(docstore.Doc{"visibility": Public.String()}, docstore.FindOptions{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]docstore.Doc, 0, len(own)+len(public))
+	seen := make(map[any]bool)
+	appendDocs := func(docs []docstore.Doc) {
+		for _, d := range docs {
+			if !seen[d[docstore.IDField]] {
+				seen[d[docstore.IDField]] = true
+				out = append(out, d)
+			}
+		}
+	}
+	appendDocs(own)
+	appendDocs(public)
+	for _, community := range communities {
+		shared, err := s.col.Find(docstore.Doc{
+			"visibility":  Community.String(),
+			"communityId": community,
+		}, docstore.FindOptions{})
+		if err != nil {
+			return nil, err
+		}
+		appendDocs(shared)
+	}
+	return out, nil
+}
