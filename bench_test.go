@@ -26,6 +26,7 @@ import (
 	"github.com/urbancivics/goflow/internal/experiment"
 	"github.com/urbancivics/goflow/internal/goflow"
 	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
 	"github.com/urbancivics/goflow/internal/sensing"
 	"github.com/urbancivics/goflow/internal/soundcity"
 )
@@ -697,4 +698,78 @@ func BenchmarkAblationTrustDiscovery(b *testing.B) {
 	b.ReportMetric(float64(len(res.Weights)), "users")
 	b.ReportMetric(minW, "minWeight")
 	b.ReportMetric(maxW, "maxWeight")
+}
+
+// --- Observability micro-benchmarks ---------------------------------
+
+// BenchmarkObsCounter measures a labeled counter increment — the cost
+// paid per broker event when instrumentation is attached.
+func BenchmarkObsCounter(b *testing.B) {
+	reg := obs.NewRegistry()
+	vec := reg.CounterVec("bench_events_total", "bench", "queue")
+	b.Run("cached-child", func(b *testing.B) {
+		c := vec.With("goflow")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("with-lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vec.With("goflow").Inc()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		c := vec.With("client")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+}
+
+// BenchmarkObsHistogram measures one latency observation against the
+// default bucket layout.
+func BenchmarkObsHistogram(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench_duration_seconds", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.0001)
+	}
+}
+
+// BenchmarkBrokerPublishInstrumented runs the same single-queue
+// publish loop bare and with the full goflow metric hooks attached.
+// The instrumented/bare ratio is the overhead the ISSUE bounds at 5%.
+func BenchmarkBrokerPublishInstrumented(b *testing.B) {
+	run := func(b *testing.B, instrument bool) {
+		broker := mq.NewBroker()
+		defer broker.Close()
+		if instrument {
+			m := goflow.NewMetrics(obs.NewRegistry())
+			m.InstrumentBroker(broker)
+		}
+		if err := broker.DeclareExchange("x", mq.Direct); err != nil {
+			b.Fatal(err)
+		}
+		if err := broker.DeclareQueue("q", mq.QueueOptions{MaxLen: 100}); err != nil {
+			b.Fatal(err)
+		}
+		if err := broker.BindQueue("q", "x", "k"); err != nil {
+			b.Fatal(err)
+		}
+		body := []byte(`{"spl":61.5}`)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := broker.Publish("x", "k", nil, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }

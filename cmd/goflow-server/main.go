@@ -22,6 +22,7 @@ import (
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/goflow"
 	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
 	"github.com/urbancivics/goflow/internal/soundcity"
 )
 
@@ -35,6 +36,7 @@ func run() error {
 	mqAddr := flag.String("mq", ":7672", "broker TCP listen address")
 	httpAddr := flag.String("http", ":7680", "REST API listen address")
 	dataPath := flag.String("data", "", "snapshot file: loaded on start if present, saved on shutdown")
+	metricsInterval := flag.Duration("metrics-interval", 30*time.Second, "period between metric snapshot log lines (0 disables)")
 	flag.Parse()
 
 	broker := mq.NewBroker()
@@ -66,6 +68,14 @@ func run() error {
 	}
 	defer server.Shutdown()
 
+	// Observability: every layer feeds one registry, exposed over
+	// /metrics and summarized periodically on the log.
+	reg := obs.NewRegistry()
+	goflow.Instrument(reg, server, store)
+	reporter := obs.NewReporter(reg, *metricsInterval, nil)
+	reporter.Start()
+	defer reporter.Stop()
+
 	app, err := soundcity.Register(server)
 	if err != nil {
 		return fmt.Errorf("register app: %w", err)
@@ -85,7 +95,10 @@ func run() error {
 		return fmt.Errorf("user API: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", goflow.NewHTTPHandler(server))
+	api := goflow.NewInstrumentedHTTPHandler(server, reg)
+	mux.Handle("/v1/", api)
+	mux.Handle("/metrics", api)
+	mux.Handle("/metrics.json", api)
 	mux.Handle("/sc/", http.StripPrefix("/sc", userAPI))
 
 	httpServer := &http.Server{
@@ -96,7 +109,7 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
 
-	fmt.Printf("goflow-server: broker on %s, REST on %s\n", mqServer.Addr(), *httpAddr)
+	fmt.Printf("goflow-server: broker on %s, REST on %s, metrics on %s/metrics\n", mqServer.Addr(), *httpAddr, *httpAddr)
 	fmt.Printf("goflow-server: app %q registered (secret %s)\n", app.ID, app.Secret)
 
 	sig := make(chan os.Signal, 1)

@@ -23,6 +23,7 @@ import (
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/goflow"
 	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
 	"github.com/urbancivics/goflow/internal/sensing"
 	"github.com/urbancivics/goflow/internal/soundcity"
 )
@@ -37,16 +38,26 @@ func run() error {
 	scale := flag.Float64("scale", 0.01, "fraction of the published study to simulate")
 	seed := flag.Int64("seed", 42, "random seed")
 	brokerSample := flag.Int("broker-sample", 500, "observations routed through the real broker path (rest bulk-ingested)")
+	metricsInterval := flag.Duration("metrics-interval", 5*time.Second, "period between metric snapshot log lines (0 disables)")
 	flag.Parse()
 
 	start := time.Now()
 	broker := mq.NewBroker()
 	defer broker.Close()
-	server, err := goflow.NewServer(goflow.ServerConfig{Broker: broker, Store: docstore.NewStore()})
+	store := docstore.NewStore()
+	server, err := goflow.NewServer(goflow.ServerConfig{Broker: broker, Store: store})
 	if err != nil {
 		return err
 	}
 	defer server.Shutdown()
+
+	// Instrument the whole pipeline and narrate progress while the
+	// simulation runs.
+	reg := obs.NewRegistry()
+	goflow.Instrument(reg, server, store)
+	reporter := obs.NewReporter(reg, *metricsInterval, nil)
+	reporter.Start()
+	defer reporter.Stop()
 	if _, err := soundcity.Register(server); err != nil {
 		return err
 	}
@@ -82,6 +93,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	clientRecorded := reg.Counter("client_recorded_total", "Observations recorded by the simulated uploader.")
+	clientSent := reg.Counter("client_sent_total", "Observations emitted by the simulated uploader.")
+	clientFailed := reg.Counter("client_failed_flushes_total", "Failed emission attempts of the simulated uploader.")
+	uploader.SetHooks(client.Hooks{
+		Recorded: func() { clientRecorded.Inc() },
+		Sent:     func(batch int) { clientSent.Add(uint64(batch)) },
+		Failed:   func() { clientFailed.Inc() },
+	})
 	n := *brokerSample
 	if n > len(observations) {
 		n = len(observations)
@@ -193,6 +212,7 @@ func run() error {
 		return err
 	}
 
+	fmt.Printf("metrics: %s\n", reg.Summary())
 	fmt.Fprintf(os.Stdout, "done in %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

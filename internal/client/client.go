@@ -119,6 +119,7 @@ type Uploader struct {
 	// queue must be retried at the next cycle regardless of size
 	// (the paper's "sent at the next cycle" rule).
 	retryPending bool
+	hooks        Hooks
 }
 
 // NewUploader builds an uploader.
@@ -146,10 +147,16 @@ func (u *Uploader) Record(o *sensing.Observation) error {
 	}
 	u.queue = append(u.queue, o)
 	u.stats.Recorded++
+	if u.hooks.Recorded != nil {
+		u.hooks.Recorded()
+	}
 	if u.cfg.MaxQueue > 0 && len(u.queue) > u.cfg.MaxQueue {
 		drop := len(u.queue) - u.cfg.MaxQueue
 		u.queue = append(u.queue[:0], u.queue[drop:]...)
 		u.stats.Dropped += drop
+		if u.hooks.Dropped != nil {
+			u.hooks.Dropped(drop)
+		}
 	}
 	return nil
 }
@@ -189,20 +196,35 @@ func (u *Uploader) FlushOn(now time.Time, connected bool, bearer Bearer) (int, e
 	if !u.ShouldEmit() {
 		return 0, nil
 	}
+	if u.hooks.Attempt != nil {
+		u.hooks.Attempt()
+	}
+	if u.retryPending && u.hooks.Retried != nil {
+		u.hooks.Retried()
+	}
 	if !connected {
 		u.retryPending = true
 		u.stats.FailedFlushes++
+		if u.hooks.Failed != nil {
+			u.hooks.Failed()
+		}
 		return 0, nil
 	}
 	if u.cfg.DeferToWiFi && bearer == BearerCellular && !u.deferDeadlinePassed(now) {
 		u.retryPending = true // keep trying every cycle
 		u.stats.Deferred++
+		if u.hooks.Deferred != nil {
+			u.hooks.Deferred()
+		}
 		return 0, nil
 	}
 	batch := u.queue
 	if err := u.transport.Send(batch, now); err != nil {
 		u.retryPending = true
 		u.stats.FailedFlushes++
+		if u.hooks.Failed != nil {
+			u.hooks.Failed()
+		}
 		return 0, fmt.Errorf("flush %d observations: %w", len(batch), err)
 	}
 	u.queue = nil
@@ -211,6 +233,9 @@ func (u *Uploader) FlushOn(now time.Time, connected bool, bearer Bearer) (int, e
 	u.stats.Batches++
 	if bearer == BearerCellular {
 		u.stats.CellularBatches++
+	}
+	if u.hooks.Sent != nil {
+		u.hooks.Sent(len(batch))
 	}
 	return len(batch), nil
 }

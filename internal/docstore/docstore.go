@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Doc is a JSON-like document. Values should be JSON-compatible:
@@ -34,6 +35,9 @@ const IDField = "_id"
 type Store struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
+
+	// hooks is shared with every collection; see SetHooks.
+	hooks atomic.Pointer[Hooks]
 }
 
 // NewStore returns an empty store.
@@ -48,7 +52,7 @@ func (s *Store) Collection(name string) *Collection {
 	if c, ok := s.collections[name]; ok {
 		return c
 	}
-	c := newCollection(name)
+	c := newCollection(name, &s.hooks)
 	s.collections[name] = c
 	return c
 }
@@ -85,13 +89,18 @@ type Collection struct {
 	inserted uint64
 	updated  uint64
 	deleted  uint64
+
+	// hooks aliases the owning store's hook slot so SetHooks applies
+	// to all collections atomically. Nil for standalone collections.
+	hooks *atomic.Pointer[Hooks]
 }
 
-func newCollection(name string) *Collection {
+func newCollection(name string, hooks *atomic.Pointer[Hooks]) *Collection {
 	return &Collection{
 		name:    name,
 		docs:    make(map[string]Doc),
 		indexes: make(map[string]*index),
+		hooks:   hooks,
 	}
 }
 
@@ -109,6 +118,9 @@ func nextID() string {
 // assigned; the id is returned. Inserting an existing _id fails with
 // ErrDuplicateID.
 func (c *Collection) Insert(doc Doc) (string, error) {
+	if h := c.h(); h != nil && h.Insert != nil {
+		defer func(start time.Time) { h.Insert(c.name, time.Since(start)) }(time.Now())
+	}
 	cp := cloneDoc(doc)
 	id, _ := cp[IDField].(string)
 	if id == "" {
@@ -156,6 +168,9 @@ func (c *Collection) Get(id string) (Doc, error) {
 // Update merges fields into the document with the given id (shallow
 // merge; set a field to nil via Unset).
 func (c *Collection) Update(id string, fields Doc) error {
+	if h := c.h(); h != nil && h.Update != nil {
+		defer func(start time.Time) { h.Update(c.name, time.Since(start)) }(time.Now())
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d, ok := c.docs[id]
@@ -178,6 +193,9 @@ func (c *Collection) Update(id string, fields Doc) error {
 
 // Unset removes fields from a document.
 func (c *Collection) Unset(id string, fields ...string) error {
+	if h := c.h(); h != nil && h.Update != nil {
+		defer func(start time.Time) { h.Update(c.name, time.Since(start)) }(time.Now())
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d, ok := c.docs[id]
@@ -199,6 +217,9 @@ func (c *Collection) Unset(id string, fields ...string) error {
 
 // Delete removes the document with the given id.
 func (c *Collection) Delete(id string) error {
+	if h := c.h(); h != nil && h.Delete != nil {
+		defer func(start time.Time) { h.Delete(c.name, time.Since(start)) }(time.Now())
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d, ok := c.docs[id]
@@ -264,9 +285,23 @@ func (c *Collection) Count(filter Doc) (int, error) {
 
 // FindIDs returns the ids of matching documents in insertion order.
 func (c *Collection) FindIDs(filter Doc) ([]string, error) {
+	h := c.h()
+	if h == nil || h.Query == nil {
+		ids, _, err := c.findIDs(filter)
+		return ids, err
+	}
+	start := time.Now()
+	ids, indexUsed, err := c.findIDs(filter)
+	h.Query(c.name, time.Since(start), indexUsed)
+	return ids, err
+}
+
+// findIDs implements FindIDs and additionally reports whether a
+// secondary index pruned the scan.
+func (c *Collection) findIDs(filter Doc) ([]string, bool, error) {
 	m, err := compileFilter(filter)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -280,7 +315,7 @@ func (c *Collection) FindIDs(filter Doc) ([]string, error) {
 			}
 		}
 		sort.Strings(out)
-		return out, nil
+		return out, true, nil
 	}
 
 	out := make([]string, 0)
@@ -292,7 +327,7 @@ func (c *Collection) FindIDs(filter Doc) ([]string, error) {
 			out = append(out, id)
 		}
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // indexCandidatesLocked returns candidate ids from the most selective

@@ -1,0 +1,38 @@
+package docstore
+
+import "time"
+
+// Hooks receives storage events for instrumentation. All fields are
+// optional; nil funcs are skipped with no overhead beyond a nil check
+// (in particular, operation timing is only measured when the matching
+// hook is set). Hooks must be fast and must not call back into the
+// store — they may run while collection locks are held by the caller's
+// goroutine stack.
+type Hooks struct {
+	// Insert fires after each single-document insert attempt
+	// (including failed ones) with the wall time spent.
+	Insert func(collection string, d time.Duration)
+	// Query fires after each FindIDs evaluation — the primitive under
+	// Find, FindOne, Count and DeleteMany — with the wall time spent
+	// and whether a secondary equality index pruned the scan.
+	Query func(collection string, d time.Duration, indexUsed bool)
+	// Update fires after each Update or Unset attempt.
+	Update func(collection string, d time.Duration)
+	// Delete fires after each single-document delete attempt.
+	Delete func(collection string, d time.Duration)
+}
+
+// SetHooks installs hooks for every collection of the store, current
+// and future. Safe to call concurrently with operations; pass the
+// zero Hooks to detach.
+func (s *Store) SetHooks(h Hooks) {
+	s.hooks.Store(&h)
+}
+
+// h returns the current hooks, or nil when none were installed.
+func (c *Collection) h() *Hooks {
+	if c.hooks == nil {
+		return nil
+	}
+	return c.hooks.Load()
+}

@@ -1,0 +1,93 @@
+package docstore
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHooksObserveOperations(t *testing.T) {
+	type queryObs struct {
+		collection string
+		indexUsed  bool
+	}
+	var inserts, updates, deletes []string
+	var queries []queryObs
+	s := NewStore()
+	s.SetHooks(Hooks{
+		Insert: func(col string, d time.Duration) {
+			if d < 0 {
+				t.Errorf("negative duration for insert on %s", col)
+			}
+			inserts = append(inserts, col)
+		},
+		Query: func(col string, d time.Duration, indexUsed bool) {
+			queries = append(queries, queryObs{col, indexUsed})
+		},
+		Update: func(col string, d time.Duration) { updates = append(updates, col) },
+		Delete: func(col string, d time.Duration) { deletes = append(deletes, col) },
+	})
+
+	c := s.Collection("obsv")
+	c.EnsureIndex("client")
+	id, err := c.Insert(Doc{"client": "u1", "db": 61.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(Doc{"client": "u2", "db": 55.0}); err != nil {
+		t.Fatal(err)
+	}
+	// Indexed query, then a full-scan query.
+	if _, err := c.FindIDs(Doc{"client": "u1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FindIDs(Doc{"db": 61.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(id, Doc{"db": 62.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(inserts) != 2 || inserts[0] != "obsv" {
+		t.Fatalf("inserts = %v, want 2x obsv", inserts)
+	}
+	want := []queryObs{{"obsv", true}, {"obsv", false}}
+	if len(queries) != 2 || queries[0] != want[0] || queries[1] != want[1] {
+		t.Fatalf("queries = %v, want %v", queries, want)
+	}
+	if len(updates) != 1 || len(deletes) != 1 {
+		t.Fatalf("updates/deletes = %d/%d, want 1/1", len(updates), len(deletes))
+	}
+
+	// Hooks apply to collections created after SetHooks too, and the
+	// zero Hooks detaches.
+	s.SetHooks(Hooks{})
+	c2 := s.Collection("other")
+	if _, err := c2.Insert(Doc{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(inserts) != 2 {
+		t.Fatalf("detached hooks still firing: %v", inserts)
+	}
+}
+
+func TestNilHooksSafe(t *testing.T) {
+	// A store without SetHooks must work exactly as before.
+	s := NewStore()
+	c := s.Collection("c")
+	id, err := c.Insert(Doc{"v": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FindIDs(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(id, Doc{"v": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+}

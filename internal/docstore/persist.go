@@ -91,7 +91,7 @@ func (s *Store) Restore(r io.Reader) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, cs := range snap.Collections {
-		c := newCollection(cs.Name)
+		c := newCollection(cs.Name, &s.hooks)
 		c.order = make([]string, len(cs.Order))
 		copy(c.order, cs.Order)
 		for id, d := range cs.Docs {

@@ -1,0 +1,261 @@
+package goflow
+
+import (
+	"strings"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
+)
+
+// Metrics adapts the hook streams of the broker, the document store
+// and the ingest pipeline into obs metric families. Label values are
+// classified rather than passed through raw: with one exchange and
+// queue per mobile client (Figure 3's topology at 3,000+ registered
+// users), labeling by queue name would explode the registry, so
+// broker-side labels collapse to a bounded class —
+// "goflow" (GFX/GF), "client" (E.*/Q.*), "location" (loc.*) and
+// "app" (everything else).
+type Metrics struct {
+	reg *obs.Registry
+
+	// Broker families, labeled by exchange/queue class.
+	published  *obs.CounterVec
+	unroutable *obs.CounterVec
+	enqueued   *obs.CounterVec
+	delivered  *obs.CounterVec
+	acked      *obs.CounterVec
+	nacked     *obs.CounterVec
+	dropped    *obs.CounterVec
+	expired    *obs.CounterVec
+	queueReady *obs.GaugeVec
+	queueCount *obs.GaugeVec
+	conns      *obs.Gauge
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+
+	// Docstore families, labeled by collection (one per app, bounded).
+	opDuration *obs.HistogramVec
+	queries    *obs.CounterVec
+
+	// Ingest pipeline.
+	ingested *obs.CounterVec
+	rejected *obs.Counter
+}
+
+// NewMetrics builds the GoFlow metric families on reg. Call
+// InstrumentBroker / InstrumentStore / InstrumentServer to start
+// feeding them.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+		published: reg.CounterVec("mq_published_total",
+			"Messages published, by exchange class.", "exchange"),
+		unroutable: reg.CounterVec("mq_unroutable_total",
+			"Publishes that matched no queue, by exchange class.", "exchange"),
+		enqueued: reg.CounterVec("mq_enqueued_total",
+			"Messages enqueued, by queue class.", "queue"),
+		delivered: reg.CounterVec("mq_delivered_total",
+			"Messages handed to consumers, by queue class.", "queue"),
+		acked: reg.CounterVec("mq_acked_total",
+			"Deliveries acknowledged, by queue class.", "queue"),
+		nacked: reg.CounterVec("mq_nacked_total",
+			"Deliveries rejected, by queue class.", "queue"),
+		dropped: reg.CounterVec("mq_dropped_total",
+			"Messages dropped by overflow or nack, by queue class.", "queue"),
+		expired: reg.CounterVec("mq_expired_total",
+			"Messages expired by TTL, by queue class.", "queue"),
+		queueReady: reg.GaugeVec("mq_queue_ready",
+			"Ready messages summed over the queues of a class.", "queue"),
+		queueCount: reg.GaugeVec("mq_queue_count",
+			"Declared queues per class.", "queue"),
+		conns: reg.Gauge("mq_connections",
+			"Open wire-protocol connections."),
+		bytesIn: reg.Counter("mq_wire_read_bytes_total",
+			"Bytes read from wire-protocol connections."),
+		bytesOut: reg.Counter("mq_wire_written_bytes_total",
+			"Bytes written to wire-protocol connections."),
+		opDuration: reg.HistogramVec("docstore_op_duration_seconds",
+			"Document store operation latency.", nil, "collection", "op"),
+		queries: reg.CounterVec("docstore_queries_total",
+			"Queries by collection and index outcome.", "collection", "index"),
+		ingested: reg.CounterVec("goflow_ingested_total",
+			"Observations stored by the ingest pipeline, by app.", "app"),
+		rejected: reg.Counter("goflow_rejected_total",
+			"Deliveries the ingest pipeline rejected."),
+	}
+}
+
+// exchangeClass collapses an exchange name to a bounded label value
+// following the channel-management naming scheme.
+func exchangeClass(name string) string {
+	switch {
+	case name == GoFlowExchange:
+		return "goflow"
+	case strings.HasPrefix(name, "E."):
+		return "client"
+	case strings.HasPrefix(name, "loc."):
+		return "location"
+	default:
+		return "app"
+	}
+}
+
+// queueClass collapses a queue name to a bounded label value.
+func queueClass(name string) string {
+	switch {
+	case name == GoFlowQueue:
+		return "goflow"
+	case strings.HasPrefix(name, "Q."):
+		return "client"
+	default:
+		return "other"
+	}
+}
+
+// classedCounters caches one counter child per name class so the
+// per-event hook is a prefix check plus an atomic increment — the
+// broker hooks sit on the publish hot path and must not pay the
+// labeled With lookup there.
+type classedCounters struct {
+	goflow, client, location, app, other *obs.Counter
+}
+
+func exchangeClassed(v *obs.CounterVec) classedCounters {
+	return classedCounters{
+		goflow:   v.With("goflow"),
+		client:   v.With("client"),
+		location: v.With("location"),
+		app:      v.With("app"),
+	}
+}
+
+func (c *classedCounters) forExchange(name string) *obs.Counter {
+	switch {
+	case name == GoFlowExchange:
+		return c.goflow
+	case strings.HasPrefix(name, "E."):
+		return c.client
+	case strings.HasPrefix(name, "loc."):
+		return c.location
+	default:
+		return c.app
+	}
+}
+
+func queueClassed(v *obs.CounterVec) classedCounters {
+	return classedCounters{
+		goflow: v.With("goflow"),
+		client: v.With("client"),
+		other:  v.With("other"),
+	}
+}
+
+func (c *classedCounters) forQueue(name string) *obs.Counter {
+	switch {
+	case name == GoFlowQueue:
+		return c.goflow
+	case strings.HasPrefix(name, "Q."):
+		return c.client
+	default:
+		return c.other
+	}
+}
+
+// InstrumentBroker installs hooks on the broker and registers a
+// collect-time sampler that refreshes per-class queue depth gauges
+// from the lock-free stats fast path.
+func (m *Metrics) InstrumentBroker(b *mq.Broker) {
+	published := exchangeClassed(m.published)
+	unroutable := exchangeClassed(m.unroutable)
+	enqueued := queueClassed(m.enqueued)
+	delivered := queueClassed(m.delivered)
+	acked := queueClassed(m.acked)
+	nacked := queueClassed(m.nacked)
+	dropped := queueClassed(m.dropped)
+	expired := queueClassed(m.expired)
+	b.SetHooks(mq.Hooks{
+		Published: func(exchange string, n int) {
+			published.forExchange(exchange).Inc()
+			if n == 0 {
+				unroutable.forExchange(exchange).Inc()
+			}
+		},
+		Enqueued:  func(q string) { enqueued.forQueue(q).Inc() },
+		Delivered: func(q string) { delivered.forQueue(q).Inc() },
+		Acked:     func(q string) { acked.forQueue(q).Inc() },
+		Nacked: func(q string, requeue bool) {
+			nacked.forQueue(q).Inc()
+		},
+		Dropped: func(q string) { dropped.forQueue(q).Inc() },
+		Expired: func(q string, n int) {
+			expired.forQueue(q).Add(uint64(n))
+		},
+		ConnOpened:   func() { m.conns.Inc() },
+		ConnClosed:   func() { m.conns.Dec() },
+		BytesRead:    func(n int) { m.bytesIn.Add(uint64(n)) },
+		BytesWritten: func(n int) { m.bytesOut.Add(uint64(n)) },
+	})
+	m.reg.OnCollect(func() {
+		ready := map[string]float64{}
+		count := map[string]float64{}
+		for _, name := range b.Queues() {
+			st, err := b.QueueStatsFast(name)
+			if err != nil {
+				continue // deleted between listing and sampling
+			}
+			cls := queueClass(name)
+			ready[cls] += float64(st.Ready)
+			count[cls]++
+		}
+		// Touch every known class so a drained class reads 0 rather
+		// than holding its last sampled value.
+		for _, cls := range []string{"goflow", "client", "other"} {
+			m.queueReady.With(cls).Set(ready[cls])
+			m.queueCount.With(cls).Set(count[cls])
+		}
+	})
+}
+
+// InstrumentStore installs hooks on the document store.
+func (m *Metrics) InstrumentStore(s *docstore.Store) {
+	s.SetHooks(docstore.Hooks{
+		Insert: func(col string, d time.Duration) {
+			m.opDuration.With(col, "insert").ObserveDuration(d)
+		},
+		Query: func(col string, d time.Duration, indexUsed bool) {
+			m.opDuration.With(col, "query").ObserveDuration(d)
+			outcome := "miss"
+			if indexUsed {
+				outcome = "hit"
+			}
+			m.queries.With(col, outcome).Inc()
+		},
+		Update: func(col string, d time.Duration) {
+			m.opDuration.With(col, "update").ObserveDuration(d)
+		},
+		Delete: func(col string, d time.Duration) {
+			m.opDuration.With(col, "delete").ObserveDuration(d)
+		},
+	})
+}
+
+// InstrumentServer installs the ingest-pipeline counters.
+func (m *Metrics) InstrumentServer(s *Server) {
+	s.SetIngestHooks(
+		func(appID string) { m.ingested.With(appID).Inc() },
+		func() { m.rejected.Inc() },
+	)
+}
+
+// Instrument wires every layer of a server — broker, store via the
+// server's data manager, and ingest pipeline — into reg and returns
+// the adapter.
+func Instrument(reg *obs.Registry, s *Server, store *docstore.Store) *Metrics {
+	m := NewMetrics(reg)
+	m.InstrumentBroker(s.broker)
+	m.InstrumentStore(store)
+	m.InstrumentServer(s)
+	return m
+}

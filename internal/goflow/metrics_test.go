@@ -1,0 +1,137 @@
+package goflow
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
+)
+
+func TestExchangeAndQueueClasses(t *testing.T) {
+	cases := []struct{ name, exClass, qClass string }{
+		{"GFX", "goflow", "other"},
+		{"GF", "app", "goflow"},
+		{"E.client42", "client", "other"},
+		{"Q.client42", "app", "client"},
+		{"loc.FR75013", "location", "other"},
+		{"SC", "app", "other"},
+	}
+	for _, c := range cases {
+		if got := exchangeClass(c.name); got != c.exClass {
+			t.Errorf("exchangeClass(%q) = %q, want %q", c.name, got, c.exClass)
+		}
+		if got := queueClass(c.name); got != c.qClass {
+			t.Errorf("queueClass(%q) = %q, want %q", c.name, got, c.qClass)
+		}
+	}
+}
+
+// TestMetricsEndToEnd drives an observation through the full pipeline
+// — REST login, broker publish, ingest, REST retrieval — and checks
+// that every layer shows up in the /metrics exposition.
+func TestMetricsEndToEnd(t *testing.T) {
+	broker := mq.NewBroker()
+	store := docstore.NewStore()
+	server, err := NewServer(ServerConfig{Broker: broker, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		server.Shutdown()
+		broker.Close()
+	})
+	reg := obs.NewRegistry()
+	Instrument(reg, server, store)
+	handler := NewInstrumentedHTTPHandler(server, reg)
+
+	if _, err := server.RegisterApp("SC", "SoundCity", DataPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := server.Login("SC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.StartIngest(); err != nil {
+		t.Fatal(err)
+	}
+	o := obsAt(t, "LGE NEXUS 5", 63, true, time.Date(2016, 3, 1, 9, 0, 0, 0, time.UTC))
+	body, err := o.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := RoutingKey("SC", cl.ID, "obs", "FR75013")
+	if _, err := broker.PublishAt(cl.Exchange, key, nil, body, o.SensedAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.WaitIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two instrumented REST hits against different apps: same route
+	// label for both.
+	for _, app := range []string{"SC", "Other"} {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/apps/"+app+"/observations", nil))
+	}
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		// Broker layer: the publish fanned out through the client,
+		// app, goflow and (absent) location exchanges.
+		`mq_published_total{exchange="client"} 1`,
+		`mq_enqueued_total{queue="goflow"} 1`,
+		`mq_acked_total{queue="goflow"} 1`,
+		`mq_queue_ready{queue="goflow"} 0`,
+		// Store layer: the ingest inserted, the REST queries hit
+		// FindIDs.
+		`docstore_op_duration_seconds_count{collection="observations",op="insert"} 1`,
+		`docstore_op_duration_seconds_bucket{collection="observations",op="query",le="+Inf"}`,
+		// Ingest pipeline.
+		`goflow_ingested_total{app="SC"} 1`,
+		// HTTP layer: both apps collapse into the route pattern.
+		`http_requests_total{route="GET /v1/apps/{app}/observations",class="2xx"} 2`,
+		`http_request_duration_seconds_count{route="GET /v1/apps/{app}/observations"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, "/v1/apps/SC/") {
+		t.Error("raw URL leaked into metric labels")
+	}
+
+	// The JSON view decodes and carries the same families.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics.json = %d", rec.Code)
+	}
+	var snap struct {
+		Families []obs.FamilySnapshot `json:"families"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	names := map[string]bool{}
+	for _, f := range snap.Families {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"mq_published_total", "docstore_op_duration_seconds", "http_requests_total"} {
+		if !names[want] {
+			t.Errorf("metrics.json missing family %q", want)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"github.com/urbancivics/goflow/internal/obs"
 )
 
 // REST API (Figure 2): clients and administrators authenticate and
@@ -29,8 +31,13 @@ type apiHandler struct {
 
 // NewHTTPHandler exposes the server's REST API.
 func NewHTTPHandler(s *Server) http.Handler {
-	h := &apiHandler{server: s}
 	mux := http.NewServeMux()
+	(&apiHandler{server: s}).register(mux)
+	return mux
+}
+
+// register mounts the API routes on mux.
+func (h *apiHandler) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/healthz", h.health)
 	mux.HandleFunc("POST /v1/apps", h.registerApp)
 	mux.HandleFunc("POST /v1/apps/{app}/login", h.login)
@@ -41,7 +48,22 @@ func NewHTTPHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/apps/{app}/analytics", h.analytics)
 	mux.HandleFunc("POST /v1/apps/{app}/jobs", h.submitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
-	return mux
+}
+
+// NewInstrumentedHTTPHandler is NewHTTPHandler plus observability: the
+// API routes are wrapped in the obs HTTP middleware (request counts by
+// route pattern and status class, latency histograms, response bytes,
+// in-flight gauge) and the registry itself is exposed at GET /metrics
+// (Prometheus text format) and GET /metrics.json. Route labels use the
+// registered patterns — "/v1/apps/{app}/observations", not raw URLs —
+// so label cardinality stays bounded no matter how many apps exist.
+func NewInstrumentedHTTPHandler(s *Server, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	(&apiHandler{server: s}).register(mux)
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	mux.Handle("GET /metrics.json", obs.JSONHandler(reg))
+	m := obs.NewHTTPMetrics(reg)
+	return obs.InstrumentHandler(m, obs.NormalizeByMux(mux), mux)
 }
 
 // writeJSON writes a JSON response body.

@@ -32,6 +32,19 @@ type Server struct {
 	mu       sync.Mutex
 	consumer *mq.Consumer
 	done     chan struct{}
+
+	// Ingest instrumentation hooks; nil funcs are skipped. Set before
+	// StartIngest — see SetIngestHooks.
+	onIngest func(appID string)
+	onReject func()
+}
+
+// SetIngestHooks installs observers for the ingest pipeline: onIngest
+// fires after each stored observation, onReject after each rejected
+// delivery. Call before StartIngest; either func may be nil.
+func (s *Server) SetIngestHooks(onIngest func(appID string), onReject func()) {
+	s.onIngest = onIngest
+	s.onReject = onReject
 }
 
 // ServerConfig parameterizes NewServer.
@@ -150,6 +163,9 @@ func (s *Server) ingestLoop(consumer *mq.Consumer, done chan struct{}) {
 	for d := range consumer.C() {
 		if err := s.ingestDelivery(d.Message); err != nil {
 			s.Analytics.RecordRejection()
+			if s.onReject != nil {
+				s.onReject()
+			}
 			log.Printf("goflow ingest: %v", err)
 			if nackErr := consumer.Nack(d.Tag, false); nackErr != nil {
 				log.Printf("goflow ingest nack: %v", nackErr)
@@ -187,6 +203,9 @@ func (s *Server) ingestDelivery(m mq.Message) error {
 		return err
 	}
 	s.Analytics.RecordIngest(appID, s.Accounts.Anonymize(clientID), obs.DeviceModel, obs.Localized(), receivedAt)
+	if s.onIngest != nil {
+		s.onIngest(appID)
+	}
 	return nil
 }
 
@@ -204,6 +223,9 @@ func (s *Server) BulkIngest(appID, clientID string, observations []*sensing.Obse
 			return stored, fmt.Errorf("bulk ingest #%d: %w", stored, err)
 		}
 		s.Analytics.RecordIngest(appID, s.Accounts.Anonymize(clientID), o.DeviceModel, o.Localized(), receivedAt)
+		if s.onIngest != nil {
+			s.onIngest(appID)
+		}
 		stored++
 	}
 	return stored, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,14 +100,21 @@ type BrokerStats struct {
 
 // Broker is an in-process AMQP-style message broker. It is safe for
 // concurrent use. Serve it over TCP with NewServer.
+//
+// The counters are atomics so the publish hot path never takes the
+// broker write lock and stats sampling (Stats, QueueStatsFast) never
+// stalls publishers.
 type Broker struct {
-	mu         sync.RWMutex
-	exchanges  map[string]*exchange
-	queues     map[string]*queue
-	closed     bool
-	published  uint64
-	routed     uint64
-	unroutable uint64
+	mu        sync.RWMutex
+	exchanges map[string]*exchange
+	queues    map[string]*queue
+	closed    bool
+
+	published  atomic.Uint64
+	routed     atomic.Uint64
+	unroutable atomic.Uint64
+
+	hooks atomic.Pointer[Hooks]
 }
 
 // NewBroker returns an empty broker.
@@ -175,7 +183,7 @@ func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
 	if _, ok := b.queues[name]; ok {
 		return nil
 	}
-	b.queues[name] = newQueue(name, opts)
+	b.queues[name] = newQueue(name, opts, &b.hooks)
 	return nil
 }
 
@@ -328,14 +336,13 @@ func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]s
 		}
 	}
 
-	b.mu.Lock()
-	b.published++
+	b.published.Add(1)
 	if delivered == 0 {
-		b.unroutable++
+		b.unroutable.Add(1)
 	} else {
-		b.routed += uint64(delivered)
+		b.routed.Add(uint64(delivered))
 	}
-	b.mu.Unlock()
+	b.currentHooks().published(exchangeName, delivered)
 	return delivered, nil
 }
 
@@ -410,6 +417,22 @@ func (b *Broker) QueueStats(queueName string) (QueueStats, error) {
 	return q.stats(), nil
 }
 
+// QueueStatsFast snapshots one queue's counters without touching the
+// queue mutex: every field is read from atomics, so high-frequency
+// metric sampling cannot stall publishers or consumers. Unlike
+// QueueStats it does not run the lazy TTL sweep, so Ready may briefly
+// include messages whose TTL has elapsed but that no operation has
+// touched yet.
+func (b *Broker) QueueStatsFast(queueName string) (QueueStats, error) {
+	b.mu.RLock()
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return QueueStats{}, fmt.Errorf("stats %q: %w", queueName, ErrQueueNotFound)
+	}
+	return q.statsFast(), nil
+}
+
 // Queues returns the sorted queue names.
 func (b *Broker) Queues() []string {
 	b.mu.RLock()
@@ -434,16 +457,19 @@ func (b *Broker) Exchanges() []string {
 	return names
 }
 
-// Stats snapshots broker counters.
+// Stats snapshots broker counters. The counters are read lock-free;
+// only the exchange/queue cardinalities briefly take the shared read
+// lock, which publishers also use — sampling never blocks a publish.
 func (b *Broker) Stats() BrokerStats {
 	b.mu.RLock()
-	defer b.mu.RUnlock()
+	exchanges, queues := len(b.exchanges), len(b.queues)
+	b.mu.RUnlock()
 	return BrokerStats{
-		Exchanges:  len(b.exchanges),
-		Queues:     len(b.queues),
-		Published:  b.published,
-		Routed:     b.routed,
-		Unroutable: b.unroutable,
+		Exchanges:  exchanges,
+		Queues:     queues,
+		Published:  b.published.Load(),
+		Routed:     b.routed.Load(),
+		Unroutable: b.unroutable.Load(),
 	}
 }
 

@@ -62,7 +62,7 @@ func (c *Conn) readLoop() {
 	defer close(c.readerDone)
 	r := bufio.NewReader(c.conn)
 	for {
-		f, err := readFrame(r)
+		f, _, err := readFrame(r)
 		if err != nil {
 			c.failAll(err)
 			return
@@ -132,7 +132,7 @@ func (c *Conn) rpc(f *frame) (*frame, error) {
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, f)
+	_, err := writeFrame(c.conn, f)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()

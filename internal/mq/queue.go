@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,6 +48,11 @@ type QueueStats struct {
 
 // queue is a broker-internal message queue with competing consumers
 // and per-delivery acknowledgements.
+//
+// Counters and the ready/unacked/consumer cardinalities are atomics
+// mirrored alongside the locked structures, so statsFast can snapshot
+// the queue without acquiring mu — metric sampling never contends with
+// the publish/dispatch hot path.
 type queue struct {
 	name string
 	opts QueueOptions
@@ -62,21 +68,37 @@ type queue struct {
 	// now stamps expiry checks; overridable in tests.
 	now func() time.Time
 
-	published uint64
-	delivered uint64
-	acked     uint64
-	dropped   uint64
-	expired   uint64
+	// hooks aliases the owning broker's hook slot; nil-safe.
+	hooks *atomic.Pointer[Hooks]
+
+	readyN     atomic.Int64
+	unackedN   atomic.Int64
+	consumersN atomic.Int64
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+	acked     atomic.Uint64
+	dropped   atomic.Uint64
+	expired   atomic.Uint64
 }
 
-func newQueue(name string, opts QueueOptions) *queue {
+func newQueue(name string, opts QueueOptions, hooks *atomic.Pointer[Hooks]) *queue {
 	return &queue{
 		name:    name,
 		opts:    opts,
 		ready:   list.New(),
 		unacked: make(map[uint64]Message),
 		now:     time.Now,
+		hooks:   hooks,
 	}
+}
+
+// h returns the current hooks, tolerating queues built without a slot.
+func (q *queue) h() *Hooks {
+	if q.hooks == nil {
+		return nil
+	}
+	return q.hooks.Load()
 }
 
 // expireLocked lazily drops ready messages older than the TTL.
@@ -86,17 +108,23 @@ func (q *queue) expireLocked() {
 		return
 	}
 	cutoff := q.now().Add(-q.opts.TTL)
+	n := 0
 	for front := q.ready.Front(); front != nil; {
 		msg, ok := front.Value.(Message)
 		if !ok || !msg.PublishedAt.Before(cutoff) {
 			// Messages are ordered by publish time; the first fresh
 			// one ends the sweep.
-			return
+			break
 		}
 		next := front.Next()
 		q.ready.Remove(front)
-		q.expired++
+		q.readyN.Add(-1)
+		q.expired.Add(1)
 		front = next
+		n++
+	}
+	if n > 0 {
+		q.h().expired(q.name, n)
 	}
 }
 
@@ -108,12 +136,16 @@ func (q *queue) publish(m Message) error {
 	if q.closed {
 		return ErrQueueClosed
 	}
-	q.published++
+	q.published.Add(1)
 	q.ready.PushBack(m)
+	q.readyN.Add(1)
+	q.h().enqueued(q.name)
 	if q.opts.MaxLen > 0 {
 		for q.ready.Len() > q.opts.MaxLen {
 			q.ready.Remove(q.ready.Front())
-			q.dropped++
+			q.readyN.Add(-1)
+			q.dropped.Add(1)
+			q.h().dropped(q.name)
 		}
 	}
 	q.dispatchLocked()
@@ -137,6 +169,7 @@ func (q *queue) dispatchLocked() {
 		if !ok {
 			// Impossible by construction; drop defensively.
 			q.ready.Remove(front)
+			q.readyN.Add(-1)
 			continue
 		}
 		q.nextTag++
@@ -148,8 +181,11 @@ func (q *queue) dispatchLocked() {
 			return
 		}
 		q.ready.Remove(front)
+		q.readyN.Add(-1)
 		q.unacked[tag] = msg
-		q.delivered++
+		q.unackedN.Add(1)
+		q.delivered.Add(1)
+		q.h().delivered(q.name)
 	}
 }
 
@@ -183,12 +219,16 @@ func (q *queue) get() (Delivery, bool, error) {
 	msg, ok := front.Value.(Message)
 	if !ok {
 		q.ready.Remove(front)
+		q.readyN.Add(-1)
 		return Delivery{}, false, nil
 	}
 	q.ready.Remove(front)
+	q.readyN.Add(-1)
 	q.nextTag++
 	q.unacked[q.nextTag] = msg
-	q.delivered++
+	q.unackedN.Add(1)
+	q.delivered.Add(1)
+	q.h().delivered(q.name)
 	return Delivery{Message: msg, Tag: q.nextTag, Queue: q.name}, true, nil
 }
 
@@ -200,7 +240,9 @@ func (q *queue) ack(tag uint64) error {
 		return fmt.Errorf("queue %q: ack %d: %w", q.name, tag, ErrUnknownTag)
 	}
 	delete(q.unacked, tag)
-	q.acked++
+	q.unackedN.Add(-1)
+	q.acked.Add(1)
+	q.h().acked(q.name)
 	q.dispatchLocked()
 	return nil
 }
@@ -215,12 +257,16 @@ func (q *queue) nack(tag uint64, requeue bool) error {
 		return fmt.Errorf("queue %q: nack %d: %w", q.name, tag, ErrUnknownTag)
 	}
 	delete(q.unacked, tag)
+	q.unackedN.Add(-1)
+	q.h().nacked(q.name, requeue)
 	if requeue {
 		m.Redelivered = true
 		q.ready.PushFront(m)
+		q.readyN.Add(1)
 		q.dispatchLocked()
 	} else {
-		q.dropped++
+		q.dropped.Add(1)
+		q.h().dropped(q.name)
 	}
 	return nil
 }
@@ -233,6 +279,7 @@ func (q *queue) addConsumer(c *Consumer) error {
 		return ErrQueueClosed
 	}
 	q.consumers = append(q.consumers, c)
+	q.consumersN.Add(1)
 	q.dispatchLocked()
 	return nil
 }
@@ -246,6 +293,7 @@ func (q *queue) removeConsumer(c *Consumer) {
 	for i, x := range q.consumers {
 		if x == c {
 			q.consumers = append(q.consumers[:i], q.consumers[i+1:]...)
+			q.consumersN.Add(-1)
 			break
 		}
 	}
@@ -263,11 +311,16 @@ func (q *queue) close() {
 		c.closeChan()
 	}
 	q.consumers = nil
+	q.consumersN.Store(0)
 	q.ready.Init()
+	q.readyN.Store(0)
 	q.unacked = make(map[uint64]Message)
+	q.unackedN.Store(0)
 }
 
-// stats snapshots queue counters.
+// stats snapshots queue counters, running the lazy TTL sweep first so
+// Ready reflects only live messages (the behaviour QueueStats
+// documents and the TTL tests rely on).
 func (q *queue) stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -277,11 +330,28 @@ func (q *queue) stats() QueueStats {
 		Ready:     q.ready.Len(),
 		Unacked:   len(q.unacked),
 		Consumers: len(q.consumers),
-		Published: q.published,
-		Delivered: q.delivered,
-		Acked:     q.acked,
-		Dropped:   q.dropped,
-		Expired:   q.expired,
+		Published: q.published.Load(),
+		Delivered: q.delivered.Load(),
+		Acked:     q.acked.Load(),
+		Dropped:   q.dropped.Load(),
+		Expired:   q.expired.Load(),
+	}
+}
+
+// statsFast snapshots queue counters from atomics only: no mutex, no
+// TTL sweep. Fields may be mutually torn by a few in-flight messages,
+// which is fine for monitoring.
+func (q *queue) statsFast() QueueStats {
+	return QueueStats{
+		Name:      q.name,
+		Ready:     int(q.readyN.Load()),
+		Unacked:   int(q.unackedN.Load()),
+		Consumers: int(q.consumersN.Load()),
+		Published: q.published.Load(),
+		Delivered: q.delivered.Load(),
+		Acked:     q.acked.Load(),
+		Dropped:   q.dropped.Load(),
+		Expired:   q.expired.Load(),
 	}
 }
 

@@ -103,17 +103,26 @@ type connState struct {
 	conn      net.Conn
 	consumers map[uint64]*Consumer
 	mu        sync.Mutex
+
+	// hooks resolves the broker's current hooks for wire accounting.
+	hooks func() *Hooks
 }
 
 func (cs *connState) send(f *frame) error {
 	cs.writeMu.Lock()
-	defer cs.writeMu.Unlock()
-	return writeFrame(cs.conn, f)
+	n, err := writeFrame(cs.conn, f)
+	cs.writeMu.Unlock()
+	if n > 0 {
+		cs.hooks().bytesWritten(n)
+	}
+	return err
 }
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
-	cs := &connState{conn: conn, consumers: make(map[uint64]*Consumer)}
+	cs := &connState{conn: conn, consumers: make(map[uint64]*Consumer), hooks: s.broker.currentHooks}
+	cs.hooks().connOpened()
+	defer cs.hooks().connClosed()
 	defer func() {
 		cs.mu.Lock()
 		consumers := make([]*Consumer, 0, len(cs.consumers))
@@ -132,7 +141,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	var nextConsumerID uint64
 	for {
-		f, err := readFrame(r)
+		f, n, err := readFrame(r)
+		if n > 0 {
+			cs.hooks().bytesRead(n)
+		}
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Connection-level noise (resets, partial frames) is

@@ -43,10 +43,10 @@ func TestWireFrameRoundTrip(t *testing.T) {
 		Body:       []byte(`{"spl":61.5}`),
 	}
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, f); err != nil {
+	if _, err := writeFrame(&buf, f); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(bufio.NewReader(&buf))
+	got, _, err := readFrame(bufio.NewReader(&buf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestWireFrameRoundTrip(t *testing.T) {
 func TestWireOversizedFrameRejected(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+	if _, _, err := readFrame(bufio.NewReader(&buf)); err == nil {
 		t.Fatal("oversized frame length must be rejected")
 	}
 }

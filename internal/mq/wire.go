@@ -69,40 +69,45 @@ type frame struct {
 	Stats        *QueueStats       `json:"stats,omitempty"`
 }
 
-// writeFrame encodes and writes one frame.
-func writeFrame(w io.Writer, f *frame) error {
+// writeFrame encodes and writes one frame, returning the bytes put on
+// the wire (length prefix included) for traffic accounting.
+func writeFrame(w io.Writer, f *frame) (int, error) {
 	payload, err := json.Marshal(f)
 	if err != nil {
-		return fmt.Errorf("encode frame: %w", err)
+		return 0, fmt.Errorf("encode frame: %w", err)
 	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
 	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err = w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return len(lenBuf), err
+	}
+	return len(lenBuf) + len(payload), nil
 }
 
-// readFrame reads and decodes one frame.
-func readFrame(r *bufio.Reader) (*frame, error) {
+// readFrame reads and decodes one frame, returning the bytes consumed
+// from the wire (length prefix included).
+func readFrame(r *bufio.Reader) (*frame, int, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > maxFrameBytes {
-		return nil, fmt.Errorf("mq: frame of %d bytes exceeds limit", n)
+		return nil, len(lenBuf), fmt.Errorf("mq: frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+		return nil, len(lenBuf), err
 	}
+	total := len(lenBuf) + int(n)
 	var f frame
 	if err := json.Unmarshal(payload, &f); err != nil {
-		return nil, fmt.Errorf("decode frame: %w", err)
+		return nil, total, fmt.Errorf("decode frame: %w", err)
 	}
-	return &f, nil
+	return &f, total, nil
 }
 
 // errConnClosed reports a connection torn down mid-operation.

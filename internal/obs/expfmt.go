@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Exposition: the registry renders as Prometheus text format
+// (version 0.0.4) and as a JSON snapshot. Both orderings are
+// deterministic — families by name, children by label values — so
+// scrapes diff cleanly and tests can compare bytes.
+
+// escapeLabelValue escapes a label value per the text format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}; an empty label set renders nothing.
+// extra appends one more pair (the histogram "le" label).
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in the text exposition format.
+// Collect callbacks run first so sampled gauges are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollects()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		keys, children := f.sortedChildren()
+		for i, key := range keys {
+			values := splitLabelKey(key, len(f.labels))
+			switch c := children[i].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(c.Value()))
+			case *Histogram:
+				writeHistogram(bw, f, values, c)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders the cumulative le buckets, sum and count.
+func writeHistogram(w io.Writer, f *family, values []string, h *Histogram) {
+	counts := h.snapshot()
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(f.labels, values, "le", formatFloat(bound)), cum)
+	}
+	cum += counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n",
+		f.name, labelString(f.labels, values, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), cum)
+}
+
+// Snapshot types for the JSON surface.
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE         float64 `json:"le"`
+	Cumulative uint64  `json:"cumulative"`
+}
+
+// MetricSnapshot is one child of a family.
+type MetricSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counter / gauge:
+	Value *float64 `json:"value,omitempty"`
+	// Histogram:
+	Count   *uint64          `json:"count,omitempty"`
+	Sum     *float64         `json:"sum,omitempty"`
+	P50     *float64         `json:"p50,omitempty"`
+	P95     *float64         `json:"p95,omitempty"`
+	P99     *float64         `json:"p99,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one metric family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Type    string           `json:"type"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures every family. Collect callbacks run first.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.runCollects()
+	fams := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.kind.String()}
+		keys, children := f.sortedChildren()
+		for i, key := range keys {
+			values := splitLabelKey(key, len(f.labels))
+			var labels map[string]string
+			if len(f.labels) > 0 {
+				labels = make(map[string]string, len(f.labels))
+				for j, n := range f.labels {
+					labels[n] = values[j]
+				}
+			}
+			m := MetricSnapshot{Labels: labels}
+			switch c := children[i].(type) {
+			case *Counter:
+				v := float64(c.Value())
+				m.Value = &v
+			case *Gauge:
+				v := c.Value()
+				m.Value = &v
+			case *Histogram:
+				counts := c.snapshot()
+				var cum uint64
+				for bi, bound := range c.bounds {
+					cum += counts[bi]
+					m.Buckets = append(m.Buckets, BucketSnapshot{LE: bound, Cumulative: cum})
+				}
+				cum += counts[len(c.bounds)]
+				n, s := cum, c.Sum()
+				p50, p95, p99 := c.Quantile(0.50), c.Quantile(0.95), c.Quantile(0.99)
+				m.Count, m.Sum, m.P50, m.P95, m.P99 = &n, &s, &p50, &p95, &p99
+			}
+			fs.Metrics = append(fs.Metrics, m)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"families": r.Snapshot()})
+}
+
+// Handler serves the Prometheus text format (mount at /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the JSON snapshot (mount at /metrics.json).
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func renderText(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTextFormatCountersAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pub_total", "Publishes.").Add(7)
+	reg.GaugeVec("depth", "Queue depth.", "queue").With("GF").Set(3)
+	out := renderText(t, reg)
+	for _, want := range []string{
+		"# HELP pub_total Publishes.\n",
+		"# TYPE pub_total counter\n",
+		"pub_total 7\n",
+		"# TYPE depth gauge\n",
+		`depth{queue="GF"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTextFormatLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("c_total", "", "path").
+		With("a\"b\\c\nd").Inc()
+	out := renderText(t, reg)
+	want := `c_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped line %q not found in:\n%s", want, out)
+	}
+}
+
+func TestTextFormatHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h_total", "line1\nline2\\end")
+	out := renderText(t, reg)
+	want := `# HELP h_total line1\nline2\\end`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped help %q not found in:\n%s", want, out)
+	}
+}
+
+// TestHistogramCumulativity checks the le buckets are monotone
+// non-decreasing and the +Inf bucket equals _count.
+func TestHistogramCumulativity(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 250) // spread across all buckets incl. +Inf
+	}
+	out := renderText(t, reg)
+
+	bucketRe := regexp.MustCompile(`lat_seconds_bucket\{le="([^"]+)"\} (\d+)`)
+	matches := bucketRe.FindAllStringSubmatch(out, -1)
+	if len(matches) != 5 { // 4 finite + +Inf
+		t.Fatalf("bucket lines = %d, want 5:\n%s", len(matches), out)
+	}
+	var prev uint64
+	var inf uint64
+	for _, m := range matches {
+		n, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("bucket le=%s count %d < previous %d (not cumulative)", m[1], n, prev)
+		}
+		prev = n
+		if m[1] == "+Inf" {
+			inf = n
+		}
+	}
+	countRe := regexp.MustCompile(`lat_seconds_count (\d+)`)
+	cm := countRe.FindStringSubmatch(out)
+	if cm == nil {
+		t.Fatalf("no _count line:\n%s", out)
+	}
+	count, _ := strconv.ParseUint(cm[1], 10, 64)
+	if inf != count || count != 1000 {
+		t.Fatalf("+Inf bucket = %d, _count = %d, want both 1000", inf, count)
+	}
+	if !strings.Contains(out, "lat_seconds_sum ") {
+		t.Fatalf("no _sum line:\n%s", out)
+	}
+}
+
+// TestDeterministicOrdering renders two registries populated in
+// opposite orders and expects byte-identical output: families sort by
+// name, children by label values.
+func TestDeterministicOrdering(t *testing.T) {
+	build := func(reverse bool) *Registry {
+		reg := NewRegistry()
+		names := []string{"a_total", "b_total", "c_total"}
+		queues := []string{"q1", "q2", "q3"}
+		if reverse {
+			sort.Sort(sort.Reverse(sort.StringSlice(names)))
+			sort.Sort(sort.Reverse(sort.StringSlice(queues)))
+		}
+		for _, n := range names {
+			v := reg.CounterVec(n, "help", "queue")
+			for _, q := range queues {
+				v.With(q).Add(1)
+			}
+		}
+		return reg
+	}
+	out1 := renderText(t, build(false))
+	out2 := renderText(t, build(true))
+	if out1 != out2 {
+		t.Fatalf("ordering not deterministic:\n--- forward ---\n%s--- reverse ---\n%s", out1, out2)
+	}
+	// Repeated scrapes are also stable.
+	reg := build(false)
+	if renderText(t, reg) != renderText(t, reg) {
+		t.Fatal("repeated scrapes differ")
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("n_total", "help").Add(5)
+	h := reg.Histogram("d_seconds", "", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []FamilySnapshot `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(doc.Families))
+	}
+	hist := doc.Families[0] // d_seconds sorts first
+	if hist.Name != "d_seconds" || hist.Type != "histogram" {
+		t.Fatalf("unexpected first family %+v", hist)
+	}
+	m := hist.Metrics[0]
+	if m.Count == nil || *m.Count != 2 || m.P50 == nil || m.P95 == nil {
+		t.Fatalf("histogram snapshot incomplete: %+v", m)
+	}
+	if len(m.Buckets) != 2 || m.Buckets[1].Cumulative != 2 {
+		t.Fatalf("buckets wrong: %+v", m.Buckets)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "").Inc()
+
+	rec := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	JSONHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatal("JSON handler produced invalid JSON")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		1:      "1",
+		0.25:   "0.25",
+		1e-05:  "1e-05",
+		123456: "123456",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := fmt.Sprintf("%s", formatFloat(0.0001)); got != "0.0001" {
+		t.Errorf("formatFloat(0.0001) = %q", got)
+	}
+}

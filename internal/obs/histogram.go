@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// 100µs to 10s — wide enough for an in-process broker publish and a
+// cross-continent HTTP round trip alike.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// normalizeBuckets validates and copies the bucket upper bounds,
+// defaulting to DefBuckets.
+func normalizeBuckets(buckets []float64) []float64 {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	out := append([]float64(nil), buckets...)
+	sort.Float64s(out)
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			panic("obs: duplicate histogram bucket bound")
+		}
+	}
+	if len(out) == 0 {
+		panic("obs: histogram needs at least one bucket")
+	}
+	return out
+}
+
+// Histogram samples observations into fixed buckets. Observe is
+// lock-free; quantile estimation interpolates linearly inside the
+// bucket holding the target rank, which is the standard Prometheus
+// approximation.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1, per-bucket (non-cumulative)
+
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot copies the per-bucket counts. Concurrent observations may
+// tear across buckets; for monitoring that skew is acceptable and
+// self-corrects at the next scrape.
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution: the target rank is located in the cumulative bucket
+// counts and interpolated linearly inside that bucket. Returns 0 when
+// nothing was observed. Ranks falling in the +Inf bucket clamp to the
+// highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			if c == 0 {
+				return upper
+			}
+			// Position of the rank inside this bucket.
+			frac := (rank - float64(cum-c)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (upper-lower)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Timer measures one span into a histogram:
+//
+//	defer h.Start().ObserveDuration()
+type Timer struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins a timed span.
+func (h *Histogram) Start() *Timer {
+	return &Timer{h: h, t0: time.Now()}
+}
+
+// ObserveDuration stops the span, records it in seconds and returns
+// the elapsed time.
+func (t *Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.t0)
+	t.h.Observe(d.Seconds())
+	return d
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// testMux builds a parameterized mux plus an instrumented wrapper, the
+// same shape the goflow REST handler uses.
+func testMux(t *testing.T, reg *Registry) http.Handler {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/apps/{app}/observations", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"count":0}`))
+	})
+	mux.HandleFunc("POST /v1/apps", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	})
+	mux.HandleFunc("GET /v1/boom", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	})
+	return InstrumentHandler(NewHTTPMetrics(reg), NormalizeByMux(mux), mux)
+}
+
+// TestMiddlewareNormalizesPaths sends requests with distinct path
+// parameters and expects them to collapse into one route label — the
+// label-cardinality bound that keeps a million clients from minting a
+// million label values.
+func TestMiddlewareNormalizesPaths(t *testing.T) {
+	reg := NewRegistry()
+	h := testMux(t, reg)
+	for _, app := range []string{"SC", "app2", "app3", "a%20b"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/apps/"+app+"/observations", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	out := renderText(t, reg)
+	want := `http_requests_total{route="GET /v1/apps/{app}/observations",class="2xx"} 4`
+	if !strings.Contains(out, want) {
+		t.Fatalf("normalized route line %q missing:\n%s", want, out)
+	}
+	// No raw URL may leak into a label.
+	if strings.Contains(out, "/v1/apps/SC/") {
+		t.Fatalf("raw path leaked into labels:\n%s", out)
+	}
+}
+
+func TestMiddlewareStatusClassesAndLatency(t *testing.T) {
+	reg := NewRegistry()
+	h := testMux(t, reg)
+
+	for _, rt := range []struct{ method, path string }{
+		{"POST", "/v1/apps"},
+		{"GET", "/v1/boom"},
+		{"GET", "/no/such/route"},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(rt.method, rt.path, nil))
+	}
+	out := renderText(t, reg)
+	for _, want := range []string{
+		`http_requests_total{route="POST /v1/apps",class="2xx"} 1`,
+		`http_requests_total{route="GET /v1/boom",class="5xx"} 1`,
+		`http_requests_total{route="unmatched",class="4xx"} 1`,
+		`http_request_duration_seconds_count{route="POST /v1/apps"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The in-flight gauge must be back to zero after the requests.
+	m := NewHTTPMetrics(reg)
+	if v := m.inFlight.Value(); v != 0 {
+		t.Fatalf("in-flight = %v after completion, want 0", v)
+	}
+}
+
+func TestStatusRecorderDefaultsTo200(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {
+		// Neither WriteHeader nor Write called: implicit 200.
+	})
+	h := InstrumentHandler(NewHTTPMetrics(reg), NormalizeByMux(mux), mux)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+	out := renderText(t, reg)
+	if !strings.Contains(out, `http_requests_total{route="GET /ok",class="2xx"} 1`) {
+		t.Fatalf("implicit 200 not recorded as 2xx:\n%s", out)
+	}
+}

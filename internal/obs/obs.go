@@ -1,0 +1,302 @@
+// Package obs is the observability substrate of the GoFlow middleware:
+// a dependency-free metrics library in the spirit of the Prometheus
+// client, sized for the needs of a crowd-sensing deployment. The
+// paper's central operational lesson is that a long-running MPS
+// platform lives or dies by being able to watch its middleware — the
+// authors derived every figure of their Section 4 from ten months of
+// broker message rates, server load and upload telemetry. This package
+// gives every layer of the reproduction that feedback loop.
+//
+// Core concepts:
+//
+//   - Registry: a named set of metric families with deterministic
+//     ordering. Families are created once and looked up by handle, so
+//     the hot path is a single atomic operation.
+//   - Counter, Gauge: lock-free atomic scalars.
+//   - Histogram: fixed upper-bound buckets with atomic counts plus
+//     p50/p95/p99 estimation by linear interpolation.
+//   - Vec variants (CounterVec, GaugeVec, HistogramVec): labeled
+//     families; children are created on first use and cached.
+//   - Exposition: Prometheus text format (WritePrometheus / Handler)
+//     and a JSON snapshot (WriteJSON / JSONHandler).
+//   - InstrumentHandler: HTTP middleware recording per-endpoint
+//     request counts, status classes and latency histograms.
+//   - Reporter: a goroutine logging a one-line snapshot at a
+//     configurable interval.
+//
+// The package deliberately has no third-party dependencies and no
+// global default registry: every consumer receives its *Registry
+// explicitly, which keeps tests hermetic and lets simulations run
+// several instrumented stacks side by side.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates family types in snapshots and exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// family is one named metric family: a kind, a label schema and a set
+// of children keyed by their label values.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+
+	buckets []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]any // labelKey -> *Counter | *Gauge | *Histogram
+	order    []string       // insertion order of label keys, sorted at snapshot
+}
+
+// Registry holds metric families. It is safe for concurrent use. The
+// zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+
+	cbMu     sync.Mutex
+	collects []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnCollect registers fn to run before every snapshot or exposition.
+// Use it to sample gauges whose source of truth lives elsewhere (queue
+// depths, pool sizes) without a background goroutine.
+func (r *Registry) OnCollect(fn func()) {
+	r.cbMu.Lock()
+	defer r.cbMu.Unlock()
+	r.collects = append(r.collects, fn)
+}
+
+// runCollects invokes the sampling callbacks in registration order.
+func (r *Registry) runCollects() {
+	r.cbMu.Lock()
+	cbs := make([]func(), len(r.collects))
+	copy(cbs, r.collects)
+	r.cbMu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// validName reports whether name is a legal Prometheus metric or label
+// name: [a-zA-Z_:][a-zA-Z0-9_:]* (colons for metrics only, but we
+// accept them uniformly).
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// getFamily returns the named family, creating it on first use. A
+// redefinition with a different kind or label schema panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) getFamily(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if f, ok = r.families[name]; !ok {
+			f = &family{
+				name:     name,
+				help:     help,
+				kind:     kind,
+				labels:   append([]string(nil), labels...),
+				buckets:  buckets,
+				children: make(map[string]any),
+			}
+			r.families[name] = f
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q redefined with a different kind or label schema", name))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: metric %q redefined with different labels", name))
+		}
+	}
+	return f
+}
+
+// labelKey joins label values into the family's child key. The unit
+// separator cannot appear in a metric identity accidentally clashing.
+func labelKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+// child returns the family's child for the label values, creating one
+// with mk on first use.
+func (f *family) child(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	c = mk()
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.getFamily(name, help, kindCounter, nil, nil)
+	return f.child(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.getFamily(name, help, kindGauge, nil, nil)
+	return f.child(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or returns) an unlabeled histogram. A nil
+// buckets slice uses DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	bs := normalizeBuckets(buckets)
+	f := r.getFamily(name, help, kindHistogram, nil, bs)
+	return f.child(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.getFamily(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.getFamily(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers a labeled histogram family. A nil buckets
+// slice uses DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	bs := normalizeBuckets(buckets)
+	return &HistogramVec{f: r.getFamily(name, help, kindHistogram, labels, bs)}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the child counter for the label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildren snapshots a family's children in label-key order.
+func (f *family) sortedChildren() (keys []string, children []any) {
+	f.mu.RLock()
+	keys = append([]string(nil), f.order...)
+	f.mu.RUnlock()
+	sort.Strings(keys)
+	children = make([]any, len(keys))
+	f.mu.RLock()
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	return keys, children
+}
+
+// splitLabelKey recovers the label values from a child key.
+func splitLabelKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\x1f", n)
+}

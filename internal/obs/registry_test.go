@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("events_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Same name returns the same child.
+	if reg.Counter("events_total", "help") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth", "help")
+	g.Set(10)
+	g.Add(2.5)
+	g.Dec()
+	if got := g.Value(); got != 11.5 {
+		t.Fatalf("gauge = %v, want 11.5", got)
+	}
+}
+
+func TestVecChildrenAreCachedPerLabelSet(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("ops_total", "help", "op")
+	a1, a2, b := v.With("insert"), v.With("insert"), v.With("query")
+	if a1 != a2 {
+		t.Fatal("same labels returned different children")
+	}
+	if a1 == b {
+		t.Fatal("different labels returned the same child")
+	}
+	a1.Inc()
+	if b.Value() != 0 {
+		t.Fatal("label isolation broken")
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with-dash", "sp ace"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: no panic", bad)
+				}
+			}()
+			reg.Counter(bad, "")
+		}()
+	}
+}
+
+func TestKindRedefinitionPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redefining a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "help", []float64{0.01, 0.1, 1})
+	// 100 observations uniformly in (0, 0.01].
+	for i := 1; i <= 100; i++ {
+		h.Observe(0.0001 * float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.004 || p50 > 0.006 {
+		t.Fatalf("p50 = %v, want ~0.005", p50)
+	}
+	// Values past the last finite bound clamp to it.
+	h2 := reg.Histogram("lat2_seconds", "help", []float64{0.01, 0.1, 1})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want clamp to 1", q)
+	}
+	if h2.Sum() != 50 {
+		t.Fatalf("sum = %v, want 50", h2.Sum())
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("empty_seconds", "", nil)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestTimerObservesElapsed(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_seconds", "", nil)
+	tm := h.Start()
+	time.Sleep(2 * time.Millisecond)
+	d := tm.ObserveDuration()
+	if d < 2*time.Millisecond {
+		t.Fatalf("elapsed %v < 2ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() < 0.002 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestOnCollectSamplesBeforeSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("sampled", "")
+	calls := 0
+	reg.OnCollect(func() { calls++; g.Set(float64(calls)) })
+	_ = reg.Snapshot()
+	_ = reg.Snapshot()
+	if calls != 2 {
+		t.Fatalf("collect ran %d times, want 2", calls)
+	}
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+}
+
+// TestConcurrentUse hammers every metric type from many goroutines;
+// run with -race.
+func TestConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("c_total", "", "l")
+	gv := reg.GaugeVec("g", "", "l")
+	hv := reg.HistogramVec("h_seconds", "", nil, "l")
+	labels := []string{"a", "b", "c", "d"}
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l := labels[(w+i)%len(labels)]
+				cv.With(l).Inc()
+				gv.With(l).Add(1)
+				hv.With(l).Observe(float64(i%100) / 1000)
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, l := range labels {
+		total += cv.With(l).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	var hTotal uint64
+	for _, l := range labels {
+		hTotal += hv.With(l).Count()
+	}
+	if hTotal != workers*iters {
+		t.Fatalf("histogram total = %d, want %d", hTotal, workers*iters)
+	}
+}

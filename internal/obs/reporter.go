@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reporter periodically logs a one-line registry summary — the "watch
+// the middleware" habit the paper's ten-month deployment was run on,
+// for operators without a scraper attached.
+type Reporter struct {
+	reg      *Registry
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReporter builds a reporter; logf nil defaults to log.Printf.
+func NewReporter(reg *Registry, interval time.Duration, logf func(format string, args ...any)) *Reporter {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Reporter{reg: reg, interval: interval, logf: logf}
+}
+
+// Start launches the reporting goroutine. It is idempotent; intervals
+// <= 0 disable reporting.
+func (r *Reporter) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.interval <= 0 || r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(r.stop, r.done)
+}
+
+// Stop halts the reporter and waits for the goroutine to exit. A final
+// summary line is emitted so short runs still leave a trace.
+func (r *Reporter) Stop() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	r.logf("obs: %s", r.reg.Summary())
+}
+
+func (r *Reporter) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			r.logf("obs: %s", r.reg.Summary())
+		}
+	}
+}
+
+// Summary renders a compact one-line view of the registry: counters
+// and gauges aggregated over their children, histograms as
+// n/p50/p95/p99. Families whose aggregate is still zero are elided to
+// keep the line readable.
+func (r *Registry) Summary() string {
+	r.runCollects()
+	parts := make([]string, 0, 16)
+	for _, f := range r.sortedFamilies() {
+		_, children := f.sortedChildren()
+		switch f.kind {
+		case kindCounter:
+			var sum uint64
+			for _, c := range children {
+				sum += c.(*Counter).Value()
+			}
+			if sum > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", f.name, sum))
+			}
+		case kindGauge:
+			var sum float64
+			for _, c := range children {
+				sum += c.(*Gauge).Value()
+			}
+			if sum != 0 {
+				parts = append(parts, fmt.Sprintf("%s=%s", f.name, formatFloat(sum)))
+			}
+		case kindHistogram:
+			merged := newHistogram(f.buckets)
+			var n uint64
+			for _, c := range children {
+				h := c.(*Histogram)
+				counts := h.snapshot()
+				for i := range counts {
+					merged.counts[i].Add(counts[i])
+				}
+				n += h.Count()
+			}
+			if n > 0 {
+				merged.count.Store(n)
+				parts = append(parts, fmt.Sprintf("%s{n=%d p50=%.4g p95=%.4g p99=%.4g}",
+					f.name, n, merged.Quantile(0.50), merged.Quantile(0.95), merged.Quantile(0.99)))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "(no activity)"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSummaryAggregatesFamilies(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("pub_total", "", "exchange")
+	v.With("SC").Add(3)
+	v.With("GFX").Add(4)
+	reg.Gauge("depth", "").Set(2)
+	h := reg.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	// A family with no activity stays out of the line.
+	reg.Counter("silent_total", "")
+
+	s := reg.Summary()
+	for _, want := range []string{"pub_total=7", "depth=2", "lat_seconds{n=100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+	if strings.Contains(s, "silent_total") {
+		t.Errorf("summary includes inactive family: %s", s)
+	}
+}
+
+func TestSummaryEmptyRegistry(t *testing.T) {
+	if s := NewRegistry().Summary(); s != "(no activity)" {
+		t.Fatalf("empty summary = %q", s)
+	}
+}
+
+func TestReporterEmitsLines(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ticks_total", "").Inc()
+
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	r := NewReporter(reg, 5*time.Millisecond, logf)
+	r.Start()
+	r.Start() // idempotent
+	time.Sleep(30 * time.Millisecond)
+	r.Stop()
+	r.Stop() // idempotent
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) < 2 { // several ticks plus the final line
+		t.Fatalf("reporter logged %d lines, want >= 2", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "ticks_total=1") {
+			t.Fatalf("line %q missing counter", l)
+		}
+	}
+}
+
+func TestReporterDisabledInterval(t *testing.T) {
+	r := NewReporter(NewRegistry(), 0, func(string, ...any) {
+		t.Fatal("reporter with interval 0 must not log")
+	})
+	r.Start()
+	time.Sleep(5 * time.Millisecond)
+	r.Stop()
+}
