@@ -234,39 +234,50 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 
 // BenchmarkAblationTopicVsFanout compares the broker's routing
 // disciplines under the crowd-sensing key shape: the topic filtering
-// that channel management relies on versus plain fanout.
+// that channel management relies on versus plain fanout. Each queue
+// subscribes to its own zone, and publishes cycle over ten zones, so
+// the matching set stays constant while the binding count grows —
+// with the compiled trie and route cache, topic publish cost must not
+// scale with the number of non-matching bindings (the naive scan
+// did), while fanout inherently delivers to every binding.
 func BenchmarkAblationTopicVsFanout(b *testing.B) {
-	run := func(b *testing.B, typ mq.ExchangeType, pattern string) {
+	run := func(b *testing.B, typ mq.ExchangeType, bindings int) {
 		broker := mq.NewBroker()
 		defer broker.Close()
 		if err := broker.DeclareExchange("x", typ); err != nil {
 			b.Fatal(err)
 		}
-		for q := 0; q < 50; q++ {
-			name := fmt.Sprintf("q%02d", q)
+		for q := 0; q < bindings; q++ {
+			name := fmt.Sprintf("q%03d", q)
 			if err := broker.DeclareQueue(name, mq.QueueOptions{MaxLen: 100}); err != nil {
 				b.Fatal(err)
 			}
-			p := pattern
-			if p != "" {
-				p = fmt.Sprintf(pattern, q%10)
+			p := ""
+			if typ == mq.Topic {
+				p = fmt.Sprintf("SC.*.obs.Z%03d", q)
 			}
 			if err := broker.BindQueue(name, "x", p); err != nil {
 				b.Fatal(err)
 			}
 		}
+		keys := make([]string, 1000)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("SC.mob%d.obs.Z%03d", i%100, i%10)
+		}
 		body := []byte(`{"spl":61.5}`)
 		b.ResetTimer()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			key := fmt.Sprintf("SC.mob%d.obs.FR750%02d", i%100, i%10)
-			if _, err := broker.Publish("x", key, nil, body); err != nil {
+			if _, err := broker.Publish("x", keys[i%len(keys)], nil, body); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
-	b.Run("topic", func(b *testing.B) { run(b, mq.Topic, "SC.*.obs.FR750%02d") })
-	b.Run("fanout", func(b *testing.B) { run(b, mq.Fanout, "") })
+	for _, bindings := range []int{50, 500} {
+		bindings := bindings
+		b.Run(fmt.Sprintf("topic/bindings=%d", bindings), func(b *testing.B) { run(b, mq.Topic, bindings) })
+		b.Run(fmt.Sprintf("fanout/bindings=%d", bindings), func(b *testing.B) { run(b, mq.Fanout, bindings) })
+	}
 }
 
 // BenchmarkAblationAssimObsCount sweeps the number of assimilated
@@ -368,20 +379,94 @@ func BenchmarkBrokerPublishTopicChain(b *testing.B) {
 	<-done
 }
 
-// BenchmarkIngestPipeline measures the server-side ingest path:
-// decode, validate, anonymize, store, account.
-func BenchmarkIngestPipeline(b *testing.B) {
+// BenchmarkBrokerPublishBatch measures the batch publish path through
+// the same Figure 3 chain: one PublishBatch call per `size` messages,
+// ns/op per message. Against BenchmarkBrokerPublishTopicChain this
+// reads as the saving of batching route lookups and queue lock
+// crossings.
+func BenchmarkBrokerPublishBatch(b *testing.B) {
+	for _, size := range []int{10, 50} {
+		size := size
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			broker := mq.NewBroker()
+			defer broker.Close()
+			channels, err := goflow.NewChannels(broker)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := channels.ProvisionApp("SC"); err != nil {
+				b.Fatal(err)
+			}
+			ex, _, err := channels.ProvisionClient("SC", "mob1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			consumer, err := broker.Consume(goflow.GoFlowQueue, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for d := range consumer.C() {
+					if err := consumer.Ack(d.Tag); err != nil {
+						return
+					}
+				}
+			}()
+			body := []byte(`{"spl":61.5,"deviceModel":"LGE NEXUS 5"}`)
+			key := goflow.RoutingKey("SC", "mob1", "obs", "FR75013")
+			at := time.Date(2016, 3, 1, 9, 0, 0, 0, time.UTC)
+			items := make([]mq.PublishItem, size)
+			for i := range items {
+				items[i] = mq.PublishItem{RoutingKey: key, Body: body, At: at}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += size {
+				n := size
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				if _, err := broker.PublishBatch(ex, items[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			consumer.Cancel()
+			<-done
+		})
+	}
+}
+
+// ingestResetEvery bounds the store size during ingest benchmarks: a
+// fresh server/store replaces the filled one (outside the timer) so
+// every variant measures steady-state ingest cost at a bounded
+// collection size instead of an ever-growing heap whose GC-scan cost
+// depends on b.N.
+const ingestResetEvery = 1 << 15
+
+// freshIngestServer builds a GoFlow server with an empty store and the
+// SoundCity app registered.
+func freshIngestServer(b *testing.B) *goflow.Server {
+	b.Helper()
 	broker := mq.NewBroker()
-	defer broker.Close()
 	server, err := goflow.NewServer(goflow.ServerConfig{Broker: broker, Store: docstore.NewStore()})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer server.Shutdown()
 	if _, err := soundcity.Register(server); err != nil {
 		b.Fatal(err)
 	}
-	obs := &sensing.Observation{
+	b.Cleanup(func() {
+		server.Shutdown()
+		broker.Close()
+	})
+	return server
+}
+
+func benchObservation() *sensing.Observation {
+	return &sensing.Observation{
 		UserID:             "u1",
 		DeviceModel:        "LGE NEXUS 5",
 		Mode:               sensing.Opportunistic,
@@ -390,12 +475,63 @@ func BenchmarkIngestPipeline(b *testing.B) {
 		ActivityConfidence: 0.9,
 		SensedAt:           time.Date(2016, 3, 1, 9, 0, 0, 0, time.UTC),
 	}
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := server.BulkIngest(soundcity.AppID, "c1", []*sensing.Observation{obs}); err != nil {
-			b.Fatal(err)
+}
+
+// BenchmarkIngestPipeline measures the server-side ingest path:
+// validate, anonymize, store, account. The "permessage" variant
+// drives the pre-batching chain — one Ingest plus one analytics
+// record per observation, exactly what the broker consumer loop does
+// per delivery — while the batch=N variants go through BulkIngest.
+// ns/op is per observation in every variant, so permessage against
+// batch=50 reads directly as the amortization of the store lock,
+// anonymization, analytics and defensive-copy work.
+func BenchmarkIngestPipeline(b *testing.B) {
+	b.Run("permessage", func(b *testing.B) {
+		server := freshIngestServer(b)
+		obs := benchObservation()
+		b.ResetTimer()
+		b.ReportAllocs()
+		nextReset := ingestResetEvery
+		for i := 0; i < b.N; i++ {
+			if i >= nextReset {
+				b.StopTimer()
+				server = freshIngestServer(b)
+				nextReset = i + ingestResetEvery
+				b.StartTimer()
+			}
+			if _, err := server.Data.Ingest(soundcity.AppID, "c1", obs, obs.SensedAt); err != nil {
+				b.Fatal(err)
+			}
+			server.Analytics.RecordIngest(soundcity.AppID, server.Accounts.Anonymize("c1"), obs.DeviceModel, obs.Localized(), obs.SensedAt)
 		}
+	})
+	for _, batch := range []int{1, 10, 50, 100} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			server := freshIngestServer(b)
+			run := make([]*sensing.Observation, batch)
+			for i := range run {
+				run[i] = benchObservation()
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			nextReset := ingestResetEvery
+			for i := 0; i < b.N; i += batch {
+				if i >= nextReset {
+					b.StopTimer()
+					server = freshIngestServer(b)
+					nextReset = i + ingestResetEvery
+					b.StartTimer()
+				}
+				n := batch
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				if _, err := server.BulkIngest(soundcity.AppID, "c1", run[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

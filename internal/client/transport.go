@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/sensing"
 )
 
@@ -11,6 +12,15 @@ import (
 // in-process *mq.Broker and the TCP *mq.Conn satisfy it.
 type Publisher interface {
 	PublishAt(exchange, routingKey string, headers map[string]string, body []byte, at time.Time) (int, error)
+}
+
+// BatchPublisher is the optional batch surface: a publisher that also
+// accepts a whole flush in one call (one wire round trip for *mq.Conn,
+// one route-and-enqueue pass for *mq.Broker). MQTransport upgrades to
+// it when available and falls back to per-message PublishAt otherwise.
+type BatchPublisher interface {
+	Publisher
+	PublishBatch(exchange string, items []mq.PublishItem) (int, error)
 }
 
 // MQTransport publishes each observation of a batch to the client's
@@ -43,8 +53,12 @@ func RoutingKey(appID, clientID, zone string) string {
 	return appID + "." + clientID + ".obs." + zone
 }
 
-// Send publishes the batch, one message per observation.
+// Send publishes the batch: in one PublishBatch call when the
+// publisher supports it, else one message per observation.
 func (t *MQTransport) Send(batch []*sensing.Observation, at time.Time) error {
+	if bp, ok := t.pub.(BatchPublisher); ok && len(batch) > 1 {
+		return t.sendBatch(bp, batch, at)
+	}
 	for i, o := range batch {
 		body, err := o.Encode()
 		if err != nil {
@@ -58,6 +72,31 @@ func (t *MQTransport) Send(batch []*sensing.Observation, at time.Time) error {
 		if _, err := t.pub.PublishAt(t.exchange, key, headers, body, at); err != nil {
 			return fmt.Errorf("publish observation %d: %w", i, err)
 		}
+	}
+	return nil
+}
+
+// sendBatch ships the whole flush as one PublishBatch call.
+func (t *MQTransport) sendBatch(bp BatchPublisher, batch []*sensing.Observation, at time.Time) error {
+	items := make([]mq.PublishItem, 0, len(batch))
+	key := RoutingKey(t.appID, t.clientID, "")
+	for i, o := range batch {
+		body, err := o.Encode()
+		if err != nil {
+			return fmt.Errorf("encode observation %d: %w", i, err)
+		}
+		items = append(items, mq.PublishItem{
+			RoutingKey: key,
+			Headers: map[string]string{
+				"clientId":   t.clientID,
+				"appVersion": o.AppVersion,
+			},
+			Body: body,
+			At:   at,
+		})
+	}
+	if _, err := bp.PublishBatch(t.exchange, items); err != nil {
+		return fmt.Errorf("publish batch of %d: %w", len(batch), err)
 	}
 	return nil
 }

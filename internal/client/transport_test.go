@@ -111,3 +111,112 @@ func TestRecordingTransportCapturesBatchMetadata(t *testing.T) {
 		}
 	}
 }
+
+// countingPublisher implements only Publisher — no PublishBatch — so
+// the transport must fall back to per-message publishes against it.
+type countingPublisher struct {
+	publishes int
+}
+
+func (p *countingPublisher) PublishAt(exchange, key string, h map[string]string, body []byte, at time.Time) (int, error) {
+	p.publishes++
+	return 1, nil
+}
+
+// countingBatchPublisher records whether the batch surface was used.
+type countingBatchPublisher struct {
+	countingPublisher
+	batches    int
+	batchSizes []int
+}
+
+func (p *countingBatchPublisher) PublishBatch(exchange string, items []mq.PublishItem) (int, error) {
+	p.batches++
+	p.batchSizes = append(p.batchSizes, len(items))
+	return len(items), nil
+}
+
+// TestMQTransportBatchUpgradeAndFallback pins the transport's publisher
+// negotiation: multi-observation flushes go through PublishBatch when
+// the publisher offers it, single observations and plain publishers
+// use PublishAt.
+func TestMQTransportBatchUpgradeAndFallback(t *testing.T) {
+	at := time.Unix(500, 0)
+	batch := []*sensing.Observation{testObs(time.Unix(100, 0)), testObs(time.Unix(200, 0)), testObs(time.Unix(300, 0))}
+
+	plain := &countingPublisher{}
+	if err := NewMQTransport(plain, "E.m", "SC", "m").Send(batch, at); err != nil {
+		t.Fatal(err)
+	}
+	if plain.publishes != 3 {
+		t.Fatalf("plain publisher saw %d publishes, want 3 (fallback path)", plain.publishes)
+	}
+
+	bp := &countingBatchPublisher{}
+	if err := NewMQTransport(bp, "E.m", "SC", "m").Send(batch, at); err != nil {
+		t.Fatal(err)
+	}
+	if bp.batches != 1 || bp.publishes != 0 || bp.batchSizes[0] != 3 {
+		t.Fatalf("batch publisher saw batches=%d sizes=%v publishes=%d, want one batch of 3",
+			bp.batches, bp.batchSizes, bp.publishes)
+	}
+
+	// A single observation is not worth a batch frame.
+	bp2 := &countingBatchPublisher{}
+	if err := NewMQTransport(bp2, "E.m", "SC", "m").Send(batch[:1], at); err != nil {
+		t.Fatal(err)
+	}
+	if bp2.batches != 0 || bp2.publishes != 1 {
+		t.Fatalf("single-obs send used batches=%d publishes=%d, want 0/1", bp2.batches, bp2.publishes)
+	}
+}
+
+// TestMQTransportBatchDeliversThroughTopology checks the batch path
+// end to end on the real broker chain.
+func TestMQTransportBatchDeliversThroughTopology(t *testing.T) {
+	broker := mq.NewBroker()
+	defer broker.Close()
+	for _, ex := range []string{"E.mob9", "SC", "GFX"} {
+		if err := broker.DeclareExchange(ex, mq.Topic); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := broker.DeclareQueue("GF", mq.QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.BindExchange("SC", "E.mob9", "SC.mob9.#"); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.BindExchange("GFX", "SC", "#"); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.BindQueue("GF", "GFX", "#"); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewMQTransport(broker, "E.mob9", "SC", "mob9")
+	at := time.Unix(900, 0)
+	batch := []*sensing.Observation{testObs(time.Unix(100, 0)), testObs(time.Unix(200, 0))}
+	for _, o := range batch {
+		o.AppVersion = "2.0"
+	}
+	if err := tr.Send(batch, at); err != nil {
+		t.Fatal(err)
+	}
+	st, err := broker.QueueStats("GF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready != 2 {
+		t.Fatalf("GF ready = %d, want 2", st.Ready)
+	}
+	d, found, err := broker.Get("GF")
+	if err != nil || !found {
+		t.Fatal("expected a delivery")
+	}
+	if d.Headers["clientId"] != "mob9" || d.Headers["appVersion"] != "2.0" {
+		t.Fatalf("headers = %v", d.Headers)
+	}
+	if !d.PublishedAt.Equal(at) {
+		t.Fatalf("publishedAt = %v, want %v", d.PublishedAt, at)
+	}
+}

@@ -85,6 +85,9 @@ type Collection struct {
 	docs    map[string]Doc
 	order   []string // insertion order of ids, for stable scans
 	indexes map[string]*index
+	// indexList mirrors indexes as a slice so the insert/delete hot
+	// paths iterate without ranging a map per document.
+	indexList []indexEntry
 
 	inserted uint64
 	updated  uint64
@@ -93,6 +96,13 @@ type Collection struct {
 	// hooks aliases the owning store's hook slot so SetHooks applies
 	// to all collections atomically. Nil for standalone collections.
 	hooks *atomic.Pointer[Hooks]
+}
+
+// indexEntry pairs an indexed field with its index for slice
+// iteration.
+type indexEntry struct {
+	field string
+	idx   *index
 }
 
 func newCollection(name string, hooks *atomic.Pointer[Hooks]) *Collection {
@@ -109,9 +119,11 @@ func (c *Collection) Name() string { return c.name }
 
 var _idCounter atomic.Uint64
 
-// nextID mints a collection-agnostic unique id.
+// nextID mints a collection-agnostic unique id in one allocation.
 func nextID() string {
-	return "d" + strconv.FormatUint(_idCounter.Add(1), 36)
+	var buf [20]byte
+	buf[0] = 'd'
+	return string(strconv.AppendUint(buf[:1], _idCounter.Add(1), 36))
 }
 
 // Insert stores a copy of doc. When doc carries no _id one is
@@ -135,23 +147,65 @@ func (c *Collection) Insert(doc Doc) (string, error) {
 	c.docs[id] = cp
 	c.order = append(c.order, id)
 	c.inserted++
-	for field, idx := range c.indexes {
-		idx.add(id, cp[field])
+	for _, e := range c.indexList {
+		e.idx.add(id, cp[e.field])
 	}
 	return id, nil
 }
 
-// InsertMany inserts docs in order, stopping at the first error.
+// InsertMany inserts docs in order under a single lock acquisition,
+// stopping at the first error and returning the ids inserted so far.
+// Documents after the failing one are not inserted. The Insert hook
+// fires once per stored document, each event carrying an equal share
+// of the batch duration, so per-op counters and totals stay
+// consistent with a sequence of Insert calls.
+//
+// Unlike Insert, InsertMany takes ownership of the documents: they
+// are stored directly (ids are assigned in place) instead of being
+// defensively copied, so callers must hand over freshly built docs
+// and not retain or mutate them afterwards.
 func (c *Collection) InsertMany(docs []Doc) ([]string, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	h := c.h()
+	if h != nil && h.Insert == nil {
+		h = nil
+	}
+	var start time.Time
+	if h != nil {
+		start = time.Now()
+	}
 	ids := make([]string, 0, len(docs))
-	for i, d := range docs {
-		id, err := c.Insert(d)
-		if err != nil {
-			return ids, fmt.Errorf("insert #%d: %w", i, err)
+	c.mu.Lock()
+	var firstErr error
+	for i := range docs {
+		d := docs[i]
+		id, _ := d[IDField].(string)
+		if id == "" {
+			id = nextID()
+			d[IDField] = id
+		}
+		if _, exists := c.docs[id]; exists {
+			firstErr = fmt.Errorf("insert #%d: insert %q: %w", i, id, ErrDuplicateID)
+			break
+		}
+		c.docs[id] = d
+		c.order = append(c.order, id)
+		c.inserted++
+		for _, e := range c.indexList {
+			e.idx.add(id, d[e.field])
 		}
 		ids = append(ids, id)
 	}
-	return ids, nil
+	c.mu.Unlock()
+	if h != nil && len(ids) > 0 {
+		per := time.Since(start) / time.Duration(len(ids))
+		for range ids {
+			h.Insert(c.name, per)
+		}
+	}
+	return ids, firstErr
 }
 
 // Get returns a copy of the document with the given id.
@@ -227,8 +281,8 @@ func (c *Collection) Delete(id string) error {
 		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
 	}
 	delete(c.docs, id)
-	for field, idx := range c.indexes {
-		idx.remove(id, d[field])
+	for _, e := range c.indexList {
+		e.idx.remove(id, d[e.field])
 	}
 	// Lazy order compaction: mark by replacing with empty string and
 	// compact when half the slots are dead.
@@ -441,6 +495,7 @@ func (c *Collection) EnsureIndex(field string) {
 		idx.add(id, d[field])
 	}
 	c.indexes[field] = idx
+	c.indexList = append(c.indexList, indexEntry{field: field, idx: idx})
 }
 
 // Stats reports collection counters.

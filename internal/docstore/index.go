@@ -37,7 +37,21 @@ func canonKey(v any) string {
 	}
 }
 
+// add indexes id under v. String values — the overwhelmingly common
+// indexed kind — take a fast path where the canonical key is built
+// inside the map access so the concatenation never escapes to the
+// heap; a key string is only materialized when a new value bucket is
+// created.
 func (ix *index) add(id string, v any) {
+	if s, ok := v.(string); ok {
+		set := ix.byValue["s:"+s]
+		if set == nil {
+			set = make(map[string]struct{})
+			ix.byValue["s:"+s] = set
+		}
+		set[id] = struct{}{}
+		return
+	}
 	k := canonKey(v)
 	set, ok := ix.byValue[k]
 	if !ok {
@@ -48,6 +62,15 @@ func (ix *index) add(id string, v any) {
 }
 
 func (ix *index) remove(id string, v any) {
+	if s, ok := v.(string); ok {
+		if set := ix.byValue["s:"+s]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(ix.byValue, "s:"+s)
+			}
+		}
+		return
+	}
 	k := canonKey(v)
 	if set, ok := ix.byValue[k]; ok {
 		delete(set, id)
@@ -58,7 +81,12 @@ func (ix *index) remove(id string, v any) {
 }
 
 func (ix *index) lookup(v any) []string {
-	set := ix.byValue[canonKey(v)]
+	var set map[string]struct{}
+	if s, ok := v.(string); ok {
+		set = ix.byValue["s:"+s]
+	} else {
+		set = ix.byValue[canonKey(v)]
+	}
 	out := make([]string, 0, len(set))
 	for id := range set {
 		out = append(out, id)

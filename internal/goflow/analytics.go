@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/urbancivics/goflow/internal/sensing"
 )
 
 // Analytics generates statistics about app and client operations
@@ -57,6 +59,38 @@ func (a *Analytics) RecordIngest(appID, anonClientID, model string, localized bo
 	st.ByClient[anonClientID]++
 	if at.After(st.LastIngest) {
 		st.LastIngest = at
+	}
+}
+
+// RecordIngestBatch counts a run of stored observations from one
+// client under a single lock acquisition; receivedAt[i] stamps
+// observations[i]. Equivalent to calling RecordIngest per observation.
+func (a *Analytics) RecordIngestBatch(appID, anonClientID string, observations []*sensing.Observation, receivedAt []time.Time) {
+	if len(observations) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ingested += uint64(len(observations))
+	st, ok := a.perApp[appID]
+	if !ok {
+		st = &AppAnalytics{
+			AppID:    appID,
+			ByModel:  make(map[string]uint64),
+			ByClient: make(map[string]uint64),
+		}
+		a.perApp[appID] = st
+	}
+	st.Ingested += uint64(len(observations))
+	st.ByClient[anonClientID] += uint64(len(observations))
+	for i, o := range observations {
+		if o.Localized() {
+			st.Localized++
+		}
+		st.ByModel[o.DeviceModel]++
+		if receivedAt[i].After(st.LastIngest) {
+			st.LastIngest = receivedAt[i]
+		}
 	}
 }
 

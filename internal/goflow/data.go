@@ -57,12 +57,49 @@ func (dm *DataManager) Ingest(appID, clientID string, o *sensing.Observation, re
 	return id, nil
 }
 
+// IngestBatch validates, anonymizes and stores a run of observations
+// from one client through a single store operation; it returns the
+// ids of the stored documents. On the first invalid observation the
+// valid prefix is still stored and the error returned, mirroring
+// Ingest called in a loop. Anonymization runs once for the whole
+// batch.
+func (dm *DataManager) IngestBatch(appID, clientID string, observations []*sensing.Observation, receivedAt []time.Time) ([]string, error) {
+	if len(observations) == 0 {
+		return nil, nil
+	}
+	anonID := dm.accounts.Anonymize(clientID)
+	docs := make([]docstore.Doc, 0, len(observations))
+	var buildErr error
+	for i, o := range observations {
+		if o == nil {
+			buildErr = fmt.Errorf("ingest #%d: nil observation", i)
+			break
+		}
+		if err := o.Validate(); err != nil {
+			buildErr = fmt.Errorf("ingest #%d: %w", i, err)
+			break
+		}
+		docs = append(docs, dm.toDocAnon(appID, anonID, o, receivedAt[i]))
+	}
+	ids, err := dm.store.Collection(ObservationsCollection).InsertMany(docs)
+	if err != nil {
+		return ids, fmt.Errorf("store observations: %w", err)
+	}
+	return ids, buildErr
+}
+
 // toDoc flattens an observation into a document. The contributor is
 // stored under the anonymized id only (CNIL privacy policy).
 func (dm *DataManager) toDoc(appID, clientID string, o *sensing.Observation, receivedAt time.Time) docstore.Doc {
+	return dm.toDocAnon(appID, dm.accounts.Anonymize(clientID), o, receivedAt)
+}
+
+// toDocAnon is toDoc with the contributor already anonymized — batch
+// ingest resolves the anonymous id once instead of per observation.
+func (dm *DataManager) toDocAnon(appID, anonID string, o *sensing.Observation, receivedAt time.Time) docstore.Doc {
 	doc := docstore.Doc{
 		"appId":        appID,
-		"userId":       dm.accounts.Anonymize(clientID),
+		"userId":       anonID,
 		"deviceModel":  o.DeviceModel,
 		"appVersion":   o.AppVersion,
 		"mode":         o.Mode.String(),

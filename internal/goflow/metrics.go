@@ -35,6 +35,11 @@ type Metrics struct {
 	bytesIn    *obs.Counter
 	bytesOut   *obs.Counter
 
+	// Route-cache effectiveness of the broker fast path.
+	routeHits          *obs.Counter
+	routeMisses        *obs.Counter
+	routeInvalidations *obs.Counter
+
 	// Docstore families, labeled by collection (one per app, bounded).
 	opDuration *obs.HistogramVec
 	queries    *obs.CounterVec
@@ -76,6 +81,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Bytes read from wire-protocol connections."),
 		bytesOut: reg.Counter("mq_wire_written_bytes_total",
 			"Bytes written to wire-protocol connections."),
+		routeHits: reg.Counter("mq_route_cache_hits_total",
+			"Publishes resolved from the memoized route cache."),
+		routeMisses: reg.Counter("mq_route_cache_misses_total",
+			"Publishes that walked the binding indexes."),
+		routeInvalidations: reg.Counter("mq_route_cache_invalidations_total",
+			"Route-cache flushes caused by topology changes."),
 		opDuration: reg.HistogramVec("docstore_op_duration_seconds",
 			"Document store operation latency.", nil, "collection", "op"),
 		queries: reg.CounterVec("docstore_queries_total",
@@ -192,10 +203,13 @@ func (m *Metrics) InstrumentBroker(b *mq.Broker) {
 		Expired: func(q string, n int) {
 			expired.forQueue(q).Add(uint64(n))
 		},
-		ConnOpened:   func() { m.conns.Inc() },
-		ConnClosed:   func() { m.conns.Dec() },
-		BytesRead:    func(n int) { m.bytesIn.Add(uint64(n)) },
-		BytesWritten: func(n int) { m.bytesOut.Add(uint64(n)) },
+		ConnOpened:            func() { m.conns.Inc() },
+		ConnClosed:            func() { m.conns.Dec() },
+		BytesRead:             func(n int) { m.bytesIn.Add(uint64(n)) },
+		BytesWritten:          func(n int) { m.bytesOut.Add(uint64(n)) },
+		RouteCacheHit:         m.routeHits.Inc,
+		RouteCacheMiss:        m.routeMisses.Inc,
+		RouteCacheInvalidated: m.routeInvalidations.Inc,
 	})
 	m.reg.OnCollect(func() {
 		ready := map[string]float64{}

@@ -135,3 +135,72 @@ func TestMetricsEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestRouteCacheMetricsExposition checks the broker route-cache
+// counters flow through the hook adapter into /metrics: repeated
+// publishes on one key read as one miss plus hits, and the topology
+// provisioning shows up as invalidations.
+func TestRouteCacheMetricsExposition(t *testing.T) {
+	broker := mq.NewBroker()
+	store := docstore.NewStore()
+	server, err := NewServer(ServerConfig{Broker: broker, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		server.Shutdown()
+		broker.Close()
+	})
+	reg := obs.NewRegistry()
+	Instrument(reg, server, store)
+	handler := NewInstrumentedHTTPHandler(server, reg)
+
+	if _, err := server.RegisterApp("SC", "SoundCity", DataPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := server.Login("SC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := RoutingKey("SC", cl.ID, "obs", "FR75013")
+	at := time.Date(2016, 3, 1, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if _, err := broker.PublishAt(cl.Exchange, key, nil, []byte("{}"), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"mq_route_cache_misses_total 1",
+		"mq_route_cache_hits_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Provisioning the app and client topology flushed the cache at
+	// least once; the exact count tracks declare/bind operations.
+	if strings.Contains(text, "mq_route_cache_invalidations_total 0") ||
+		!strings.Contains(text, "mq_route_cache_invalidations_total") {
+		t.Errorf("/metrics should report nonzero invalidations; got:\n%s",
+			grepLines(text, "route_cache"))
+	}
+}
+
+// grepLines returns the lines of s containing substr (test-failure
+// diagnostics).
+func grepLines(s, substr string) string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.Contains(ln, substr) {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}

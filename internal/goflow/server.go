@@ -211,22 +211,34 @@ func (s *Server) ingestDelivery(m mq.Message) error {
 
 // BulkIngest stores observations directly through the ingest pipeline
 // (validation, anonymization, analytics) without broker transport —
-// the fast path used by the large-scale simulations.
+// the fast path used by the large-scale simulations. The whole run is
+// stored through one batch insert and one analytics update; on error
+// the valid prefix is stored and counted, exactly as the previous
+// per-observation loop behaved.
 func (s *Server) BulkIngest(appID, clientID string, observations []*sensing.Observation) (int, error) {
-	stored := 0
-	for _, o := range observations {
-		receivedAt := o.ReceivedAt
-		if receivedAt.IsZero() {
-			receivedAt = o.SensedAt
+	if len(observations) == 0 {
+		return 0, nil
+	}
+	receivedAt := make([]time.Time, len(observations))
+	for i, o := range observations {
+		if o == nil {
+			continue // IngestBatch reports the error at this index
 		}
-		if _, err := s.Data.Ingest(appID, clientID, o, receivedAt); err != nil {
-			return stored, fmt.Errorf("bulk ingest #%d: %w", stored, err)
+		receivedAt[i] = o.ReceivedAt
+		if receivedAt[i].IsZero() {
+			receivedAt[i] = o.SensedAt
 		}
-		s.Analytics.RecordIngest(appID, s.Accounts.Anonymize(clientID), o.DeviceModel, o.Localized(), receivedAt)
-		if s.onIngest != nil {
+	}
+	ids, err := s.Data.IngestBatch(appID, clientID, observations, receivedAt)
+	stored := len(ids)
+	s.Analytics.RecordIngestBatch(appID, s.Accounts.Anonymize(clientID), observations[:stored], receivedAt[:stored])
+	if s.onIngest != nil {
+		for i := 0; i < stored; i++ {
 			s.onIngest(appID)
 		}
-		stored++
+	}
+	if err != nil {
+		return stored, fmt.Errorf("bulk ingest #%d: %w", stored, err)
 	}
 	return stored, nil
 }

@@ -67,26 +67,14 @@ type binding struct {
 	toExchange string
 }
 
-// exchange is a named routing node.
+// exchange is a named routing node. bindings is the source of truth;
+// idx is the compiled routing index (trie.go) kept in sync under the
+// broker write lock.
 type exchange struct {
 	name     string
 	typ      ExchangeType
 	bindings []binding
-}
-
-// matches reports whether the binding pattern accepts the key under
-// the exchange's routing discipline.
-func (e *exchange) matches(b binding, key string) bool {
-	switch e.typ {
-	case Fanout:
-		return true
-	case Direct:
-		return b.pattern == key
-	case Topic:
-		return TopicMatch(b.pattern, key)
-	default:
-		return false
-	}
+	idx      exIndex
 }
 
 // BrokerStats aggregates broker counters.
@@ -96,6 +84,69 @@ type BrokerStats struct {
 	Published  uint64 `json:"published"`
 	Routed     uint64 `json:"routed"`
 	Unroutable uint64 `json:"unroutable"`
+	// Route-cache counters: hits resolve lock-free; misses walk the
+	// compiled indexes under the read lock; invalidations count
+	// topology generations (declare/bind/delete), not evictions.
+	RouteCacheHits          uint64 `json:"routeCacheHits"`
+	RouteCacheMisses        uint64 `json:"routeCacheMisses"`
+	RouteCacheInvalidations uint64 `json:"routeCacheInvalidations"`
+}
+
+// routeEntry is one memoized resolution: the full queue set an
+// (exchange, routingKey) pair reaches, with exchange-to-exchange
+// chains flattened. gen pins the topology generation the resolution
+// saw; a mismatch with the broker's current generation makes the
+// entry dead weight that the next miss overwrites.
+type routeEntry struct {
+	gen    uint64
+	queues []*queue
+}
+
+// routeCache memoizes route resolutions. The two-level shape (outer
+// sync.Map by exchange, inner sync.Map by routing key) keeps the hit
+// path to two lock-free string-keyed loads and zero allocations.
+type routeCache struct {
+	exchanges sync.Map // exchange name -> *sync.Map of routingKey -> *routeEntry
+	entries   atomic.Int64
+}
+
+// routeCacheMaxEntries caps memoized routes. When the population
+// exceeds the cap the whole cache is swapped for an empty one (epoch
+// eviction): entries are tiny and topologically scoped, so a full
+// reset costs one pointer store and repopulates on the next misses —
+// no LRU bookkeeping on the hot path.
+const routeCacheMaxEntries = 1 << 17
+
+// routeScratch holds the slow path's reusable resolution state: the
+// split key, the BFS frontier/visited sets and the deduplicated
+// target set. Pooled so a cache miss does not rebuild maps per
+// publish (the pre-cache implementation allocated all of this on
+// every single publish).
+type routeScratch struct {
+	keyWords []string
+	frontier []*exchange
+	visited  map[*exchange]struct{}
+	seen     map[*queue]struct{}
+	targets  []*queue
+}
+
+var routeScratchPool = sync.Pool{
+	New: func() any {
+		return &routeScratch{
+			visited: make(map[*exchange]struct{}, 8),
+			seen:    make(map[*queue]struct{}, 8),
+		}
+	},
+}
+
+// reset clears the scratch for reuse; maps are cleared (cheap
+// runtime mapclear), slices retain capacity.
+func (sc *routeScratch) reset() {
+	sc.keyWords = sc.keyWords[:0]
+	sc.frontier = sc.frontier[:0]
+	sc.targets = sc.targets[:0]
+	clear(sc.visited)
+	clear(sc.seen)
 }
 
 // Broker is an in-process AMQP-style message broker. It is safe for
@@ -104,6 +155,14 @@ type BrokerStats struct {
 // The counters are atomics so the publish hot path never takes the
 // broker write lock and stats sampling (Stats, QueueStatsFast) never
 // stalls publishers.
+//
+// Publishing is memoized: the first publish of an (exchange, key)
+// pair resolves the destination queue set by walking the compiled
+// routing indexes under the read lock and caches it; steady-state
+// publishes hit the cache with two lock-free map loads and zero
+// allocations. Any topology change (declare, bind, unbind, delete)
+// bumps the generation counter, invalidating every cached route at
+// once.
 type Broker struct {
 	mu        sync.RWMutex
 	exchanges map[string]*exchange
@@ -114,15 +173,36 @@ type Broker struct {
 	routed     atomic.Uint64
 	unroutable atomic.Uint64
 
+	// topoGen is the topology generation; bumped under mu.Lock by
+	// every mutation. Cached routes are valid only for the generation
+	// they were resolved under.
+	topoGen atomic.Uint64
+	routes  atomic.Pointer[routeCache]
+
+	cacheHits          atomic.Uint64
+	cacheMisses        atomic.Uint64
+	cacheInvalidations atomic.Uint64
+
 	hooks atomic.Pointer[Hooks]
 }
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
-	return &Broker{
+	b := &Broker{
 		exchanges: make(map[string]*exchange),
 		queues:    make(map[string]*queue),
 	}
+	b.routes.Store(&routeCache{})
+	return b
+}
+
+// invalidateRoutes starts a new topology generation, instantly
+// orphaning every memoized route. Callers hold b.mu.
+func (b *Broker) invalidateRoutes() {
+	b.topoGen.Add(1)
+	b.routes.Store(&routeCache{})
+	b.cacheInvalidations.Add(1)
+	b.currentHooks().routeCacheInvalidated()
 }
 
 // DeclareExchange creates an exchange; redeclaring with the same type
@@ -145,7 +225,10 @@ func (b *Broker) DeclareExchange(name string, typ ExchangeType) error {
 		}
 		return nil
 	}
-	b.exchanges[name] = &exchange{name: name, typ: typ}
+	ex := &exchange{name: name, typ: typ}
+	ex.reindex()
+	b.exchanges[name] = ex
+	b.invalidateRoutes()
 	return nil
 }
 
@@ -164,8 +247,12 @@ func (b *Broker) DeleteExchange(name string) error {
 				kept = append(kept, bd)
 			}
 		}
-		ex.bindings = kept
+		if len(kept) != len(ex.bindings) {
+			ex.bindings = kept
+			ex.reindex()
+		}
 	}
+	b.invalidateRoutes()
 	return nil
 }
 
@@ -184,6 +271,7 @@ func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
 		return nil
 	}
 	b.queues[name] = newQueue(name, opts, &b.hooks)
+	b.invalidateRoutes()
 	return nil
 }
 
@@ -204,8 +292,12 @@ func (b *Broker) DeleteQueue(name string) error {
 				kept = append(kept, bd)
 			}
 		}
-		ex.bindings = kept
+		if len(kept) != len(ex.bindings) {
+			ex.bindings = kept
+			ex.reindex()
+		}
 	}
+	b.invalidateRoutes()
 	b.mu.Unlock()
 	q.close()
 	return nil
@@ -228,7 +320,8 @@ func (b *Broker) BindQueue(queueName, exchangeName, pattern string) error {
 			return nil
 		}
 	}
-	ex.bindings = append(ex.bindings, binding{pattern: pattern, toQueue: queueName})
+	ex.addBinding(binding{pattern: pattern, toQueue: queueName})
+	b.invalidateRoutes()
 	return nil
 }
 
@@ -250,7 +343,8 @@ func (b *Broker) BindExchange(dstExchange, srcExchange, pattern string) error {
 			return nil
 		}
 	}
-	src.bindings = append(src.bindings, binding{pattern: pattern, toExchange: dstExchange})
+	src.addBinding(binding{pattern: pattern, toExchange: dstExchange})
+	b.invalidateRoutes()
 	return nil
 }
 
@@ -268,8 +362,116 @@ func (b *Broker) UnbindQueue(queueName, exchangeName, pattern string) error {
 			kept = append(kept, bd)
 		}
 	}
-	ex.bindings = kept
+	if len(kept) != len(ex.bindings) {
+		ex.bindings = kept
+		ex.reindex()
+		b.invalidateRoutes()
+	}
 	return nil
+}
+
+// lookupRoute returns the memoized queue set for (exchange, key) when
+// one exists for the given generation. Lock-free and allocation-free.
+func (b *Broker) lookupRoute(exchangeName, key string, gen uint64) ([]*queue, bool) {
+	rc := b.routes.Load()
+	innerAny, ok := rc.exchanges.Load(exchangeName)
+	if !ok {
+		return nil, false
+	}
+	entryAny, ok := innerAny.(*sync.Map).Load(key)
+	if !ok {
+		return nil, false
+	}
+	e := entryAny.(*routeEntry)
+	if e.gen != gen {
+		return nil, false
+	}
+	return e.queues, true
+}
+
+// resolveRoute computes the queue set for (exchange, key) by walking
+// the compiled routing indexes breadth-first across
+// exchange-to-exchange bindings, then memoizes it under gen. gen must
+// have been read before the resolution (a topology change in between
+// leaves the entry stale-by-construction, never wrong).
+func (b *Broker) resolveRoute(exchangeName, key string, gen uint64) ([]*queue, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrBrokerClosed
+	}
+	ex, ok := b.exchanges[exchangeName]
+	if !ok {
+		b.mu.RUnlock()
+		return nil, fmt.Errorf("publish to %q: %w", exchangeName, ErrExchangeNotFound)
+	}
+	sc := routeScratchPool.Get().(*routeScratch)
+	sc.keyWords = splitWordsInto(sc.keyWords[:0], key)
+	sc.frontier = append(sc.frontier, ex)
+	sc.visited[ex] = struct{}{}
+	for len(sc.frontier) > 0 {
+		cur := sc.frontier[0]
+		sc.frontier = sc.frontier[1:]
+		cur.match(key, sc.keyWords, func(d dest) {
+			if d.toQueue != "" {
+				if q, ok := b.queues[d.toQueue]; ok {
+					if _, dup := sc.seen[q]; !dup {
+						sc.seen[q] = struct{}{}
+						sc.targets = append(sc.targets, q)
+					}
+				}
+				return
+			}
+			if next, ok := b.exchanges[d.toExchange]; ok {
+				if _, dup := sc.visited[next]; !dup {
+					sc.visited[next] = struct{}{}
+					sc.frontier = append(sc.frontier, next)
+				}
+			}
+		})
+	}
+	b.mu.RUnlock()
+
+	queues := make([]*queue, len(sc.targets))
+	copy(queues, sc.targets)
+	sc.reset()
+	routeScratchPool.Put(sc)
+
+	// Memoize (including unroutable keys: an empty set is the common
+	// steady state for keys nobody subscribed to, and re-resolving
+	// them per publish is exactly the O(bindings) scan being avoided).
+	rc := b.routes.Load()
+	innerAny, ok := rc.exchanges.Load(exchangeName)
+	if !ok {
+		innerAny, _ = rc.exchanges.LoadOrStore(exchangeName, &sync.Map{})
+	}
+	if _, loaded := innerAny.(*sync.Map).Swap(key, &routeEntry{gen: gen, queues: queues}); !loaded {
+		if rc.entries.Add(1) > routeCacheMaxEntries {
+			// Epoch eviction: swap in a fresh cache rather than track
+			// recency per entry. Same generation — entries were valid,
+			// just too many.
+			b.routes.CompareAndSwap(rc, &routeCache{})
+		}
+	}
+	return queues, nil
+}
+
+// route returns the destination queue set for one publish, preferring
+// the memoized route and falling back to resolution.
+func (b *Broker) route(exchangeName, key string) ([]*queue, error) {
+	gen := b.topoGen.Load()
+	if queues, ok := b.lookupRoute(exchangeName, key, gen); ok {
+		b.cacheHits.Add(1)
+		b.currentHooks().routeCacheHit()
+		return queues, nil
+	}
+	queues, err := b.resolveRoute(exchangeName, key, gen)
+	if err != nil {
+		return nil, err
+	}
+	b.cacheMisses.Add(1)
+	b.currentHooks().routeCacheMiss()
+	return queues, nil
 }
 
 // Publish routes a message. It returns the number of queues the
@@ -280,16 +482,14 @@ func (b *Broker) Publish(exchangeName, routingKey string, headers map[string]str
 
 // PublishAt is Publish with an explicit publish timestamp, used by the
 // simulation to stamp virtual time.
+//
+// The message body and headers are shared copy-on-write across every
+// destination queue: the broker never mutates them after publish, and
+// neither may consumers.
 func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]string, body []byte, at time.Time) (int, error) {
-	b.mu.RLock()
-	if b.closed {
-		b.mu.RUnlock()
-		return 0, ErrBrokerClosed
-	}
-	ex, ok := b.exchanges[exchangeName]
-	if !ok {
-		b.mu.RUnlock()
-		return 0, fmt.Errorf("publish to %q: %w", exchangeName, ErrExchangeNotFound)
+	queues, err := b.route(exchangeName, routingKey)
+	if err != nil {
+		return 0, err
 	}
 	msg := Message{
 		ID:          nextMessageID(),
@@ -299,43 +499,12 @@ func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]s
 		Body:        body,
 		PublishedAt: at,
 	}
-	// Resolve the full set of destination queues, following
-	// exchange-to-exchange bindings breadth-first with cycle
-	// protection.
-	targets := make(map[string]*queue)
-	visited := map[string]bool{ex.name: true}
-	frontier := []*exchange{ex}
-	for len(frontier) > 0 {
-		cur := frontier[0]
-		frontier = frontier[1:]
-		for _, bd := range cur.bindings {
-			if !cur.matches(bd, routingKey) {
-				continue
-			}
-			if bd.toQueue != "" {
-				if q, ok := b.queues[bd.toQueue]; ok {
-					targets[bd.toQueue] = q
-				}
-				continue
-			}
-			if visited[bd.toExchange] {
-				continue
-			}
-			visited[bd.toExchange] = true
-			if next, ok := b.exchanges[bd.toExchange]; ok {
-				frontier = append(frontier, next)
-			}
-		}
-	}
-	b.mu.RUnlock()
-
 	delivered := 0
-	for _, q := range targets {
-		if err := q.publish(msg.clone()); err == nil {
+	for _, q := range queues {
+		if err := q.publish(&msg); err == nil {
 			delivered++
 		}
 	}
-
 	b.published.Add(1)
 	if delivered == 0 {
 		b.unroutable.Add(1)
@@ -343,6 +512,96 @@ func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]s
 		b.routed.Add(uint64(delivered))
 	}
 	b.currentHooks().published(exchangeName, delivered)
+	return delivered, nil
+}
+
+// PublishItem is one message of a PublishBatch call.
+type PublishItem struct {
+	// RoutingKey used for binding matches.
+	RoutingKey string `json:"routingKey"`
+	// Headers carry application metadata; shared copy-on-write.
+	Headers map[string]string `json:"headers,omitempty"`
+	// Body is the payload; shared copy-on-write.
+	Body []byte `json:"body,omitempty"`
+	// At is the publish timestamp; zero means the batch receive time.
+	At time.Time `json:"publishedAt,omitempty"`
+}
+
+// PublishBatch routes a batch of messages to one exchange in a single
+// broker crossing: route resolution is memoized per distinct key and
+// each destination queue takes its lock once for all the messages it
+// receives, instead of once per message. Per-message semantics are
+// preserved — every item is routed by its own key, counted and
+// reported to hooks individually, and MaxLen/TTL drops behave as if
+// the items had been published back to back.
+//
+// It returns the total number of deliveries (sum over items of the
+// queues each reached).
+func (b *Broker) PublishBatch(exchangeName string, items []PublishItem) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	now := time.Time{}
+	type qbatch struct {
+		q     *queue
+		msgs  []Message
+		items []int // item index per message, for settling failures
+	}
+	batches := make(map[*queue]*qbatch)
+	order := make([]*qbatch, 0, 4)
+	routedTo := make([]int, len(items))
+	for i, it := range items {
+		queues, err := b.route(exchangeName, it.RoutingKey)
+		if err != nil {
+			return 0, err
+		}
+		at := it.At
+		if at.IsZero() {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			at = now
+		}
+		msg := Message{
+			ID:          nextMessageID(),
+			Exchange:    exchangeName,
+			RoutingKey:  it.RoutingKey,
+			Headers:     it.Headers,
+			Body:        it.Body,
+			PublishedAt: at,
+		}
+		routedTo[i] = len(queues)
+		for _, q := range queues {
+			qb, ok := batches[q]
+			if !ok {
+				qb = &qbatch{q: q}
+				batches[q] = qb
+				order = append(order, qb)
+			}
+			qb.msgs = append(qb.msgs, msg)
+			qb.items = append(qb.items, i)
+		}
+	}
+	for _, qb := range order {
+		if err := qb.q.publishBatch(qb.msgs); err != nil {
+			// Queue deleted concurrently: none of its messages landed.
+			for _, idx := range qb.items {
+				routedTo[idx]--
+			}
+		}
+	}
+	delivered := 0
+	h := b.currentHooks()
+	for _, n := range routedTo {
+		delivered += n
+		b.published.Add(1)
+		if n == 0 {
+			b.unroutable.Add(1)
+		} else {
+			b.routed.Add(uint64(n))
+		}
+		h.published(exchangeName, n)
+	}
 	return delivered, nil
 }
 
@@ -465,11 +724,14 @@ func (b *Broker) Stats() BrokerStats {
 	exchanges, queues := len(b.exchanges), len(b.queues)
 	b.mu.RUnlock()
 	return BrokerStats{
-		Exchanges:  exchanges,
-		Queues:     queues,
-		Published:  b.published.Load(),
-		Routed:     b.routed.Load(),
-		Unroutable: b.unroutable.Load(),
+		Exchanges:               exchanges,
+		Queues:                  queues,
+		Published:               b.published.Load(),
+		Routed:                  b.routed.Load(),
+		Unroutable:              b.unroutable.Load(),
+		RouteCacheHits:          b.cacheHits.Load(),
+		RouteCacheMisses:        b.cacheMisses.Load(),
+		RouteCacheInvalidations: b.cacheInvalidations.Load(),
 	}
 }
 
@@ -488,6 +750,7 @@ func (b *Broker) Close() {
 	}
 	b.queues = make(map[string]*queue)
 	b.exchanges = make(map[string]*exchange)
+	b.invalidateRoutes()
 	b.mu.Unlock()
 	for _, q := range queues {
 		q.close()

@@ -218,6 +218,18 @@ func (c *Conn) PublishAt(exchangeName, routingKey string, headers map[string]str
 	return resp.Delivered, nil
 }
 
+// PublishBatch publishes a batch of messages to one exchange in a
+// single wire round trip. Returns the total number of queue
+// deliveries across the batch. Items without a timestamp are stamped
+// with the broker's receive time.
+func (c *Conn) PublishBatch(exchangeName string, items []PublishItem) (int, error) {
+	resp, err := c.rpc(&frame{Op: opPublishBatch, Exchange: exchangeName, Items: items})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Delivered, nil
+}
+
 // Get fetches one message from a remote queue (basic.get).
 func (c *Conn) Get(queueName string) (Delivery, bool, error) {
 	resp, err := c.rpc(&frame{Op: opGet, Queue: queueName})

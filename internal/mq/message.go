@@ -13,16 +13,22 @@
 package mq
 
 import (
-	"strconv"
 	"sync/atomic"
 	"time"
 )
 
 // Message is a routed payload. Bodies are opaque bytes; GoFlow encodes
 // observations as JSON.
+//
+// A message routed to several queues is shared copy-on-write: every
+// destination receives the same Body and Headers references, and
+// neither the broker nor consumers may mutate them after publish.
+// (The previous implementation called a per-target clone() that was
+// already a shallow copy; the convention is now explicit and the
+// struct is copied only by value.)
 type Message struct {
-	// ID is a broker-assigned unique id.
-	ID string `json:"id"`
+	// ID is a broker-assigned unique id (monotonic per process).
+	ID uint64 `json:"id"`
 	// Exchange the message was published to.
 	Exchange string `json:"exchange"`
 	// RoutingKey used for binding matches (dot-separated words for
@@ -39,18 +45,12 @@ type Message struct {
 	Redelivered bool `json:"redelivered"`
 }
 
-// clone returns a copy safe to hand to an independent queue. Headers
-// are shared copy-on-write by convention: the broker never mutates
-// them after publish.
-func (m Message) clone() Message {
-	return m
-}
-
 var _msgCounter atomic.Uint64
 
-// nextMessageID mints a process-unique message id.
-func nextMessageID() string {
-	return "m" + strconv.FormatUint(_msgCounter.Add(1), 36)
+// nextMessageID mints a process-unique message id. Numeric so the
+// publish hot path does not pay a string allocation per message.
+func nextMessageID() uint64 {
+	return _msgCounter.Add(1)
 }
 
 // Delivery is a message handed to a consumer together with the tag

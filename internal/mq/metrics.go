@@ -37,6 +37,14 @@ type Hooks struct {
 	// 4-byte length prefix.
 	BytesRead    func(n int)
 	BytesWritten func(n int)
+	// RouteCacheHit / RouteCacheMiss fire once per routed publish on
+	// the hot path; keep them to an atomic increment.
+	RouteCacheHit  func()
+	RouteCacheMiss func()
+	// RouteCacheInvalidated fires when a topology change (declare,
+	// bind, unbind, delete) discards the memoized routes. Fires under
+	// the broker write lock.
+	RouteCacheInvalidated func()
 }
 
 // Nil-tolerant dispatch helpers so call sites stay one-liners.
@@ -104,6 +112,24 @@ func (h *Hooks) bytesRead(n int) {
 func (h *Hooks) bytesWritten(n int) {
 	if h != nil && h.BytesWritten != nil {
 		h.BytesWritten(n)
+	}
+}
+
+func (h *Hooks) routeCacheHit() {
+	if h != nil && h.RouteCacheHit != nil {
+		h.RouteCacheHit()
+	}
+}
+
+func (h *Hooks) routeCacheMiss() {
+	if h != nil && h.RouteCacheMiss != nil {
+		h.RouteCacheMiss()
+	}
+}
+
+func (h *Hooks) routeCacheInvalidated() {
+	if h != nil && h.RouteCacheInvalidated != nil {
+		h.RouteCacheInvalidated()
 	}
 }
 

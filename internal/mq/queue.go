@@ -1,7 +1,6 @@
 package mq
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,7 +57,7 @@ type queue struct {
 	opts QueueOptions
 
 	mu        sync.Mutex
-	ready     *list.List // of Message
+	ready     msgDeque
 	unacked   map[uint64]Message
 	consumers []*Consumer
 	nextRR    int // round-robin cursor over consumers
@@ -86,7 +85,6 @@ func newQueue(name string, opts QueueOptions, hooks *atomic.Pointer[Hooks]) *que
 	return &queue{
 		name:    name,
 		opts:    opts,
-		ready:   list.New(),
 		unacked: make(map[uint64]Message),
 		now:     time.Now,
 		hooks:   hooks,
@@ -102,105 +100,122 @@ func (q *queue) h() *Hooks {
 }
 
 // expireLocked lazily drops ready messages older than the TTL.
-// Caller holds q.mu.
-func (q *queue) expireLocked() {
+// Caller holds q.mu. h is the caller's hook snapshot.
+func (q *queue) expireLocked(h *Hooks) {
 	if q.opts.TTL <= 0 {
 		return
 	}
 	cutoff := q.now().Add(-q.opts.TTL)
 	n := 0
-	for front := q.ready.Front(); front != nil; {
-		msg, ok := front.Value.(Message)
+	for {
+		msg, ok := q.ready.front()
 		if !ok || !msg.PublishedAt.Before(cutoff) {
 			// Messages are ordered by publish time; the first fresh
 			// one ends the sweep.
 			break
 		}
-		next := front.Next()
-		q.ready.Remove(front)
+		q.ready.dropFront()
 		q.readyN.Add(-1)
 		q.expired.Add(1)
-		front = next
 		n++
 	}
 	if n > 0 {
-		q.h().expired(q.name, n)
+		h.expired(q.name, n)
 	}
 }
 
 // publish enqueues a message and dispatches it to a consumer with
-// spare prefetch capacity if one exists.
-func (q *queue) publish(m Message) error {
+// spare prefetch capacity if one exists. The message is copied into
+// the queue; the caller's value is not retained.
+func (q *queue) publish(m *Message) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrQueueClosed
 	}
+	h := q.h()
+	q.enqueueLocked(m, h)
+	q.dispatchLocked(h)
+	return nil
+}
+
+// publishBatch enqueues a run of messages under one lock acquisition
+// and dispatches once at the end. Per-message semantics are
+// preserved: counters, hooks and MaxLen overflow drops fire for each
+// message exactly as a sequence of publish calls would, and FIFO
+// order within the batch is kept.
+func (q *queue) publishBatch(msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	h := q.h()
+	for i := range msgs {
+		q.enqueueLocked(&msgs[i], h)
+	}
+	q.dispatchLocked(h)
+	return nil
+}
+
+// enqueueLocked appends one message to the ready list, enforcing
+// MaxLen by dropping the oldest ready messages. Caller holds q.mu and
+// passes its hook snapshot so the hot path loads the hook pointer
+// once per operation, not once per event.
+func (q *queue) enqueueLocked(m *Message, h *Hooks) {
 	q.published.Add(1)
-	q.ready.PushBack(m)
+	q.ready.pushBack(m)
 	q.readyN.Add(1)
-	q.h().enqueued(q.name)
+	h.enqueued(q.name)
 	if q.opts.MaxLen > 0 {
-		for q.ready.Len() > q.opts.MaxLen {
-			q.ready.Remove(q.ready.Front())
+		for q.ready.len() > q.opts.MaxLen {
+			q.ready.dropFront()
 			q.readyN.Add(-1)
 			q.dropped.Add(1)
-			q.h().dropped(q.name)
+			h.dropped(q.name)
 		}
 	}
-	q.dispatchLocked()
-	return nil
 }
 
 // dispatchLocked hands ready messages to consumers round-robin while
 // any consumer has prefetch headroom. Caller holds q.mu.
-func (q *queue) dispatchLocked() {
-	q.expireLocked()
+func (q *queue) dispatchLocked(h *Hooks) {
+	q.expireLocked(h)
 	if len(q.consumers) == 0 {
 		return
 	}
-	for q.ready.Len() > 0 {
-		c := q.pickConsumerLocked()
-		if c == nil {
-			return
-		}
-		front := q.ready.Front()
-		msg, ok := front.Value.(Message)
-		if !ok {
-			// Impossible by construction; drop defensively.
-			q.ready.Remove(front)
-			q.readyN.Add(-1)
-			continue
-		}
+	for q.ready.len() > 0 {
+		front, _ := q.ready.front()
 		q.nextTag++
 		tag := q.nextTag
-		d := Delivery{Message: msg, Tag: tag, Queue: q.name}
-		if !c.offer(d) {
-			// Consumer channel full beyond prefetch; stop here, the
-			// message stays ready and will be dispatched on ack.
+		// Offer to consumers round-robin; offer itself checks prefetch
+		// headroom, so capacity check and delivery share one consumer
+		// lock acquisition.
+		n := len(q.consumers)
+		delivered := false
+		for i := 0; i < n; i++ {
+			c := q.consumers[(q.nextRR+i)%n]
+			if c.offer(Delivery{Message: *front, Tag: tag, Queue: q.name}) {
+				q.nextRR = (q.nextRR + i + 1) % n
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			// Every consumer saturated; the message stays ready and
+			// will be dispatched on ack. The minted tag is never used.
 			return
 		}
-		q.ready.Remove(front)
+		q.unacked[tag] = *front
+		q.ready.dropFront()
 		q.readyN.Add(-1)
-		q.unacked[tag] = msg
 		q.unackedN.Add(1)
 		q.delivered.Add(1)
-		q.h().delivered(q.name)
+		h.delivered(q.name)
 	}
-}
-
-// pickConsumerLocked returns the next consumer with prefetch headroom,
-// or nil when all are saturated.
-func (q *queue) pickConsumerLocked() *Consumer {
-	n := len(q.consumers)
-	for i := 0; i < n; i++ {
-		c := q.consumers[(q.nextRR+i)%n]
-		if c.hasCapacity() {
-			q.nextRR = (q.nextRR + i + 1) % n
-			return c
-		}
-	}
-	return nil
 }
 
 // get implements basic.get: synchronously dequeue one message (it
@@ -211,24 +226,18 @@ func (q *queue) get() (Delivery, bool, error) {
 	if q.closed {
 		return Delivery{}, false, ErrQueueClosed
 	}
-	q.expireLocked()
-	front := q.ready.Front()
-	if front == nil {
-		return Delivery{}, false, nil
-	}
-	msg, ok := front.Value.(Message)
+	h := q.h()
+	q.expireLocked(h)
+	msg, ok := q.ready.popFront()
 	if !ok {
-		q.ready.Remove(front)
-		q.readyN.Add(-1)
 		return Delivery{}, false, nil
 	}
-	q.ready.Remove(front)
 	q.readyN.Add(-1)
 	q.nextTag++
 	q.unacked[q.nextTag] = msg
 	q.unackedN.Add(1)
 	q.delivered.Add(1)
-	q.h().delivered(q.name)
+	h.delivered(q.name)
 	return Delivery{Message: msg, Tag: q.nextTag, Queue: q.name}, true, nil
 }
 
@@ -242,8 +251,9 @@ func (q *queue) ack(tag uint64) error {
 	delete(q.unacked, tag)
 	q.unackedN.Add(-1)
 	q.acked.Add(1)
-	q.h().acked(q.name)
-	q.dispatchLocked()
+	h := q.h()
+	h.acked(q.name)
+	q.dispatchLocked(h)
 	return nil
 }
 
@@ -258,15 +268,16 @@ func (q *queue) nack(tag uint64, requeue bool) error {
 	}
 	delete(q.unacked, tag)
 	q.unackedN.Add(-1)
-	q.h().nacked(q.name, requeue)
+	h := q.h()
+	h.nacked(q.name, requeue)
 	if requeue {
 		m.Redelivered = true
-		q.ready.PushFront(m)
+		q.ready.pushFront(&m)
 		q.readyN.Add(1)
-		q.dispatchLocked()
+		q.dispatchLocked(h)
 	} else {
 		q.dropped.Add(1)
-		q.h().dropped(q.name)
+		h.dropped(q.name)
 	}
 	return nil
 }
@@ -280,7 +291,7 @@ func (q *queue) addConsumer(c *Consumer) error {
 	}
 	q.consumers = append(q.consumers, c)
 	q.consumersN.Add(1)
-	q.dispatchLocked()
+	q.dispatchLocked(q.h())
 	return nil
 }
 
@@ -312,7 +323,7 @@ func (q *queue) close() {
 	}
 	q.consumers = nil
 	q.consumersN.Store(0)
-	q.ready.Init()
+	q.ready.reset()
 	q.readyN.Store(0)
 	q.unacked = make(map[uint64]Message)
 	q.unackedN.Store(0)
@@ -324,10 +335,10 @@ func (q *queue) close() {
 func (q *queue) stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.expireLocked()
+	q.expireLocked(q.h())
 	return QueueStats{
 		Name:      q.name,
-		Ready:     q.ready.Len(),
+		Ready:     q.ready.len(),
 		Unacked:   len(q.unacked),
 		Consumers: len(q.consumers),
 		Published: q.published.Load(),
@@ -372,17 +383,11 @@ type Consumer struct {
 // cancelled or the queue deleted.
 func (c *Consumer) C() <-chan Delivery { return c.ch }
 
-// hasCapacity reports whether the consumer may take another delivery.
-func (c *Consumer) hasCapacity() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return !c.closed && (c.prefetch == 0 || c.inFlight < c.prefetch)
-}
-
-// offer attempts a non-blocking delivery.
+// offer attempts a non-blocking delivery, refusing when the consumer
+// is closed, has no prefetch headroom, or its channel is full.
 func (c *Consumer) offer(d Delivery) bool {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || (c.prefetch > 0 && c.inFlight >= c.prefetch) {
 		c.mu.Unlock()
 		return false
 	}

@@ -82,7 +82,7 @@ func TestNackRequeueMarksRedelivered(t *testing.T) {
 		t.Fatal("requeued message must be marked redelivered")
 	}
 	if d2.ID != d.ID {
-		t.Fatalf("redelivered id %q != original %q", d2.ID, d.ID)
+		t.Fatalf("redelivered id %d != original %d", d2.ID, d.ID)
 	}
 }
 

@@ -228,6 +228,28 @@ func (s *Server) dispatch(cs *connState, f *frame, nextConsumerID *uint64) *fram
 		resp := ok()
 		resp.Delivered = n
 		return resp
+	case opPublishBatch:
+		// One frame, many messages: the uploader's flush sends its whole
+		// buffered batch in a single round trip instead of one frame per
+		// observation. Items missing a timestamp default to the frame's
+		// PublishedAt, then to now.
+		def := f.PublishedAt
+		if def.IsZero() {
+			def = time.Now()
+		}
+		items := f.Items
+		for i := range items {
+			if items[i].At.IsZero() {
+				items[i].At = def
+			}
+		}
+		n, err := s.broker.PublishBatch(f.Exchange, items)
+		if err != nil {
+			return fail(err)
+		}
+		resp := ok()
+		resp.Delivered = n
+		return resp
 	case opConsume:
 		c, err := s.broker.Consume(f.Queue, f.Prefetch)
 		if err != nil {

@@ -266,3 +266,51 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 		t.Fatal("RPC after server close hung")
 	}
 }
+
+// TestRemotePublishBatch sends a whole batch in one wire frame and
+// verifies per-message routing and delivery counts.
+func TestRemotePublishBatch(t *testing.T) {
+	_, s := startServer(t)
+	c := dialTest(t, s)
+	if err := c.DeclareExchange("x", Topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindQueue("q", "x", "a.*"); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+	n, err := c.PublishBatch("x", []PublishItem{
+		{RoutingKey: "a.1", Body: []byte("m1"), At: at},
+		{RoutingKey: "nope", Body: []byte("m2"), At: at},
+		{RoutingKey: "a.3", Body: []byte("m3")}, // no timestamp: broker stamps
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("batch delivered %d, want 2", n)
+	}
+	d, found, err := c.Get("q")
+	if err != nil || !found {
+		t.Fatalf("get: found=%v err=%v", found, err)
+	}
+	if string(d.Body) != "m1" || !d.PublishedAt.Equal(at) {
+		t.Fatalf("first delivery = %q at %v", d.Body, d.PublishedAt)
+	}
+	if err := c.Ack("q", d.Tag); err != nil {
+		t.Fatal(err)
+	}
+	d, found, err = c.Get("q")
+	if err != nil || !found {
+		t.Fatalf("get 2: found=%v err=%v", found, err)
+	}
+	if string(d.Body) != "m3" || d.PublishedAt.IsZero() {
+		t.Fatalf("second delivery = %q at %v", d.Body, d.PublishedAt)
+	}
+	if err := c.Ack("q", d.Tag); err != nil {
+		t.Fatal(err)
+	}
+}

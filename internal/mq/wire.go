@@ -29,6 +29,7 @@ const (
 	opBindExchange    = "bind-exchange"
 	opUnbindQueue     = "unbind-queue"
 	opPublish         = "publish"
+	opPublishBatch    = "publish-batch"
 	opConsume         = "consume"
 	opCancel          = "cancel"
 	opGet             = "get"
@@ -64,9 +65,10 @@ type frame struct {
 	Requeue      bool              `json:"requeue,omitempty"`
 	Delivered    int               `json:"delivered,omitempty"`
 	Found        bool              `json:"found,omitempty"`
-	MessageID    string            `json:"messageId,omitempty"`
+	MessageID    uint64            `json:"messageId,omitempty"`
 	Redelivered  bool              `json:"redelivered,omitempty"`
 	Stats        *QueueStats       `json:"stats,omitempty"`
+	Items        []PublishItem     `json:"items,omitempty"`
 }
 
 // writeFrame encodes and writes one frame, returning the bytes put on
