@@ -109,7 +109,7 @@ func cmdPublish(mqAddr string, args []string) error {
 	if *clientID == "" || *exchange == "" {
 		return fmt.Errorf("publish needs -client and -exchange (run login first)")
 	}
-	conn, err := mq.Dial(mqAddr)
+	conn, err := mq.DialResilient(mqAddr, mq.ReconnectConfig{})
 	if err != nil {
 		return err
 	}
@@ -163,7 +163,7 @@ func cmdSubscribe(mqAddr string, args []string) error {
 	if *queue == "" {
 		return fmt.Errorf("subscribe needs -queue")
 	}
-	conn, err := mq.Dial(mqAddr)
+	conn, err := mq.DialResilient(mqAddr, mq.ReconnectConfig{})
 	if err != nil {
 		return err
 	}

@@ -138,8 +138,20 @@ func advanceIDCounter(id string) {
 	}
 }
 
-// SaveFile writes the snapshot atomically to path.
+// SaveFile writes the snapshot atomically to path: the stream goes to
+// a temp file in the same directory, is fsynced, and replaces path by
+// rename only after it is complete. A crash or write failure at any
+// point leaves the previous snapshot untouched.
 func (s *Store) SaveFile(path string) error {
+	return s.SaveFileVia(path, nil)
+}
+
+// SaveFileVia is SaveFile with a writer middleware: when wrap is
+// non-nil the snapshot stream passes through wrap(tempFile). It is
+// the fault-injection seam the chaos tests use to prove that a torn
+// or short write never corrupts the previous on-disk snapshot — the
+// rename is skipped on any error, so path keeps its old contents.
+func (s *Store) SaveFileVia(path string, wrap func(io.Writer) io.Writer) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".docstore-*.tmp")
 	if err != nil {
@@ -147,9 +159,17 @@ func (s *Store) SaveFile(path string) error {
 	}
 	tmpName := tmp.Name()
 	defer func() { _ = os.Remove(tmpName) }() // no-op after a successful rename
-	if err := s.Snapshot(tmp); err != nil {
+	var w io.Writer = tmp
+	if wrap != nil {
+		w = wrap(tmp)
+	}
+	if err := s.Snapshot(w); err != nil {
 		_ = tmp.Close()
 		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("sync snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("close snapshot: %w", err)

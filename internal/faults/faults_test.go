@@ -1,0 +1,373 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sinkConn is a fake net.Conn that records writes and blocks reads
+// until closed, so fault decisions can be observed without a real
+// network.
+type sinkConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	writes [][]byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func newSink() *sinkConn { return &sinkConn{closed: make(chan struct{})} }
+
+func (s *sinkConn) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	s.writes = append(s.writes, cp)
+	return s.buf.Write(b)
+}
+
+func (s *sinkConn) Read(b []byte) (int, error) {
+	<-s.closed
+	return 0, errors.New("sink closed")
+}
+
+func (s *sinkConn) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	return nil
+}
+
+func (s *sinkConn) delivered() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.writes))
+	copy(out, s.writes)
+	return out
+}
+
+func (s *sinkConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (s *sinkConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (s *sinkConn) SetDeadline(t time.Time) error      { return nil }
+func (s *sinkConn) SetReadDeadline(t time.Time) error  { return nil }
+func (s *sinkConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	in := New(42, Plan{})
+	sink := newSink()
+	c := in.Conn(sink)
+	for i := 0; i < 10; i++ {
+		msg := []byte(fmt.Sprintf("frame-%d", i))
+		n, err := c.Write(msg)
+		if err != nil || n != len(msg) {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	got := sink.delivered()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d writes, want 10", len(got))
+	}
+	for i, w := range got {
+		if string(w) != fmt.Sprintf("frame-%d", i) {
+			t.Fatalf("write %d altered: %q", i, w)
+		}
+	}
+	cts := in.Counts()
+	if cts.Drops+cts.Delays+cts.Corruptions+cts.Partials+cts.Resets+cts.Partitions != 0 {
+		t.Fatalf("zero plan fired faults: %+v", cts)
+	}
+}
+
+// trace replays a fixed write sequence against a fresh injector and
+// records, per write, which fault was observed — the determinism
+// fingerprint of a (seed, plan) pair.
+func trace(seed int64, plan Plan, writes int) []string {
+	plan.Sleep = func(time.Duration) {}
+	in := New(seed, plan)
+	sink := newSink()
+	c := in.Conn(sink)
+	var out []string
+	for i := 0; i < writes; i++ {
+		msg := []byte(fmt.Sprintf("payload-%04d", i))
+		before := len(sink.delivered())
+		n, err := c.Write(msg)
+		after := sink.delivered()
+		switch {
+		case errors.Is(err, ErrReset) && len(after) == before:
+			out = append(out, "reset")
+		case errors.Is(err, ErrReset):
+			out = append(out, fmt.Sprintf("partial-%d", len(after[len(after)-1])))
+		case err != nil:
+			out = append(out, "err")
+		case n == len(msg) && len(after) == before:
+			out = append(out, "swallowed") // drop or partition
+		case !bytes.Equal(after[len(after)-1], msg):
+			out = append(out, "corrupt")
+		default:
+			out = append(out, "ok")
+		}
+	}
+	return out
+}
+
+func TestScheduleIsDeterministicPerSeed(t *testing.T) {
+	plan := Plan{
+		DropProb:    0.2,
+		DelayProb:   0.2,
+		Delay:       time.Millisecond,
+		CorruptProb: 0.15,
+		PartialProb: 0.1,
+		ResetProb:   0.05,
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		a := trace(seed, plan, 60)
+		b := trace(seed, plan, 60)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("seed %d: schedule not reproducible:\n%v\n%v", seed, a, b)
+		}
+	}
+	// Different seeds must diverge (else the seed is not wired in).
+	if fmt.Sprint(trace(1, plan, 60)) == fmt.Sprint(trace(2, plan, 60)) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestResetEveryNthWrite(t *testing.T) {
+	in := New(1, Plan{ResetEvery: 3})
+	sink := newSink()
+	c := in.Conn(sink)
+	for i := 1; i <= 2; i++ {
+		if _, err := c.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := c.Write([]byte("boom")); !errors.Is(err, ErrReset) {
+		t.Fatalf("3rd write: got %v, want ErrReset", err)
+	}
+	if got := in.Counts().Resets; got != 1 {
+		t.Fatalf("resets = %d, want 1", got)
+	}
+	// The reset closed the conn: partitioned-style reads unblock.
+	select {
+	case <-sink.closed:
+	default:
+		t.Fatal("reset did not close the underlying conn")
+	}
+}
+
+func TestPartialWriteTearsDown(t *testing.T) {
+	in := New(7, Plan{PartialProb: 1})
+	sink := newSink()
+	c := in.Conn(sink)
+	msg := []byte("abcdefghij")
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write n = %d, want strict prefix of %d", n, len(msg))
+	}
+	got := sink.delivered()
+	if len(got) != 1 || !bytes.Equal(got[0], msg[:n]) {
+		t.Fatalf("peer saw %q, want prefix %q", got, msg[:n])
+	}
+	if in.Counts().Partials != 1 {
+		t.Fatalf("partials = %d, want 1", in.Counts().Partials)
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	in := New(9, Plan{CorruptProb: 1})
+	sink := newSink()
+	c := in.Conn(sink)
+	msg := []byte("crowd-sensing-frame")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.delivered()[0]
+	diff := 0
+	for i := range msg {
+		if got[i] != msg[i] {
+			diff++
+			if got[i] != msg[i]^0xA5 {
+				t.Fatalf("byte %d flipped to %x, want %x", i, got[i], msg[i]^0xA5)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	// The caller's buffer must not be mutated.
+	if string(msg) != "crowd-sensing-frame" {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestDelayUsesPlanSleeper(t *testing.T) {
+	var slept []time.Duration
+	in := New(3, Plan{
+		DelayProb: 1,
+		Delay:     50 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	})
+	c := in.Conn(newSink())
+	for i := 0; i < 4; i++ {
+		if _, err := c.Write([]byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 4 {
+		t.Fatalf("sleeper called %d times, want 4", len(slept))
+	}
+	for _, d := range slept {
+		if d != 50*time.Millisecond {
+			t.Fatalf("slept %v, want 50ms", d)
+		}
+	}
+	if in.Counts().Delays != 4 {
+		t.Fatalf("delays = %d, want 4", in.Counts().Delays)
+	}
+}
+
+func TestPartitionAfterWritesBlackHoles(t *testing.T) {
+	in := New(5, Plan{PartitionAfterWrites: 2})
+	sink := newSink()
+	c := in.Conn(sink)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write([]byte("before")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Past the threshold: writes report success but deliver nothing.
+	for i := 0; i < 3; i++ {
+		n, err := c.Write([]byte("lost"))
+		if err != nil || n != 4 {
+			t.Fatalf("partitioned write: n=%d err=%v", n, err)
+		}
+	}
+	if got := len(sink.delivered()); got != 2 {
+		t.Fatalf("peer saw %d writes, want 2", got)
+	}
+	if in.Counts().Partitions != 1 {
+		t.Fatalf("partitions = %d, want 1", in.Counts().Partitions)
+	}
+	// Reads hang until Close.
+	readDone := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = c.Read(buf)
+		close(readDone)
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("partitioned read returned before Close")
+	case <-time.After(20 * time.Millisecond):
+	}
+	_ = c.Close()
+	select {
+	case <-readDone:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock partitioned read")
+	}
+}
+
+func TestBlockReadsHangsUntilClose(t *testing.T) {
+	in := New(1, Plan{BlockReads: true})
+	c := in.Conn(newSink())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("blocked read returned early")
+	case <-time.After(20 * time.Millisecond):
+	}
+	_ = c.Close()
+	if err := <-done; !errors.Is(err, ErrReset) {
+		t.Fatalf("unblocked read err = %v, want ErrReset", err)
+	}
+}
+
+func TestDialerAndListenerWrap(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	in := New(11, Plan{})
+	wrapped := in.Listener(ln)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := wrapped.Accept()
+		if err == nil {
+			accepted <- nc
+		}
+	}()
+	dial := in.Dialer(nil)
+	client, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	if _, ok := client.(*Conn); !ok {
+		t.Fatalf("dialer returned %T, want *faults.Conn", client)
+	}
+	select {
+	case nc := <-accepted:
+		if _, ok := nc.(*Conn); !ok {
+			t.Fatalf("listener accepted %T, want *faults.Conn", nc)
+		}
+		_ = nc.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	if got := in.Counts().Conns; got != 2 {
+		t.Fatalf("wrapped conns = %d, want 2", got)
+	}
+}
+
+func TestWriterTornWriteBudget(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, 0)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget 0: err = %v, want ErrInjected", err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("budget 0 leaked %d bytes", sink.Len())
+	}
+
+	sink.Reset()
+	w = NewWriter(&sink, 5)
+	n, err := w.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) || n != 5 {
+		t.Fatalf("over-budget write: n=%d err=%v, want 5, ErrInjected", n, err)
+	}
+	if sink.String() != "abcde" {
+		t.Fatalf("torn write delivered %q, want %q", sink.String(), "abcde")
+	}
+	if _, err := w.Write([]byte("more")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted budget: err = %v, want ErrInjected", err)
+	}
+
+	sink.Reset()
+	w = NewWriter(&sink, 10)
+	if n, err := w.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("67890")); n != 5 || err != nil {
+		t.Fatalf("exact budget: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget write: err = %v, want ErrInjected", err)
+	}
+	if sink.String() != "1234567890" {
+		t.Fatalf("delivered %q", sink.String())
+	}
+}

@@ -1,0 +1,37 @@
+package faults
+
+import "io"
+
+// Writer is a fault-injecting io.Writer for persistence paths: it
+// passes bytes through until a byte budget is exhausted, then fails —
+// the torn write of a crash or a full disk. A budget of 0 fails the
+// very first write.
+type Writer struct {
+	w         io.Writer
+	remaining int
+}
+
+// NewWriter wraps w with a byte budget. Writes beyond the budget are
+// truncated at the boundary (the prefix still reaches w, as a real
+// torn write would) and return ErrInjected.
+func NewWriter(w io.Writer, budget int) *Writer {
+	return &Writer{w: w, remaining: budget}
+}
+
+// Write implements io.Writer with the torn-write semantics.
+func (fw *Writer) Write(b []byte) (int, error) {
+	if fw.remaining <= 0 {
+		return 0, ErrInjected
+	}
+	if len(b) <= fw.remaining {
+		n, err := fw.w.Write(b)
+		fw.remaining -= n
+		return n, err
+	}
+	n, err := fw.w.Write(b[:fw.remaining])
+	fw.remaining = 0
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjected
+}

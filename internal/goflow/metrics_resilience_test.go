@@ -1,0 +1,130 @@
+package goflow
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
+)
+
+// lostReplyConn black-holes the read direction on demand so a publish
+// response can be dropped deterministically (forcing a retry).
+type lostReplyConn struct {
+	net.Conn
+	block     atomic.Bool
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (c *lostReplyConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if c.block.Load() {
+		<-c.closed
+		return 0, io.EOF
+	}
+	return n, err
+}
+
+func (c *lostReplyConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// The resilience counters must flow from a recovering client conn to
+// the Prometheus exposition: mq_reconnects_total,
+// mq_replayed_topology_total and mq_publish_retries_total.
+func TestMetricsExposeConnResilienceCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+
+	broker := mq.NewBroker()
+	srv, err := mq.NewServer(broker, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); broker.Close() })
+
+	var first *lostReplyConn
+	var dials atomic.Int32
+	conn, err := mq.DialResilient(srv.Addr(), mq.ReconnectConfig{
+		Dialer: func(addr string) (net.Conn, error) {
+			nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 1 {
+				first = &lostReplyConn{Conn: nc, closed: make(chan struct{})}
+				return first, nil
+			}
+			return nc, nil
+		},
+		BackoffBase: time.Millisecond,
+		Seed:        1,
+		RPCTimeout:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	m.InstrumentConn(conn)
+
+	if err := conn.DeclareExchange("E.m", mq.Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.DeclareQueue("Q.m", mq.QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.BindQueue("Q.m", "E.m", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the response to the next publish: the conn must time out,
+	// reconnect (replaying 3 journal entries) and retry the publish.
+	first.block.Store(true)
+	if _, err := conn.Publish("E.m", "k", nil, []byte("m")); err != nil {
+		t.Fatalf("publish across lost response: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for conn.Stats().Reconnects < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reconnect not recorded: %+v", conn.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	counter := func(name string) int {
+		t.Helper()
+		re := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`)
+		match := re.FindStringSubmatch(out)
+		if match == nil {
+			t.Fatalf("family %s missing from exposition:\n%s", name, out)
+		}
+		n, err := strconv.Atoi(match[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if got := counter("mq_reconnects_total"); got != 1 {
+		t.Errorf("mq_reconnects_total = %d, want 1", got)
+	}
+	if got := counter("mq_replayed_topology_total"); got != 3 {
+		t.Errorf("mq_replayed_topology_total = %d, want 3 (exchange, queue, binding)", got)
+	}
+	if got := counter("mq_publish_retries_total"); got < 1 {
+		t.Errorf("mq_publish_retries_total = %d, want >= 1", got)
+	}
+}

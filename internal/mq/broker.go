@@ -90,6 +90,10 @@ type BrokerStats struct {
 	RouteCacheHits          uint64 `json:"routeCacheHits"`
 	RouteCacheMisses        uint64 `json:"routeCacheMisses"`
 	RouteCacheInvalidations uint64 `json:"routeCacheInvalidations"`
+	// PublishDedupHits counts publishes answered from the idempotency
+	// token window instead of being enqueued again (client retries of
+	// a publish whose response was lost).
+	PublishDedupHits uint64 `json:"publishDedupHits"`
 }
 
 // routeEntry is one memoized resolution: the full queue set an
@@ -183,6 +187,10 @@ type Broker struct {
 	cacheMisses        atomic.Uint64
 	cacheInvalidations atomic.Uint64
 
+	// dedup memoizes publish idempotency tokens (dedup.go).
+	dedup     *publishDedup
+	dedupHits atomic.Uint64
+
 	hooks atomic.Pointer[Hooks]
 }
 
@@ -191,6 +199,7 @@ func NewBroker() *Broker {
 	b := &Broker{
 		exchanges: make(map[string]*exchange),
 		queues:    make(map[string]*queue),
+		dedup:     newPublishDedup(),
 	}
 	b.routes.Store(&routeCache{})
 	return b
@@ -515,6 +524,25 @@ func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]s
 	return delivered, nil
 }
 
+// PublishAtToken is PublishAt with a publish idempotency token: when
+// token is non-empty and inside the broker's dedup window, the
+// message is not enqueued again and the original delivery count is
+// returned. Resilient clients use this to retry publishes whose
+// responses were lost without double-delivering.
+func (b *Broker) PublishAtToken(exchangeName, routingKey string, headers map[string]string, body []byte, at time.Time, token string) (int, error) {
+	if token != "" {
+		if n, ok := b.dedup.lookup(token); ok {
+			b.dedupHits.Add(1)
+			return n, nil
+		}
+	}
+	n, err := b.PublishAt(exchangeName, routingKey, headers, body, at)
+	if err == nil && token != "" {
+		b.dedup.record(token, n)
+	}
+	return n, err
+}
+
 // PublishItem is one message of a PublishBatch call.
 type PublishItem struct {
 	// RoutingKey used for binding matches.
@@ -525,6 +553,9 @@ type PublishItem struct {
 	Body []byte `json:"body,omitempty"`
 	// At is the publish timestamp; zero means the batch receive time.
 	At time.Time `json:"publishedAt,omitempty"`
+	// Token is an optional idempotency token; items whose token sits
+	// in the broker's dedup window are skipped on a batch replay.
+	Token string `json:"token,omitempty"`
 }
 
 // PublishBatch routes a batch of messages to one exchange in a single
@@ -550,7 +581,18 @@ func (b *Broker) PublishBatch(exchangeName string, items []PublishItem) (int, er
 	batches := make(map[*queue]*qbatch)
 	order := make([]*qbatch, 0, 4)
 	routedTo := make([]int, len(items))
+	deduped := make([]bool, len(items))
 	for i, it := range items {
+		if it.Token != "" {
+			if n, ok := b.dedup.lookup(it.Token); ok {
+				// A replayed item the broker already settled: answer
+				// from the memo, do not enqueue or count it again.
+				b.dedupHits.Add(1)
+				routedTo[i] = n
+				deduped[i] = true
+				continue
+			}
+		}
 		queues, err := b.route(exchangeName, it.RoutingKey)
 		if err != nil {
 			return 0, err
@@ -592,8 +634,13 @@ func (b *Broker) PublishBatch(exchangeName string, items []PublishItem) (int, er
 	}
 	delivered := 0
 	h := b.currentHooks()
-	for _, n := range routedTo {
+	for i, n := range routedTo {
 		delivered += n
+		if deduped[i] {
+			// Counted (and hook-reported) when the original publish
+			// settled; a replay only contributes to the return value.
+			continue
+		}
 		b.published.Add(1)
 		if n == 0 {
 			b.unroutable.Add(1)
@@ -601,6 +648,9 @@ func (b *Broker) PublishBatch(exchangeName string, items []PublishItem) (int, er
 			b.routed.Add(uint64(n))
 		}
 		h.published(exchangeName, n)
+		if items[i].Token != "" {
+			b.dedup.record(items[i].Token, n)
+		}
 	}
 	return delivered, nil
 }
@@ -732,6 +782,7 @@ func (b *Broker) Stats() BrokerStats {
 		RouteCacheHits:          b.cacheHits.Load(),
 		RouteCacheMisses:        b.cacheMisses.Load(),
 		RouteCacheInvalidations: b.cacheInvalidations.Load(),
+		PublishDedupHits:        b.dedupHits.Load(),
 	}
 }
 

@@ -3,90 +3,297 @@ package mq
 import (
 	"bufio"
 	"errors"
-	"fmt"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Connection lifecycle errors callers may match with errors.Is.
+var (
+	// ErrClosed reports an operation on a connection torn down by
+	// Close or by an exhausted reconnect budget.
+	ErrClosed = errors.New("mq: connection closed")
+	// ErrReconnecting reports an operation attempted while the
+	// connection is between transports. Publishes retry through this
+	// state internally; other RPCs fail fast so callers can decide.
+	ErrReconnecting = errors.New("mq: connection reconnecting")
+	// ErrRPCTimeout reports an RPC whose response did not arrive
+	// within the configured window; the transport is assumed dead and
+	// recovery starts.
+	ErrRPCTimeout = errors.New("mq: rpc timed out")
+)
+
+// BrokerError is a broker-side rejection relayed over the wire (bad
+// exchange type, unknown queue, ...). It is never retried.
+type BrokerError struct{ Msg string }
+
+func (e *BrokerError) Error() string { return e.Msg }
+
+// Connection states.
+const (
+	stateConnected int32 = iota
+	stateReconnecting
+	stateClosed
+)
+
+// maxOrphanedDeliveries bounds how many deliveries per consumer id may
+// wait for the consumer registration to land; beyond it they are
+// nacked back to the queue.
+const maxOrphanedDeliveries = 256
+
+// transport is one TCP session under a Conn. A resilient Conn runs a
+// sequence of transports; done closes when the transport's read loop
+// exits, releasing any RPC parked on it.
+type transport struct {
+	nc   net.Conn
+	done chan struct{}
+}
 
 // Conn is a client connection to a broker Server. It multiplexes
 // synchronous RPCs (declare, bind, publish, ...) and asynchronous
 // deliveries over one TCP connection, mirroring an AMQP channel.
+//
+// A Conn opened with DialResilient survives transport failures: it
+// reconnects with exponential backoff, replays its topology journal
+// (exchanges, queues, bindings, consumers declared on the conn), and
+// retries publishes with idempotency tokens the broker dedupes — see
+// reconnect.go.
 type Conn struct {
-	conn net.Conn
+	addr string
+	cfg  *ReconnectConfig // nil = single-shot connection (Dial)
 
 	writeMu sync.Mutex
 
-	mu        sync.Mutex
-	nextCorr  uint64
-	pending   map[uint64]chan *frame
-	consumers map[uint64]*RemoteConsumer
-	closed    bool
-	closeErr  error
+	mu          sync.Mutex
+	state       int32
+	tr          *transport
+	nextCorr    uint64
+	pending     map[uint64]chan *frame
+	consumerSet map[*RemoteConsumer]struct{} // authoritative subscriptions
+	consumers   map[uint64]*RemoteConsumer   // current-session id routing
+	orphans     map[uint64][]Delivery        // deliveries racing consumer registration
+	journal     []journalEntry
+	closeErr    error
+	connected   chan struct{} // closed whenever state == stateConnected
 
-	readerDone chan struct{}
+	closeOnce sync.Once
+	closedCh  chan struct{} // closed on Close / permanent failure
+
+	tokenPrefix string
+	tokenSeq    atomic.Uint64
+
+	reconnects     atomic.Uint64
+	replayedTopo   atomic.Uint64
+	publishRetries atomic.Uint64
+	hooks          atomic.Pointer[ConnHooks]
+
+	wg sync.WaitGroup // read loops + reconnect loop
 }
 
-// Dial connects to a broker server.
+// _connNonce distinguishes token prefixes of conns dialed in the same
+// nanosecond.
+var _connNonce atomic.Uint64
+
+// Dial connects to a broker server. The connection is single-shot: a
+// transport failure fails every operation with ErrClosed and the
+// conn is done. Use DialResilient for automatic recovery.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return dialConn(addr, nil)
+}
+
+func defaultDialer(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+func dialConn(addr string, cfg *ReconnectConfig) (*Conn, error) {
+	dial := defaultDialer
+	if cfg != nil && cfg.Dialer != nil {
+		dial = cfg.Dialer
+	}
+	nc, err := dial(addr)
 	if err != nil {
-		return nil, fmt.Errorf("mq dial %s: %w", addr, err)
+		return nil, &DialError{Addr: addr, Err: err}
 	}
+	connected := make(chan struct{})
+	close(connected)
 	c := &Conn{
-		conn:       nc,
-		pending:    make(map[uint64]chan *frame),
-		consumers:  make(map[uint64]*RemoteConsumer),
-		readerDone: make(chan struct{}),
+		addr:        addr,
+		cfg:         cfg,
+		pending:     make(map[uint64]chan *frame),
+		consumerSet: make(map[*RemoteConsumer]struct{}),
+		consumers:   make(map[uint64]*RemoteConsumer),
+		orphans:     make(map[uint64][]Delivery),
+		connected:   connected,
+		closedCh:    make(chan struct{}),
+		tokenPrefix: strconv.FormatInt(time.Now().UnixNano(), 36) + "." +
+			strconv.FormatUint(_connNonce.Add(1), 36),
 	}
-	go c.readLoop()
+	if cfg != nil {
+		c.hooks.Store(&cfg.Hooks)
+	}
+	c.installTransport(nc)
 	return c, nil
 }
 
-// Close tears down the connection; in-flight RPCs fail with
-// errConnClosed.
-func (c *Conn) Close() error {
+// DialError wraps a failed dial attempt.
+type DialError struct {
+	Addr string
+	Err  error
+}
+
+func (e *DialError) Error() string { return "mq dial " + e.Addr + ": " + e.Err.Error() }
+func (e *DialError) Unwrap() error { return e.Err }
+
+// installTransport registers nc as the current transport and starts
+// its read loop. Returns nil when the conn closed concurrently (the
+// caller must close nc itself).
+func (c *Conn) installTransport(nc net.Conn) *transport {
 	c.mu.Lock()
-	if c.closed {
+	if c.state == stateClosed {
 		c.mu.Unlock()
 		return nil
 	}
-	c.closed = true
+	tr := &transport{nc: nc, done: make(chan struct{})}
+	c.tr = tr
+	// Add under the lock: Close holds it before Wait, so the counter
+	// can never be observed at zero with a loop still starting.
+	c.wg.Add(1)
 	c.mu.Unlock()
-	err := c.conn.Close()
-	<-c.readerDone
+	go c.readLoop(tr)
+	return tr
+}
+
+// Close tears down the connection; in-flight RPCs fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.state == stateClosed {
+		c.mu.Unlock()
+		return nil
+	}
+	tr := c.tr
+	c.failAllLocked(ErrClosed) // unlocks
+	var err error
+	if tr != nil {
+		err = tr.nc.Close()
+	}
+	c.wg.Wait()
 	return err
 }
 
-func (c *Conn) readLoop() {
-	defer close(c.readerDone)
-	r := bufio.NewReader(c.conn)
+// Err returns the error that terminated the connection, nil while it
+// is alive (connected or reconnecting).
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != stateClosed {
+		return nil
+	}
+	return c.closeErr
+}
+
+// failAllLocked transitions to closed, waking every pending RPC and
+// closing consumer channels. Caller holds c.mu; it unlocks.
+func (c *Conn) failAllLocked(err error) {
+	c.state = stateClosed
+	if c.closeErr == nil {
+		c.closeErr = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan *frame)
+	consumers := c.consumerSet
+	c.consumerSet = make(map[*RemoteConsumer]struct{})
+	c.consumers = make(map[uint64]*RemoteConsumer)
+	c.orphans = make(map[uint64][]Delivery)
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.closedCh) })
+	for _, ch := range pending {
+		close(ch)
+	}
+	for rc := range consumers {
+		rc.closeChan()
+	}
+}
+
+// transportBroken reacts to a dead transport: single-shot conns fail
+// permanently, resilient conns enter the reconnecting state and spawn
+// the recovery loop. No-op unless tr is still the current transport
+// of a connected conn (replay transports are owned by the reconnect
+// loop, which handles their failures itself).
+func (c *Conn) transportBroken(tr *transport, cause error) {
+	c.mu.Lock()
+	if c.tr != tr || c.state != stateConnected {
+		c.mu.Unlock()
+		return
+	}
+	if c.cfg == nil {
+		c.failAllLocked(cause) // unlocks
+		_ = tr.nc.Close()
+		return
+	}
+	c.state = stateReconnecting
+	c.connected = make(chan struct{})
+	pending := c.pending
+	c.pending = make(map[uint64]chan *frame)
+	// Parked deliveries belonged to the dead session; the server
+	// requeues its unacked messages, so dropping the local copies
+	// cannot lose anything.
+	c.orphans = make(map[uint64][]Delivery)
+	c.wg.Add(1) // under the lock, same ordering argument as installTransport
+	c.mu.Unlock()
+	_ = tr.nc.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+	go c.reconnectLoop(cause)
+}
+
+func (c *Conn) readLoop(tr *transport) {
+	defer c.wg.Done()
+	defer close(tr.done)
+	r := bufio.NewReader(tr.nc)
 	for {
 		f, _, err := readFrame(r)
 		if err != nil {
-			c.failAll(err)
+			c.transportBroken(tr, err)
 			return
 		}
 		switch f.Op {
 		case opDeliver:
+			d := Delivery{
+				Message: Message{
+					ID:          f.MessageID,
+					Exchange:    f.Exchange,
+					RoutingKey:  f.RoutingKey,
+					Headers:     f.Headers,
+					Body:        f.Body,
+					PublishedAt: f.PublishedAt,
+					Redelivered: f.Redelivered,
+				},
+				Tag:   f.Tag,
+				Queue: f.Queue,
+			}
 			c.mu.Lock()
 			rc := c.consumers[f.ConsumerID]
-			c.mu.Unlock()
-			if rc != nil {
-				rc.deliver(Delivery{
-					Message: Message{
-						ID:          f.MessageID,
-						Exchange:    f.Exchange,
-						RoutingKey:  f.RoutingKey,
-						Headers:     f.Headers,
-						Body:        f.Body,
-						PublishedAt: f.PublishedAt,
-						Redelivered: f.Redelivered,
-					},
-					Tag:   f.Tag,
-					Queue: f.Queue,
-				})
+			if rc == nil {
+				// The server starts delivering the moment a consume is
+				// processed, so a delivery can outrun the goroutine
+				// registering the consumer id (Consume caller or the
+				// replay loop). Park it; attachConsumer flushes the
+				// buffer in arrival order. A genuinely orphaned id
+				// (cancel race, runaway) is capped and nacked back.
+				if len(c.orphans[f.ConsumerID]) < maxOrphanedDeliveries {
+					c.orphans[f.ConsumerID] = append(c.orphans[f.ConsumerID], d)
+					c.mu.Unlock()
+					continue
+				}
+				c.mu.Unlock()
+				go c.sendNoReply(tr, &frame{Op: opNack, ConsumerID: f.ConsumerID, Tag: f.Tag, Requeue: true})
+				continue
 			}
+			c.mu.Unlock()
+			rc.deliver(d)
 		default:
 			c.mu.Lock()
 			ch := c.pending[f.Corr]
@@ -99,31 +306,39 @@ func (c *Conn) readLoop() {
 	}
 }
 
-// failAll wakes every pending RPC and closes consumer channels after
-// the connection dies.
-func (c *Conn) failAll(err error) {
-	c.mu.Lock()
-	c.closeErr = err
-	c.closed = true
-	pending := c.pending
-	c.pending = make(map[uint64]chan *frame)
-	consumers := c.consumers
-	c.consumers = make(map[uint64]*RemoteConsumer)
-	c.mu.Unlock()
-	for _, ch := range pending {
-		close(ch)
-	}
-	for _, rc := range consumers {
-		rc.closeChan()
-	}
+// sendNoReply writes a frame without a correlation id; the server's
+// response (Corr 0) is ignored by the read loop.
+func (c *Conn) sendNoReply(tr *transport, f *frame) {
+	c.writeMu.Lock()
+	_, _ = writeFrame(tr.nc, f)
+	c.writeMu.Unlock()
 }
 
-// rpc sends one frame and waits for the correlated response.
-func (c *Conn) rpc(f *frame) (*frame, error) {
+// stateErr maps the current state to its typed error after a pending
+// RPC channel was closed under the caller.
+func (c *Conn) stateErr() error {
 	c.mu.Lock()
-	if c.closed {
+	defer c.mu.Unlock()
+	if c.state == stateClosed {
+		return ErrClosed
+	}
+	return ErrReconnecting
+}
+
+func (c *Conn) unregisterPending(corr uint64) {
+	c.mu.Lock()
+	delete(c.pending, corr)
+	c.mu.Unlock()
+}
+
+// transportRPC runs one request/response exchange over an explicit
+// transport. It is the shared engine of rpc (current transport) and
+// topology replay (a transport not yet promoted to connected).
+func (c *Conn) transportRPC(tr *transport, f *frame) (*frame, error) {
+	c.mu.Lock()
+	if c.state == stateClosed {
 		c.mu.Unlock()
-		return nil, errConnClosed
+		return nil, ErrClosed
 	}
 	c.nextCorr++
 	f.Corr = c.nextCorr
@@ -132,34 +347,76 @@ func (c *Conn) rpc(f *frame) (*frame, error) {
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	_, err := writeFrame(c.conn, f)
+	_, err := writeFrame(tr.nc, f)
 	c.writeMu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, f.Corr)
-		c.mu.Unlock()
+		c.unregisterPending(f.Corr)
+		c.transportBroken(tr, err)
 		return nil, err
 	}
 
-	resp, ok := <-ch
-	if !ok {
-		return nil, errConnClosed
+	var timeout <-chan time.Time
+	if c.cfg != nil && c.cfg.RPCTimeout > 0 {
+		t := time.NewTimer(c.cfg.RPCTimeout)
+		defer t.Stop()
+		timeout = t.C
 	}
-	if resp.Op == opError {
-		return nil, errors.New(resp.Error)
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.stateErr()
+		}
+		if resp.Op == opError {
+			return nil, &BrokerError{Msg: resp.Error}
+		}
+		return resp, nil
+	case <-timeout:
+		// No response inside the window: the link is black-holed (a
+		// one-way partition) or dead. Treat the transport as broken.
+		c.unregisterPending(f.Corr)
+		c.transportBroken(tr, ErrRPCTimeout)
+		return nil, ErrRPCTimeout
+	case <-tr.done:
+		// The transport died while we waited and nobody rerouted our
+		// pending entry (replay transports): fail with the state error.
+		c.unregisterPending(f.Corr)
+		return nil, c.stateErr()
 	}
-	return resp, nil
+}
+
+// rpc sends one frame over the current transport and waits for the
+// correlated response. On a closed or reconnecting conn it fails fast
+// with ErrClosed / ErrReconnecting.
+func (c *Conn) rpc(f *frame) (*frame, error) {
+	c.mu.Lock()
+	switch c.state {
+	case stateClosed:
+		c.mu.Unlock()
+		return nil, ErrClosed
+	case stateReconnecting:
+		c.mu.Unlock()
+		return nil, ErrReconnecting
+	}
+	tr := c.tr
+	c.mu.Unlock()
+	return c.transportRPC(tr, f)
 }
 
 // DeclareExchange declares an exchange on the remote broker.
 func (c *Conn) DeclareExchange(name string, typ ExchangeType) error {
 	_, err := c.rpc(&frame{Op: opDeclareExchange, Exchange: name, ExchangeType: typ.String()})
+	if err == nil {
+		c.journalAdd(journalEntry{op: opDeclareExchange, exchange: name, exchangeType: typ.String()})
+	}
 	return err
 }
 
 // DeleteExchange deletes a remote exchange.
 func (c *Conn) DeleteExchange(name string) error {
 	_, err := c.rpc(&frame{Op: opDeleteExchange, Exchange: name})
+	if err == nil {
+		c.journalDeleteExchange(name)
+	}
 	return err
 }
 
@@ -172,37 +429,61 @@ func (c *Conn) DeclareQueue(name string, opts QueueOptions) error {
 		TTLMillis: opts.TTL.Milliseconds(),
 		Exclusive: opts.Exclusive,
 	})
+	if err == nil {
+		c.journalAdd(journalEntry{
+			op:        opDeclareQueue,
+			queue:     name,
+			maxLen:    opts.MaxLen,
+			ttlMillis: opts.TTL.Milliseconds(),
+			exclusive: opts.Exclusive,
+		})
+	}
 	return err
 }
 
 // DeleteQueue deletes a remote queue.
 func (c *Conn) DeleteQueue(name string) error {
 	_, err := c.rpc(&frame{Op: opDeleteQueue, Queue: name})
+	if err == nil {
+		c.journalDeleteQueue(name)
+	}
 	return err
 }
 
 // BindQueue binds a remote queue to an exchange.
 func (c *Conn) BindQueue(queueName, exchangeName, pattern string) error {
 	_, err := c.rpc(&frame{Op: opBindQueue, Queue: queueName, Exchange: exchangeName, Pattern: pattern})
+	if err == nil {
+		c.journalAdd(journalEntry{op: opBindQueue, queue: queueName, exchange: exchangeName, pattern: pattern})
+	}
 	return err
 }
 
 // BindExchange binds exchange dst to receive from src.
 func (c *Conn) BindExchange(dstExchange, srcExchange, pattern string) error {
 	_, err := c.rpc(&frame{Op: opBindExchange, Exchange: dstExchange, SrcExchange: srcExchange, Pattern: pattern})
+	if err == nil {
+		c.journalAdd(journalEntry{op: opBindExchange, exchange: dstExchange, srcExchange: srcExchange, pattern: pattern})
+	}
 	return err
 }
 
 // UnbindQueue removes a remote binding.
 func (c *Conn) UnbindQueue(queueName, exchangeName, pattern string) error {
 	_, err := c.rpc(&frame{Op: opUnbindQueue, Queue: queueName, Exchange: exchangeName, Pattern: pattern})
+	if err == nil {
+		c.journalRemove(journalEntry{op: opBindQueue, queue: queueName, exchange: exchangeName, pattern: pattern})
+	}
 	return err
 }
 
 // Publish publishes a message; it returns the number of destination
-// queues.
+// queues. On a resilient conn the publish carries an idempotency
+// token and is retried across reconnects; the broker dedupes
+// redeliveries, so a retried publish lands at most once.
 func (c *Conn) Publish(exchangeName, routingKey string, headers map[string]string, body []byte) (int, error) {
-	resp, err := c.rpc(&frame{Op: opPublish, Exchange: exchangeName, RoutingKey: routingKey, Headers: headers, Body: body})
+	f := &frame{Op: opPublish, Exchange: exchangeName, RoutingKey: routingKey, Headers: headers, Body: body}
+	resp, err := c.publishRPC(f)
 	if err != nil {
 		return 0, err
 	}
@@ -211,7 +492,8 @@ func (c *Conn) Publish(exchangeName, routingKey string, headers map[string]strin
 
 // PublishAt publishes with an explicit timestamp (virtual-time sims).
 func (c *Conn) PublishAt(exchangeName, routingKey string, headers map[string]string, body []byte, at time.Time) (int, error) {
-	resp, err := c.rpc(&frame{Op: opPublish, Exchange: exchangeName, RoutingKey: routingKey, Headers: headers, Body: body, PublishedAt: at})
+	f := &frame{Op: opPublish, Exchange: exchangeName, RoutingKey: routingKey, Headers: headers, Body: body, PublishedAt: at}
+	resp, err := c.publishRPC(f)
 	if err != nil {
 		return 0, err
 	}
@@ -221,9 +503,19 @@ func (c *Conn) PublishAt(exchangeName, routingKey string, headers map[string]str
 // PublishBatch publishes a batch of messages to one exchange in a
 // single wire round trip. Returns the total number of queue
 // deliveries across the batch. Items without a timestamp are stamped
-// with the broker's receive time.
+// with the broker's receive time. On a resilient conn every item
+// carries its own idempotency token, so a retried batch replays only
+// the items the broker has not seen.
 func (c *Conn) PublishBatch(exchangeName string, items []PublishItem) (int, error) {
-	resp, err := c.rpc(&frame{Op: opPublishBatch, Exchange: exchangeName, Items: items})
+	f := &frame{Op: opPublishBatch, Exchange: exchangeName, Items: items}
+	if c.cfg != nil {
+		for i := range f.Items {
+			if f.Items[i].Token == "" {
+				f.Items[i].Token = c.mintToken()
+			}
+		}
+	}
+	resp, err := c.publishRPC(f)
 	if err != nil {
 		return 0, err
 	}
@@ -279,29 +571,51 @@ func (c *Conn) QueueStats(queueName string) (QueueStats, error) {
 }
 
 // Consume subscribes to a remote queue; deliveries arrive on the
-// returned RemoteConsumer's channel.
+// returned RemoteConsumer's channel. On a resilient conn the
+// subscription is re-attached after a reconnect and resumes from the
+// broker-side buffer: deliveries the dead session left unacked are
+// requeued by the server and redelivered.
 func (c *Conn) Consume(queueName string, prefetch int) (*RemoteConsumer, error) {
 	resp, err := c.rpc(&frame{Op: opConsume, Queue: queueName, Prefetch: prefetch})
 	if err != nil {
 		return nil, err
 	}
 	rc := &RemoteConsumer{
-		conn:  c,
-		id:    resp.ConsumerID,
-		queue: queueName,
-		ch:    make(chan Delivery, 128),
+		conn:     c,
+		queue:    queueName,
+		prefetch: prefetch,
+		ch:       make(chan Delivery, 128),
 	}
 	c.mu.Lock()
-	c.consumers[rc.id] = rc
+	c.consumerSet[rc] = struct{}{}
+	c.attachConsumerLocked(resp.ConsumerID, rc)
 	c.mu.Unlock()
 	return rc, nil
 }
 
+// attachConsumerLocked registers rc under its server-session id and
+// flushes deliveries that outran the registration, in arrival order.
+// Caller holds c.mu — the read loop blocks on it to route deliveries,
+// so nothing can interleave with the flush.
+func (c *Conn) attachConsumerLocked(id uint64, rc *RemoteConsumer) {
+	rc.id.Store(id)
+	c.consumers[id] = rc
+	buffered := c.orphans[id]
+	delete(c.orphans, id)
+	for _, d := range buffered {
+		rc.deliver(d)
+	}
+}
+
 // RemoteConsumer is the client-side view of a remote subscription.
 type RemoteConsumer struct {
-	conn  *Conn
-	id    uint64
-	queue string
+	conn     *Conn
+	queue    string
+	prefetch int
+
+	// id is the server-session consumer id; it changes when a
+	// resilient conn re-attaches the subscription after a reconnect.
+	id atomic.Uint64
 
 	mu     sync.Mutex
 	ch     chan Delivery
@@ -309,7 +623,8 @@ type RemoteConsumer struct {
 }
 
 // C returns the delivery channel; it closes when the consumer is
-// cancelled or the connection dies.
+// cancelled or the connection dies permanently. It stays open across
+// reconnects of a resilient conn.
 func (rc *RemoteConsumer) C() <-chan Delivery { return rc.ch }
 
 func (rc *RemoteConsumer) deliver(d Delivery) {
@@ -339,21 +654,26 @@ func (rc *RemoteConsumer) closeChan() {
 
 // Ack acknowledges a delivery from this consumer.
 func (rc *RemoteConsumer) Ack(tag uint64) error {
-	_, err := rc.conn.rpc(&frame{Op: opAck, ConsumerID: rc.id, Tag: tag})
+	_, err := rc.conn.rpc(&frame{Op: opAck, ConsumerID: rc.id.Load(), Tag: tag})
 	return err
 }
 
 // Nack rejects a delivery from this consumer.
 func (rc *RemoteConsumer) Nack(tag uint64, requeue bool) error {
-	_, err := rc.conn.rpc(&frame{Op: opNack, ConsumerID: rc.id, Tag: tag, Requeue: requeue})
+	_, err := rc.conn.rpc(&frame{Op: opNack, ConsumerID: rc.id.Load(), Tag: tag, Requeue: requeue})
 	return err
 }
 
-// Cancel stops the subscription.
+// Cancel stops the subscription. The local teardown happens even when
+// the cancel RPC fails (closed or reconnecting conn).
 func (rc *RemoteConsumer) Cancel() error {
-	_, err := rc.conn.rpc(&frame{Op: opCancel, ConsumerID: rc.id})
+	_, err := rc.conn.rpc(&frame{Op: opCancel, ConsumerID: rc.id.Load()})
 	rc.conn.mu.Lock()
-	delete(rc.conn.consumers, rc.id)
+	delete(rc.conn.consumers, rc.id.Load())
+	delete(rc.conn.consumerSet, rc)
+	// Deliveries parked for this id are already requeued server-side
+	// by the cancel; drop the local copies.
+	delete(rc.conn.orphans, rc.id.Load())
 	rc.conn.mu.Unlock()
 	rc.closeChan()
 	return err

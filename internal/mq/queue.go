@@ -3,6 +3,7 @@ package mq
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -447,11 +448,34 @@ func (c *Consumer) CancelAndRequeue() {
 	c.outstanding = make(map[uint64]struct{})
 	c.inFlight = 0
 	c.mu.Unlock()
+	c.queue.requeueAll(tags)
+}
+
+// requeueAll returns a set of unacked deliveries to the front of the
+// ready list in one critical section: newest tag pushed first, so the
+// restored sequence is the original publish order ahead of the queued
+// backlog, and a single dispatch at the end keeps an already-attached
+// consumer from interleaving with the restore — a reconnecting mobile
+// session drains its buffer in order. Tags already settled through
+// another path are skipped.
+func (q *queue) requeueAll(tags []uint64) {
+	sort.Slice(tags, func(i, j int) bool { return tags[i] > tags[j] })
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	h := q.h()
 	for _, tag := range tags {
-		// A tag may already be acked/nacked through another path;
-		// ErrUnknownTag is expected and ignorable here.
-		_ = c.queue.nack(tag, true)
+		m, ok := q.unacked[tag]
+		if !ok {
+			continue
+		}
+		delete(q.unacked, tag)
+		q.unackedN.Add(-1)
+		h.nacked(q.name, true)
+		m.Redelivered = true
+		q.ready.pushFront(&m)
+		q.readyN.Add(1)
 	}
+	q.dispatchLocked(h)
 }
 
 func (c *Consumer) closeChan() {

@@ -1,0 +1,467 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Resilient client machinery: the paper's deployment lesson is that
+// mobile links die constantly, so the middleware client must treat a
+// TCP session as disposable. DialResilient wraps the Conn with:
+//
+//   - automatic reconnect with exponential backoff + seeded jitter
+//     and a bounded attempt budget per outage;
+//   - a topology journal (exchanges, queues, bindings declared on
+//     this conn) replayed on every new transport, so a restarted
+//     broker is re-provisioned transparently;
+//   - consumer re-attachment: subscriptions are re-issued on the new
+//     session and resume from the broker-side buffer (the dead
+//     session's unacked deliveries are requeued server-side);
+//   - publish retry with per-message idempotency tokens the broker
+//     dedupes, so a publish whose response was lost in flight can be
+//     re-sent without double-delivering.
+
+// ReconnectConfig tunes a resilient connection. The zero value gets
+// sane defaults from applyDefaults.
+type ReconnectConfig struct {
+	// Dialer opens transports; nil uses a 5s TCP dial. Tests inject
+	// fault-wrapped dialers here.
+	Dialer func(addr string) (net.Conn, error)
+	// MaxAttempts bounds consecutive failed reconnect attempts per
+	// outage before the conn fails permanently with ErrClosed.
+	// 0 means DefaultMaxAttempts; negative means retry forever.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff
+	// between attempts (base, 2*base, 4*base, ... capped at max, each
+	// plus up to 50% seeded jitter). The first attempt of an outage
+	// is immediate.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the jitter; a fixed seed makes the backoff schedule
+	// reproducible. 0 means 1.
+	Seed int64
+	// PublishRetries bounds how many times one publish is re-sent
+	// after transport failures (0 = DefaultPublishRetries).
+	PublishRetries int
+	// RPCTimeout bounds each request/response exchange; expiry marks
+	// the transport dead and triggers recovery — the defense against
+	// one-way partitions that black-hole responses
+	// (0 = DefaultRPCTimeout).
+	RPCTimeout time.Duration
+	// Hooks observes recovery events (reconnects, topology replay,
+	// publish retries); wire them to metrics with
+	// goflow.Metrics.InstrumentConn.
+	Hooks ConnHooks
+}
+
+// Resilience defaults.
+const (
+	DefaultMaxAttempts    = 8
+	DefaultPublishRetries = 8
+	DefaultBackoffBase    = 10 * time.Millisecond
+	DefaultBackoffMax     = 2 * time.Second
+	DefaultRPCTimeout     = 30 * time.Second
+)
+
+func (cfg *ReconnectConfig) applyDefaults() {
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.PublishRetries == 0 {
+		cfg.PublishRetries = DefaultPublishRetries
+	}
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = DefaultRPCTimeout
+	}
+}
+
+// ConnHooks observes a resilient connection's recovery events. All
+// fields are optional; the zero value is inert.
+type ConnHooks struct {
+	// Reconnected fires after a reconnect completes (topology
+	// replayed, conn usable again) with the number of dial attempts
+	// the outage took.
+	Reconnected func(attempts int)
+	// TopologyReplayed fires once per reconnect with the number of
+	// journal entries (declares, bindings) plus consumers replayed.
+	TopologyReplayed func(entries int)
+	// PublishRetried fires every time a publish frame is re-sent
+	// after a transport failure.
+	PublishRetried func()
+}
+
+func (h *ConnHooks) reconnected(attempts int) {
+	if h != nil && h.Reconnected != nil {
+		h.Reconnected(attempts)
+	}
+}
+
+func (h *ConnHooks) topologyReplayed(n int) {
+	if h != nil && h.TopologyReplayed != nil {
+		h.TopologyReplayed(n)
+	}
+}
+
+func (h *ConnHooks) publishRetried() {
+	if h != nil && h.PublishRetried != nil {
+		h.PublishRetried()
+	}
+}
+
+// ConnStats snapshots a connection's recovery counters.
+type ConnStats struct {
+	// Reconnects counts completed recoveries (transport replaced and
+	// topology replayed).
+	Reconnects uint64 `json:"reconnects"`
+	// ReplayedTopology counts journal entries and consumers replayed
+	// across all reconnects.
+	ReplayedTopology uint64 `json:"replayedTopology"`
+	// PublishRetries counts publish frames re-sent after failures.
+	PublishRetries uint64 `json:"publishRetries"`
+}
+
+// Stats snapshots the recovery counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		Reconnects:       c.reconnects.Load(),
+		ReplayedTopology: c.replayedTopo.Load(),
+		PublishRetries:   c.publishRetries.Load(),
+	}
+}
+
+// SetConnHooks installs recovery-event observers (atomic swap; safe
+// while the conn is live).
+func (c *Conn) SetConnHooks(h ConnHooks) {
+	c.hooks.Store(&h)
+}
+
+// DialResilient connects to a broker server with automatic recovery:
+// reconnect + backoff, topology replay, consumer re-attachment and
+// idempotent publish retry. See ReconnectConfig for tuning.
+func DialResilient(addr string, cfg ReconnectConfig) (*Conn, error) {
+	cfg.applyDefaults()
+	return dialConn(addr, &cfg)
+}
+
+// WaitConnected blocks until the conn is connected (nil), permanently
+// closed (ErrClosed), or the timeout elapses (ErrReconnecting).
+// timeout <= 0 waits indefinitely.
+func (c *Conn) WaitConnected(timeout time.Duration) error {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		c.mu.Lock()
+		switch c.state {
+		case stateClosed:
+			c.mu.Unlock()
+			return ErrClosed
+		case stateConnected:
+			c.mu.Unlock()
+			return nil
+		}
+		ch := c.connected
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-c.closedCh:
+			return ErrClosed
+		case <-deadline:
+			return ErrReconnecting
+		}
+	}
+}
+
+// mintToken issues a process-unique publish idempotency token.
+func (c *Conn) mintToken() string {
+	return c.tokenPrefix + "-" + strconv.FormatUint(c.tokenSeq.Add(1), 36)
+}
+
+// retryablePublishErr reports whether a failed publish may be
+// re-sent: transport-level failures are; broker rejections and a
+// permanently closed conn are not.
+func retryablePublishErr(err error) bool {
+	var be *BrokerError
+	if errors.As(err, &be) {
+		return false
+	}
+	return !errors.Is(err, ErrClosed)
+}
+
+// publishRPC sends a publish frame. Single-shot conns pass straight
+// through; resilient conns stamp an idempotency token, wait out
+// reconnects and re-send up to PublishRetries times. The token stays
+// constant across retries, so the broker's dedup window guarantees
+// at-most-once enqueue even when a response was lost in flight.
+func (c *Conn) publishRPC(f *frame) (*frame, error) {
+	if c.cfg == nil {
+		return c.rpc(f)
+	}
+	if f.Op == opPublish && f.Token == "" {
+		f.Token = c.mintToken()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.publishRetries.Add(1)
+			c.hooks.Load().publishRetried()
+		}
+		if err := c.WaitConnected(0); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last transport error: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		resp, err := c.rpc(f)
+		if err == nil {
+			return resp, nil
+		}
+		if !retryablePublishErr(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= c.cfg.PublishRetries {
+			return nil, fmt.Errorf("mq: publish failed after %d retries: %w", attempt, lastErr)
+		}
+	}
+}
+
+// journalEntry is one recorded topology declaration, replayed on
+// every reconnect.
+type journalEntry struct {
+	op           string
+	exchange     string
+	exchangeType string
+	queue        string
+	srcExchange  string
+	pattern      string
+	maxLen       int
+	ttlMillis    int64
+	exclusive    bool
+}
+
+func (e *journalEntry) frame() *frame {
+	return &frame{
+		Op:           e.op,
+		Exchange:     e.exchange,
+		ExchangeType: e.exchangeType,
+		Queue:        e.queue,
+		SrcExchange:  e.srcExchange,
+		Pattern:      e.pattern,
+		MaxLen:       e.maxLen,
+		TTLMillis:    e.ttlMillis,
+		Exclusive:    e.exclusive,
+	}
+}
+
+// journalAdd records a successful declaration, collapsing exact
+// duplicates (idempotent redeclares must not grow the replay).
+// Single-shot conns skip journaling entirely.
+func (c *Conn) journalAdd(e journalEntry) {
+	if c.cfg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range c.journal {
+		if have == e {
+			return
+		}
+	}
+	c.journal = append(c.journal, e)
+}
+
+// journalRemove drops entries equal to e.
+func (c *Conn) journalRemove(e journalEntry) {
+	if c.cfg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.journal[:0]
+	for _, have := range c.journal {
+		if have != e {
+			kept = append(kept, have)
+		}
+	}
+	c.journal = kept
+}
+
+// journalDeleteExchange drops the exchange's declaration and every
+// binding that references it.
+func (c *Conn) journalDeleteExchange(name string) {
+	if c.cfg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.journal[:0]
+	for _, e := range c.journal {
+		switch {
+		case e.op == opDeclareExchange && e.exchange == name:
+		case e.op == opBindQueue && e.exchange == name:
+		case e.op == opBindExchange && (e.exchange == name || e.srcExchange == name):
+		default:
+			kept = append(kept, e)
+		}
+	}
+	c.journal = kept
+}
+
+// journalDeleteQueue drops the queue's declaration and its bindings.
+func (c *Conn) journalDeleteQueue(name string) {
+	if c.cfg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.journal[:0]
+	for _, e := range c.journal {
+		switch {
+		case e.op == opDeclareQueue && e.queue == name:
+		case e.op == opBindQueue && e.queue == name:
+		default:
+			kept = append(kept, e)
+		}
+	}
+	c.journal = kept
+}
+
+// backoffDelay computes the wait before reconnect attempt n (0-based)
+// of an outage: immediate first try, then exponential with jitter.
+func backoffDelay(cfg *ReconnectConfig, rng *rand.Rand, attempt int) time.Duration {
+	if attempt <= 0 {
+		return 0
+	}
+	d := cfg.BackoffBase << (attempt - 1)
+	if d <= 0 || d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// reconnectLoop drives one outage to resolution: dial with backoff,
+// replay topology and consumers over the fresh transport, then
+// promote it to connected. Exhausting the attempt budget (or Close)
+// fails the conn permanently.
+func (c *Conn) reconnectLoop(cause error) {
+	defer c.wg.Done()
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
+	dial := c.cfg.Dialer
+	if dial == nil {
+		dial = defaultDialer
+	}
+	attempts := 0
+	var lastErr error = cause
+	for {
+		if delay := backoffDelay(c.cfg, rng, attempts); delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-c.closedCh:
+				return
+			}
+		} else {
+			select {
+			case <-c.closedCh:
+				return
+			default:
+			}
+		}
+		attempts++
+		nc, err := dial(c.addr)
+		if err == nil {
+			tr := c.installTransport(nc)
+			if tr == nil {
+				_ = nc.Close()
+				return
+			}
+			err = c.replayTopology(tr)
+			if err == nil {
+				c.mu.Lock()
+				if c.state == stateClosed {
+					c.mu.Unlock()
+					_ = nc.Close()
+					return
+				}
+				c.state = stateConnected
+				close(c.connected)
+				c.mu.Unlock()
+				c.reconnects.Add(1)
+				c.hooks.Load().reconnected(attempts)
+				return
+			}
+			_ = nc.Close()
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+		}
+		lastErr = err
+		if c.cfg.MaxAttempts > 0 && attempts >= c.cfg.MaxAttempts {
+			c.mu.Lock()
+			if c.state == stateClosed {
+				c.mu.Unlock()
+				return
+			}
+			c.failAllLocked(fmt.Errorf("mq: reconnect gave up after %d attempts (%v): %w", attempts, lastErr, ErrClosed)) // unlocks
+			return
+		}
+	}
+}
+
+// replayTopology re-provisions a fresh transport: journal entries in
+// declaration order, then consumer re-attachments. The conn stays in
+// the reconnecting state throughout, so only this goroutine issues
+// RPCs on tr.
+func (c *Conn) replayTopology(tr *transport) error {
+	c.mu.Lock()
+	entries := make([]journalEntry, len(c.journal))
+	copy(entries, c.journal)
+	rcs := make([]*RemoteConsumer, 0, len(c.consumerSet))
+	for rc := range c.consumerSet {
+		rcs = append(rcs, rc)
+	}
+	// Ids from the dead session are meaningless on the new one; the
+	// unknown-consumer nack path covers any delivery racing the remap.
+	c.consumers = make(map[uint64]*RemoteConsumer)
+	c.mu.Unlock()
+	// Deterministic re-attach order (map iteration is not).
+	sort.Slice(rcs, func(i, j int) bool { return rcs[i].id.Load() < rcs[j].id.Load() })
+
+	replayed := 0
+	for i := range entries {
+		if _, err := c.transportRPC(tr, entries[i].frame()); err != nil {
+			return err
+		}
+		replayed++
+	}
+	for _, rc := range rcs {
+		resp, err := c.transportRPC(tr, &frame{Op: opConsume, Queue: rc.queue, Prefetch: rc.prefetch})
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.attachConsumerLocked(resp.ConsumerID, rc)
+		c.mu.Unlock()
+		replayed++
+	}
+	c.replayedTopo.Add(uint64(replayed))
+	c.hooks.Load().topologyReplayed(replayed)
+	return nil
+}

@@ -1,0 +1,668 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Recovery-path tests: typed lifecycle errors, rpc-racing-close,
+// reconnect with topology replay, consumer re-attachment, idempotent
+// publish retry, reconnect latency, and goroutine hygiene.
+
+// bouncer is a dialer that records every transport it opens so tests
+// can kill the current one and force a reconnect.
+type bouncer struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (b *bouncer) dial(addr string) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.conns = append(b.conns, nc)
+	b.mu.Unlock()
+	return nc, nil
+}
+
+func (b *bouncer) killCurrent() {
+	b.mu.Lock()
+	nc := b.conns[len(b.conns)-1]
+	b.mu.Unlock()
+	_ = nc.Close()
+}
+
+func (b *bouncer) dials() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.conns)
+}
+
+// dialResilientTest opens a resilient conn with fast test timings and
+// a hook channel that signals completed reconnects.
+func dialResilientTest(t *testing.T, s *Server, b *bouncer, tweak func(*ReconnectConfig)) (*Conn, chan int) {
+	t.Helper()
+	reconnected := make(chan int, 16)
+	cfg := ReconnectConfig{
+		Dialer:      b.dial,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Seed:        1,
+		RPCTimeout:  2 * time.Second,
+		Hooks:       ConnHooks{Reconnected: func(attempts int) { reconnected <- attempts }},
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c, err := DialResilient(s.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c, reconnected
+}
+
+func waitReconnected(t *testing.T, ch chan int) int {
+	t.Helper()
+	select {
+	case attempts := <-ch:
+		return attempts
+	case <-time.After(5 * time.Second):
+		t.Fatal("reconnect did not complete within 5s")
+		return 0
+	}
+}
+
+func declareTopology(t *testing.T, c *Conn) {
+	t.Helper()
+	if err := c.DeclareExchange("x", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindQueue("q", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedConnReturnsTypedErrors(t *testing.T) {
+	_, s := startServer(t)
+	c := dialTest(t, s)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Publish("x", "k", nil, []byte("m")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Publish after Close: %v, want ErrClosed", err)
+	}
+	if err := c.DeclareExchange("x", Fanout); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DeclareExchange after Close: %v, want ErrClosed", err)
+	}
+	if _, err := c.Consume("q", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Consume after Close: %v, want ErrClosed", err)
+	}
+	if _, _, err := c.Get("q"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close: %v, want ErrClosed", err)
+	}
+	if err := c.WaitConnected(10 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitConnected after Close: %v, want ErrClosed", err)
+	}
+	if err := c.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Err after Close: %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestSingleShotTransportDeathFailsClosed(t *testing.T) {
+	b := NewBroker()
+	s, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	if err := c.DeclareExchange("x", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // kills the transport under the single-shot conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c.Publish("x", "k", nil, []byte("m"))
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err == nil || time.Now().After(deadline) {
+			t.Fatalf("Publish on dead single-shot conn: %v, want ErrClosed", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Err(); err == nil {
+		t.Fatal("Err() = nil after transport death")
+	}
+}
+
+func TestReconnectingConnFailsFastTyped(t *testing.T) {
+	_, s := startServer(t)
+	b := &bouncer{}
+	gate := make(chan struct{})
+	var dials atomic.Int32
+	c, reconnected := dialResilientTest(t, s, b, func(cfg *ReconnectConfig) {
+		inner := cfg.Dialer
+		cfg.Dialer = func(addr string) (net.Conn, error) {
+			if dials.Add(1) > 1 {
+				<-gate // hold the conn in the reconnecting state
+			}
+			return inner(addr)
+		}
+	})
+	declareTopology(t, c)
+	b.killCurrent()
+
+	// While the redial is gated, RPCs must fail fast with
+	// ErrReconnecting — not hang, not panic.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c.DeclareExchange("y", Fanout)
+		if errors.Is(err, ErrReconnecting) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("DeclareExchange during outage: %v, want ErrReconnecting", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() during reconnect = %v, want nil (conn still alive)", err)
+	}
+	close(gate)
+	waitReconnected(t, reconnected)
+	if err := c.DeclareExchange("y", Fanout); err != nil {
+		t.Fatalf("declare after recovery: %v", err)
+	}
+}
+
+func TestRPCRacingCloseNoPanicNoHang(t *testing.T) {
+	_, s := startServer(t)
+	b := &bouncer{}
+	c, _ := dialResilientTest(t, s, b, nil)
+	declareTopology(t, c)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				_, err := c.Publish("x", "k", nil, []byte(fmt.Sprintf("g%d-%d", g, i)))
+				if err != nil {
+					if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrReconnecting) {
+						t.Errorf("racing publish: unexpected error %v", err)
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close during racing publishes: %v", err)
+	}
+	wg.Wait() // must not hang
+	if _, err := c.Publish("x", "k", nil, []byte("after")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish after racing close: %v, want ErrClosed", err)
+	}
+}
+
+func TestReconnectReplaysTopologyAndConsumers(t *testing.T) {
+	_, s := startServer(t)
+	b := &bouncer{}
+	c, reconnected := dialResilientTest(t, s, b, nil)
+	declareTopology(t, c)
+	rc, err := c.Consume("q", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Publish("x", "k", nil, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-rc.C():
+		if string(d.Body) != "before" {
+			t.Fatalf("got %q", d.Body)
+		}
+		if err := rc.Ack(d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery before bounce")
+	}
+
+	b.killCurrent()
+	attempts := waitReconnected(t, reconnected)
+	if attempts < 1 {
+		t.Fatalf("reconnect reported %d attempts", attempts)
+	}
+
+	// The same exchange/queue/binding and the same consumer must work
+	// on the new transport without any re-declaration by the caller.
+	if _, err := c.Publish("x", "k", nil, []byte("after")); err != nil {
+		t.Fatalf("publish after reconnect: %v", err)
+	}
+	select {
+	case d := <-rc.C():
+		if string(d.Body) != "after" {
+			t.Fatalf("got %q after reconnect", d.Body)
+		}
+		if err := rc.Ack(d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer did not survive the reconnect")
+	}
+
+	st := c.Stats()
+	if st.Reconnects != 1 {
+		t.Fatalf("Reconnects = %d, want 1", st.Reconnects)
+	}
+	// 3 journal entries (exchange, queue, binding) + 1 consumer.
+	if st.ReplayedTopology != 4 {
+		t.Fatalf("ReplayedTopology = %d, want 4", st.ReplayedTopology)
+	}
+	if b.dials() != 2 {
+		t.Fatalf("dialed %d transports, want 2", b.dials())
+	}
+}
+
+func TestReconnectRedeliversUnackedInOrder(t *testing.T) {
+	_, s := startServer(t)
+	b := &bouncer{}
+	c, reconnected := dialResilientTest(t, s, b, nil)
+	declareTopology(t, c)
+	rc, err := c.Consume("q", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := c.Publish("x", "k", nil, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receive everything but ack nothing: the deliveries stay unacked
+	// in the dying session.
+	for i := 0; i < n; i++ {
+		select {
+		case d := <-rc.C():
+			if string(d.Body) != fmt.Sprintf("m%d", i) {
+				t.Fatalf("pre-bounce delivery %d = %q", i, d.Body)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("missing pre-bounce delivery %d", i)
+		}
+	}
+
+	b.killCurrent()
+	waitReconnected(t, reconnected)
+
+	// The server requeued the dead session's unacked messages; the
+	// re-attached consumer must get all of them, redelivered, in the
+	// original publish order, exactly once.
+	for i := 0; i < n; i++ {
+		select {
+		case d := <-rc.C():
+			if string(d.Body) != fmt.Sprintf("m%d", i) {
+				t.Fatalf("redelivery %d = %q, want m%d (order lost)", i, d.Body, i)
+			}
+			if !d.Redelivered {
+				t.Fatalf("redelivery %d not flagged Redelivered", i)
+			}
+			if err := rc.Ack(d.Tag); err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("missing redelivery %d", i)
+		}
+	}
+	select {
+	case d := <-rc.C():
+		t.Fatalf("duplicate delivery %q", d.Body)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// readHole wraps a net.Conn so the test can black-hole the read
+// direction: requests keep flowing, responses vanish — the lost-reply
+// scenario idempotency tokens exist for.
+type readHole struct {
+	net.Conn
+	block     atomic.Bool
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (h *readHole) Read(b []byte) (int, error) {
+	n, err := h.Conn.Read(b)
+	if h.block.Load() {
+		<-h.closed
+		return 0, io.EOF
+	}
+	return n, err
+}
+
+func (h *readHole) Close() error {
+	h.closeOnce.Do(func() { close(h.closed) })
+	return h.Conn.Close()
+}
+
+func TestPublishRetryDedupesOnLostResponse(t *testing.T) {
+	broker, s := startServer(t)
+	var first *readHole
+	var dials atomic.Int32
+	reconnected := make(chan int, 4)
+	c, err := DialResilient(s.Addr(), ReconnectConfig{
+		Dialer: func(addr string) (net.Conn, error) {
+			nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 1 {
+				first = &readHole{Conn: nc, closed: make(chan struct{})}
+				return first, nil
+			}
+			return nc, nil
+		},
+		BackoffBase: time.Millisecond,
+		RPCTimeout:  100 * time.Millisecond,
+		Seed:        1,
+		Hooks:       ConnHooks{Reconnected: func(a int) { reconnected <- a }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	declareTopology(t, c)
+
+	// From here on the broker receives our frames but we never see the
+	// responses: the publish must time out, reconnect, and re-send with
+	// the same idempotency token; the broker must answer the retry from
+	// its dedup window without enqueueing a second copy.
+	first.block.Store(true)
+	n, err := c.Publish("x", "k", nil, []byte("once"))
+	if err != nil {
+		t.Fatalf("publish across lost response: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("publish delivered to %d queues, want 1 (memoized count)", n)
+	}
+	waitReconnected(t, reconnected)
+
+	st := c.Stats()
+	if st.PublishRetries == 0 {
+		t.Fatal("publish was not retried")
+	}
+	if st.Reconnects != 1 {
+		t.Fatalf("Reconnects = %d, want 1", st.Reconnects)
+	}
+	if hits := broker.Stats().PublishDedupHits; hits != 1 {
+		t.Fatalf("PublishDedupHits = %d, want 1", hits)
+	}
+	qs, err := c.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Published != 1 || qs.Ready != 1 {
+		t.Fatalf("queue saw %d publishes / %d ready, want exactly 1 (duplicate enqueue)", qs.Published, qs.Ready)
+	}
+}
+
+func TestBrokerPublishTokenDedup(t *testing.T) {
+	b := NewBroker()
+	t.Cleanup(b.Close)
+	if err := b.DeclareExchange("x", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BindQueue("q", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(1_600_000_000, 0)
+	n1, err := b.PublishAtToken("x", "k", nil, []byte("m"), at, "tok-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := b.PublishAtToken("x", "k", nil, []byte("m"), at, "tok-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 1 || n2 != 1 {
+		t.Fatalf("delivered counts %d, %d — retry must return the memoized count", n1, n2)
+	}
+	qs, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Published != 1 {
+		t.Fatalf("queue saw %d publishes, want 1", qs.Published)
+	}
+	if hits := b.Stats().PublishDedupHits; hits != 1 {
+		t.Fatalf("PublishDedupHits = %d, want 1", hits)
+	}
+
+	// Batch path: a replayed batch re-enqueues only unseen items.
+	items := []PublishItem{
+		{RoutingKey: "k", Body: []byte("a"), Token: "tok-a"},
+		{RoutingKey: "k", Body: []byte("b"), Token: "tok-b"},
+	}
+	if _, err := b.PublishBatch("x", items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PublishBatch("x", items); err != nil {
+		t.Fatal(err)
+	}
+	qs, err = b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Published != 3 { // m + a + b, replay fully deduped
+		t.Fatalf("queue saw %d publishes after batch replay, want 3", qs.Published)
+	}
+}
+
+func TestReconnectBudgetExhaustedFailsClosed(t *testing.T) {
+	_, s := startServer(t)
+	b := &bouncer{}
+	var dials atomic.Int32
+	c, _ := dialResilientTest(t, s, b, func(cfg *ReconnectConfig) {
+		inner := cfg.Dialer
+		cfg.MaxAttempts = 2
+		cfg.Dialer = func(addr string) (net.Conn, error) {
+			if dials.Add(1) > 1 {
+				return nil, errors.New("network unreachable")
+			}
+			return inner(addr)
+		}
+	})
+	declareTopology(t, c)
+	b.killCurrent()
+	if err := c.WaitConnected(5 * time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitConnected after exhausted budget: %v, want ErrClosed", err)
+	}
+	if _, err := c.Publish("x", "k", nil, []byte("m")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Publish after exhausted budget: %v, want ErrClosed", err)
+	}
+	if err := c.Err(); err == nil || !errors.Is(err, ErrClosed) {
+		t.Fatalf("Err() = %v, want wrapped ErrClosed with attempt context", err)
+	}
+}
+
+func TestReconnectAndReplayAreFast(t *testing.T) {
+	_, s := startServer(t)
+	b := &bouncer{}
+	c, reconnected := dialResilientTest(t, s, b, nil)
+	declareTopology(t, c)
+	rc, err := c.Consume("q", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rc.Cancel() }()
+
+	// Fault-free local reconnect: the acceptance bar is <10ms for
+	// reconnect + full topology replay; assert a loose multiple to
+	// stay robust on loaded CI machines (the benchmark below measures
+	// the real figure).
+	start := time.Now()
+	b.killCurrent()
+	waitReconnected(t, reconnected)
+	elapsed := time.Since(start)
+	t.Logf("reconnect + replay of 3 entries + 1 consumer took %v", elapsed)
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("reconnect took %v, want well under 500ms", elapsed)
+	}
+}
+
+func BenchmarkReconnectReplay(b *testing.B) {
+	broker := NewBroker()
+	s, err := NewServer(broker, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer broker.Close()
+	defer s.Close()
+	bn := &bouncer{}
+	reconnected := make(chan int, 1)
+	c, err := DialResilient(s.Addr(), ReconnectConfig{
+		Dialer:      bn.dial,
+		BackoffBase: time.Millisecond,
+		Seed:        1,
+		Hooks:       ConnHooks{Reconnected: func(int) { reconnected <- 1 }},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.DeclareExchange("x", Fanout); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DeclareQueue("q", QueueOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.BindQueue("q", "x", ""); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Consume("q", 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.killCurrent()
+		<-reconnected
+	}
+}
+
+func TestRecoveryCycleLeaksNoGoroutines(t *testing.T) {
+	before := stableGoroutines(t)
+	for round := 0; round < 3; round++ {
+		broker := NewBroker()
+		s, err := NewServer(broker, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &bouncer{}
+		reconnected := make(chan int, 4)
+		c, err := DialResilient(s.Addr(), ReconnectConfig{
+			Dialer:      b.dial,
+			BackoffBase: time.Millisecond,
+			Seed:        int64(round + 1),
+			Hooks:       ConnHooks{Reconnected: func(int) { reconnected <- 1 }},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.DeclareExchange("x", Fanout); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.DeclareQueue("q", QueueOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.BindQueue("q", "x", ""); err != nil {
+			t.Fatal(err)
+		}
+		rc, err := c.Consume("q", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two bounce cycles per round: transports, read loops and
+		// reconnect loops must all be reaped.
+		for cycle := 0; cycle < 2; cycle++ {
+			b.killCurrent()
+			select {
+			case <-reconnected:
+			case <-time.After(5 * time.Second):
+				t.Fatal("reconnect timed out")
+			}
+			if _, err := c.Publish("x", "k", nil, []byte("m")); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case d := <-rc.C():
+				if err := rc.Ack(d.Tag); err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("no delivery after bounce")
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		broker.Close()
+	}
+	after := stableGoroutines(t)
+	if after > before+3 {
+		t.Fatalf("recovery cycles leaked goroutines: %d -> %d", before, after)
+	}
+}
+
+func TestJournalCollapsesAndPrunes(t *testing.T) {
+	_, s := startServer(t)
+	b := &bouncer{}
+	c, _ := dialResilientTest(t, s, b, nil)
+	declareTopology(t, c)
+	// Idempotent redeclares must not grow the replay.
+	declareTopology(t, c)
+	c.mu.Lock()
+	n := len(c.journal)
+	c.mu.Unlock()
+	if n != 3 {
+		t.Fatalf("journal has %d entries after redeclare, want 3", n)
+	}
+	// Deleting the exchange prunes its declaration and its binding.
+	if err := c.DeleteExchange("x"); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	n = len(c.journal)
+	c.mu.Unlock()
+	if n != 1 { // only the queue declaration remains
+		t.Fatalf("journal has %d entries after DeleteExchange, want 1", n)
+	}
+}

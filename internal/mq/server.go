@@ -221,7 +221,7 @@ func (s *Server) dispatch(cs *connState, f *frame, nextConsumerID *uint64) *fram
 		if at.IsZero() {
 			at = time.Now()
 		}
-		n, err := s.broker.PublishAt(f.Exchange, f.RoutingKey, f.Headers, f.Body, at)
+		n, err := s.broker.PublishAtToken(f.Exchange, f.RoutingKey, f.Headers, f.Body, at, f.Token)
 		if err != nil {
 			return fail(err)
 		}

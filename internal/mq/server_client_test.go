@@ -314,3 +314,114 @@ func TestRemotePublishBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSessionBufferDrainsInOrderAfterDisconnect is the paper's
+// session-buffering story end to end: a mobile session receives part
+// of its backlog, dies mid-consume with deliveries unacked and more
+// messages still queued, and a fresh session must drain everything —
+// in the original publish order, with no duplicates and no loss.
+func TestSessionBufferDrainsInOrderAfterDisconnect(t *testing.T) {
+	b, s := startServer(t)
+	pub := dialTest(t, s)
+	if err := pub.DeclareExchange("x", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.DeclareQueue("q", QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.BindQueue("q", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if _, err := pub.Publish("x", "k", nil, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Session A: prefetch 4, reads three deliveries, acks only the
+	// first, then dies. In flight and unacked at death: m1, m2, m3
+	// (read but never acked) and m4 (delivered after the ack freed a
+	// prefetch slot, never read).
+	subA, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcA, err := subA.Consume("q", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case d := <-rcA.C():
+			if string(d.Body) != fmt.Sprintf("m%d", i) {
+				t.Fatalf("session A delivery %d = %q", i, d.Body)
+			}
+			if i == 0 {
+				if err := rcA.Ack(d.Tag); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("session A missing delivery %d", i)
+		}
+	}
+	_ = subA.Close()
+
+	// The server requeues A's unacked deliveries ahead of the queued
+	// backlog: m1..m4 then m5..m9.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := b.QueueStats("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Ready == total-1 && st.Unacked == 0 && st.Consumers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session buffer not restored: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Session B drains the buffer: original order, each exactly once,
+	// the previously-delivered prefix flagged redelivered.
+	subB, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = subB.Close() })
+	rcB, err := subB.Consume("q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < total; i++ {
+		select {
+		case d := <-rcB.C():
+			if string(d.Body) != fmt.Sprintf("m%d", i) {
+				t.Fatalf("drain position %d = %q, want m%d (order lost)", i, d.Body, i)
+			}
+			if redelivered := i <= 4; d.Redelivered != redelivered {
+				t.Fatalf("m%d Redelivered = %v, want %v", i, d.Redelivered, redelivered)
+			}
+			if err := rcB.Ack(d.Tag); err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("drain missing m%d", i)
+		}
+	}
+	select {
+	case d := <-rcB.C():
+		t.Fatalf("duplicate delivery %q after full drain", d.Body)
+	case <-time.After(50 * time.Millisecond):
+	}
+	st, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready != 0 || st.Unacked != 0 {
+		t.Fatalf("queue not empty after drain: %+v", st)
+	}
+}
