@@ -122,11 +122,22 @@ func run() error {
 			return fmt.Errorf("http server: %w", err)
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful drain, in dependency order: flip the admission layer to
+	// draining first (new API requests get 503 + Retry-After while the
+	// health probe stays green for the load balancer), then drain
+	// in-flight HTTP, then the ingest loop and jobs, then the broker
+	// sessions, and only then flush the final snapshot — after every
+	// writer has stopped.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	server.Guard.SetDraining(true)
 	if err := httpServer.Shutdown(ctx); err != nil {
 		return err
 	}
+	if err := server.ShutdownContext(ctx); err != nil {
+		fmt.Printf("goflow-server: ingest drain: %v\n", err)
+	}
+	mqServer.Close()
 	if *dataPath != "" {
 		if err := store.SaveFile(*dataPath); err != nil {
 			return fmt.Errorf("save snapshot: %w", err)

@@ -1,0 +1,122 @@
+package docstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func fillCollection(t *testing.T, c *Collection, n int) {
+	t.Helper()
+	docs := make([]Doc, 0, n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, Doc{"seq": i, "zone": fmt.Sprintf("z%d", i%4)})
+	}
+	if _, err := c.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindIDsContextAlreadyCancelled(t *testing.T) {
+	c := NewStore().Collection("obs")
+	fillCollection(t, c, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.FindIDsContext(ctx, Doc{"zone": "z0"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindIDsContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, err := c.CountContext(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, err := c.FindContext(ctx, Doc{"zone": "z0"}, FindOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindContext(cancelled) = %v, want context.Canceled", err)
+	}
+}
+
+// TestScanCancelledMidway proves the scan aborts while holding the read
+// lock: a Predicate blocks the scan until the deadline has certainly
+// expired, then the next periodic check surfaces DeadlineExceeded.
+func TestScanCancelledMidway(t *testing.T) {
+	c := NewStore().Collection("obs")
+	fillCollection(t, c, 2*scanCtxCheckEvery)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+
+	calls := 0
+	slow := Predicate(func(v any) bool {
+		calls++
+		if calls == 1 {
+			<-ctx.Done() // deterministically outlive the deadline
+		}
+		return true
+	})
+	_, err := c.FindContext(ctx, Doc{"seq": slow}, FindOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("FindContext past deadline = %v, want context.DeadlineExceeded", err)
+	}
+	if calls > scanCtxCheckEvery+1 {
+		t.Fatalf("scan visited %d docs after expiry, want <= %d", calls, scanCtxCheckEvery+1)
+	}
+
+	// The lock was released on abort: writes proceed.
+	if _, err := c.Insert(Doc{"seq": -1}); err != nil {
+		t.Fatalf("Insert after aborted scan: %v", err)
+	}
+}
+
+// TestScanCancelledOnIndexPath covers the index-candidate loop's
+// periodic check.
+func TestScanCancelledOnIndexPath(t *testing.T) {
+	c := NewStore().Collection("obs")
+	c.EnsureIndex("zone")
+	docs := make([]Doc, 0, 2*scanCtxCheckEvery)
+	for i := 0; i < 2*scanCtxCheckEvery; i++ {
+		docs = append(docs, Doc{"seq": i, "zone": "z0"})
+	}
+	if _, err := c.InsertMany(docs); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	slow := Predicate(func(v any) bool {
+		cancel() // first matcher call cancels; a later check aborts
+		return true
+	})
+	_, err := c.FindIDsContext(ctx, Doc{"zone": "z0", "seq": slow})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("indexed FindIDsContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestPredicateFilter(t *testing.T) {
+	c := NewStore().Collection("obs")
+	fillCollection(t, c, 8)
+	even := Predicate(func(v any) bool {
+		n, ok := v.(int)
+		return ok && n%2 == 0
+	})
+	ids, err := c.FindIDs(Doc{"seq": even})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("predicate matched %d docs, want 4", len(ids))
+	}
+	// Absent field: predicate sees nil.
+	sawNil := false
+	_, err = c.FindIDs(Doc{"missing": Predicate(func(v any) bool {
+		if v == nil {
+			sawNil = true
+		}
+		return false
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawNil {
+		t.Fatal("predicate on missing field never saw nil")
+	}
+}

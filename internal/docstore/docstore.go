@@ -7,6 +7,7 @@
 package docstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -325,12 +326,20 @@ func (c *Collection) DeleteMany(filter Doc) (int, error) {
 // Count returns the number of documents matching filter (nil matches
 // all).
 func (c *Collection) Count(filter Doc) (int, error) {
+	return c.CountContext(context.Background(), filter)
+}
+
+// CountContext is Count with scan cancellation; see FindIDsContext.
+func (c *Collection) CountContext(ctx context.Context, filter Doc) (int, error) {
 	if len(filter) == 0 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		c.mu.RLock()
 		defer c.mu.RUnlock()
 		return len(c.docs), nil
 	}
-	ids, err := c.FindIDs(filter)
+	ids, err := c.FindIDsContext(ctx, filter)
 	if err != nil {
 		return 0, err
 	}
@@ -339,22 +348,39 @@ func (c *Collection) Count(filter Doc) (int, error) {
 
 // FindIDs returns the ids of matching documents in insertion order.
 func (c *Collection) FindIDs(filter Doc) ([]string, error) {
+	return c.FindIDsContext(context.Background(), filter)
+}
+
+// FindIDsContext is FindIDs with cancellation: the scan checks ctx
+// periodically (every scanCtxCheckEvery documents) and aborts with
+// ctx.Err() once the context ends, so a slow query cannot hold the
+// collection read lock past its caller's deadline.
+func (c *Collection) FindIDsContext(ctx context.Context, filter Doc) ([]string, error) {
 	h := c.h()
 	if h == nil || h.Query == nil {
-		ids, _, err := c.findIDs(filter)
+		ids, _, err := c.findIDs(ctx, filter)
 		return ids, err
 	}
 	start := time.Now()
-	ids, indexUsed, err := c.findIDs(filter)
+	ids, indexUsed, err := c.findIDs(ctx, filter)
 	h.Query(c.name, time.Since(start), indexUsed)
 	return ids, err
 }
 
+// scanCtxCheckEvery is how many scanned documents pass between context
+// checks — a power of two so the check compiles to a mask, frequent
+// enough that an expired deadline stops a scan within a few thousand
+// matcher calls.
+const scanCtxCheckEvery = 256
+
 // findIDs implements FindIDs and additionally reports whether a
 // secondary index pruned the scan.
-func (c *Collection) findIDs(filter Doc) ([]string, bool, error) {
+func (c *Collection) findIDs(ctx context.Context, filter Doc) ([]string, bool, error) {
 	m, err := compileFilter(filter)
 	if err != nil {
+		return nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
 	c.mu.RLock()
@@ -363,7 +389,12 @@ func (c *Collection) findIDs(filter Doc) ([]string, bool, error) {
 	// Use an equality index when the filter pins an indexed field.
 	if ids, ok := c.indexCandidatesLocked(filter); ok {
 		out := make([]string, 0, len(ids))
-		for _, id := range ids {
+		for i, id := range ids {
+			if i&(scanCtxCheckEvery-1) == scanCtxCheckEvery-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, true, err
+				}
+			}
 			if d, exists := c.docs[id]; exists && m.matches(d) {
 				out = append(out, id)
 			}
@@ -373,7 +404,12 @@ func (c *Collection) findIDs(filter Doc) ([]string, bool, error) {
 	}
 
 	out := make([]string, 0)
-	for _, id := range c.order {
+	for i, id := range c.order {
+		if i&(scanCtxCheckEvery-1) == scanCtxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
 		if id == "" {
 			continue
 		}
@@ -396,6 +432,9 @@ func (c *Collection) indexCandidatesLocked(filter Doc) ([]string, bool) {
 		}
 		if _, isOp := v.(map[string]any); isOp {
 			continue // operator filters scan
+		}
+		if _, isPred := v.(Predicate); isPred {
+			continue // predicates scan (funcs are not index keys)
 		}
 		ids := idx.lookup(v)
 		if best == -1 || len(ids) < best {
@@ -424,7 +463,12 @@ type FindOptions struct {
 // Find returns copies of the documents matching filter, shaped by
 // opts.
 func (c *Collection) Find(filter Doc, opts FindOptions) ([]Doc, error) {
-	ids, err := c.FindIDs(filter)
+	return c.FindContext(context.Background(), filter, opts)
+}
+
+// FindContext is Find with scan cancellation; see FindIDsContext.
+func (c *Collection) FindContext(ctx context.Context, filter Doc, opts FindOptions) ([]Doc, error) {
+	ids, err := c.FindIDsContext(ctx, filter)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,14 @@ import (
 //	    map[string]any{"accuracyM": map[string]any{"$lt": 20.0}},
 //	}}
 
+// Predicate is a filter value evaluated as an arbitrary per-document
+// test: {"field": Predicate(f)} matches when f returns true for the
+// field's value (nil when the field is absent). Predicates always
+// force a full scan — functions cannot be index keys — which also
+// makes them the hook of choice for tests that need a deterministically
+// slow scan (e.g. blocking inside f until a deadline expires).
+type Predicate func(v any) bool
+
 type matcher struct {
 	preds []fieldPred
 	// docPreds evaluate against the whole document ($or branches).
@@ -74,6 +82,12 @@ func compileFilter(filter Doc) (*matcher, error) {
 				return nil, err
 			}
 			m.docPreds = append(m.docPreds, pred)
+			continue
+		}
+		if pred, isPred := cond.(Predicate); isPred {
+			m.preds = append(m.preds, fieldPred{field, func(v any, _ bool) bool {
+				return pred(v)
+			}})
 			continue
 		}
 		opDoc, isOp := cond.(map[string]any)

@@ -1,6 +1,7 @@
 package goflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -194,7 +195,15 @@ func (q Query) toFilter() docstore.Doc {
 // Retrieve returns matching observation documents sorted by sensing
 // time.
 func (dm *DataManager) Retrieve(q Query) ([]docstore.Doc, error) {
-	docs, err := dm.store.Collection(ObservationsCollection).Find(q.toFilter(), docstore.FindOptions{
+	return dm.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext is Retrieve bounded by ctx: the deadline propagates
+// into the docstore scan, so a query outliving its HTTP handler (or
+// the admission timeout) is cancelled instead of holding the
+// collection lock to completion.
+func (dm *DataManager) RetrieveContext(ctx context.Context, q Query) ([]docstore.Doc, error) {
+	docs, err := dm.store.Collection(ObservationsCollection).FindContext(ctx, q.toFilter(), docstore.FindOptions{
 		SortField: "sensedAt",
 		Skip:      q.Skip,
 		Limit:     q.Limit,
@@ -207,15 +216,25 @@ func (dm *DataManager) Retrieve(q Query) ([]docstore.Doc, error) {
 
 // Count returns the number of matching observations.
 func (dm *DataManager) Count(q Query) (int, error) {
-	return dm.store.Collection(ObservationsCollection).Count(q.toFilter())
+	return dm.CountContext(context.Background(), q)
+}
+
+// CountContext is Count bounded by ctx.
+func (dm *DataManager) CountContext(ctx context.Context, q Query) (int, error) {
+	return dm.store.Collection(ObservationsCollection).CountContext(ctx, q.toFilter())
 }
 
 // RetrieveShared returns matching observations of appID as visible to
 // requestingApp under the owning app's open-data policy: foreign apps
 // see only the declared shared fields and never the contributor id.
 func (dm *DataManager) RetrieveShared(ownerApp, requestingApp string, q Query) ([]docstore.Doc, error) {
+	return dm.RetrieveSharedContext(context.Background(), ownerApp, requestingApp, q)
+}
+
+// RetrieveSharedContext is RetrieveShared bounded by ctx.
+func (dm *DataManager) RetrieveSharedContext(ctx context.Context, ownerApp, requestingApp string, q Query) ([]docstore.Doc, error) {
 	q.AppID = ownerApp
-	docs, err := dm.Retrieve(q)
+	docs, err := dm.RetrieveContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}

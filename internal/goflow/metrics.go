@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
 )
@@ -50,9 +51,23 @@ type Metrics struct {
 	opDuration *obs.HistogramVec
 	queries    *obs.CounterVec
 
+	// Broker flow control and overflow accounting.
+	flowPaused      *obs.CounterVec
+	flowResumed     *obs.CounterVec
+	flowPausedNow   *obs.Gauge
+	droppedOverflow *obs.CounterVec
+
 	// Ingest pipeline.
 	ingested *obs.CounterVec
 	rejected *obs.Counter
+
+	// REST admission guards.
+	guardAdmitted *obs.CounterVec
+	guardRejected *obs.CounterVec
+	guardLatency  *obs.HistogramVec
+	guardInflight *obs.GaugeVec
+	guardP99      *obs.Gauge
+	breakerState  *obs.Gauge
 }
 
 // NewMetrics builds the GoFlow metric families on reg. Call
@@ -103,10 +118,30 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Document store operation latency.", nil, "collection", "op"),
 		queries: reg.CounterVec("docstore_queries_total",
 			"Queries by collection and index outcome.", "collection", "index"),
+		flowPaused: reg.CounterVec("mq_flow_paused_total",
+			"Queue flow pauses at the high watermark, by queue class.", "queue"),
+		flowResumed: reg.CounterVec("mq_flow_resumed_total",
+			"Queue flow resumes at the low watermark, by queue class.", "queue"),
+		flowPausedNow: reg.Gauge("mq_flow_paused",
+			"Queues currently pausing their publishers."),
+		droppedOverflow: reg.CounterVec("mq_dropped_overflow_total",
+			"Messages dropped to MaxLen overflow, by queue class.", "queue"),
 		ingested: reg.CounterVec("goflow_ingested_total",
 			"Observations stored by the ingest pipeline, by app.", "app"),
 		rejected: reg.Counter("goflow_rejected_total",
 			"Deliveries the ingest pipeline rejected."),
+		guardAdmitted: reg.CounterVec("guard_admitted_total",
+			"API requests admitted past every guard, by priority class.", "class"),
+		guardRejected: reg.CounterVec("guard_rejected_total",
+			"API requests refused by an admission guard, by class and guard.", "class", "reason"),
+		guardLatency: reg.HistogramVec("guard_latency_seconds",
+			"Handler latency of admitted requests, by priority class.", nil, "class"),
+		guardInflight: reg.GaugeVec("guard_inflight",
+			"Admitted, unfinished API requests, by priority class.", "class"),
+		guardP99: reg.Gauge("guard_p99_seconds",
+			"Moving-window p99 handler latency driving the load shedder."),
+		breakerState: reg.Gauge("guard_breaker_state",
+			"Query-path circuit breaker state (0 closed, 1 half-open, 2 open)."),
 	}
 }
 
@@ -198,6 +233,9 @@ func (m *Metrics) InstrumentBroker(b *mq.Broker) {
 	nacked := queueClassed(m.nacked)
 	dropped := queueClassed(m.dropped)
 	expired := queueClassed(m.expired)
+	overflowed := queueClassed(m.droppedOverflow)
+	flowPaused := queueClassed(m.flowPaused)
+	flowResumed := queueClassed(m.flowResumed)
 	b.SetHooks(mq.Hooks{
 		Published: func(exchange string, n int) {
 			published.forExchange(exchange).Inc()
@@ -211,10 +249,13 @@ func (m *Metrics) InstrumentBroker(b *mq.Broker) {
 		Nacked: func(q string, requeue bool) {
 			nacked.forQueue(q).Inc()
 		},
-		Dropped: func(q string) { dropped.forQueue(q).Inc() },
+		Dropped:    func(q string) { dropped.forQueue(q).Inc() },
+		Overflowed: func(q string) { overflowed.forQueue(q).Inc() },
 		Expired: func(q string, n int) {
 			expired.forQueue(q).Add(uint64(n))
 		},
+		FlowPaused:            func(q string) { flowPaused.forQueue(q).Inc() },
+		FlowResumed:           func(q string) { flowResumed.forQueue(q).Inc() },
 		ConnOpened:            func() { m.conns.Inc() },
 		ConnClosed:            func() { m.conns.Dec() },
 		BytesRead:             func(n int) { m.bytesIn.Add(uint64(n)) },
@@ -240,6 +281,38 @@ func (m *Metrics) InstrumentBroker(b *mq.Broker) {
 		for _, cls := range []string{"goflow", "client", "other"} {
 			m.queueReady.With(cls).Set(ready[cls])
 			m.queueCount.With(cls).Set(count[cls])
+		}
+		m.flowPausedNow.Set(float64(len(b.PausedQueues())))
+	})
+}
+
+// InstrumentAdmission feeds the guard_* families from the REST
+// admission chain's decision hooks and samples the shedder p99,
+// per-class in-flight gauges and breaker state at collect time.
+func (m *Metrics) InstrumentAdmission(a *Admission) {
+	a.SetHooks(AdmissionHooks{
+		Admitted: func(c guard.Class) { m.guardAdmitted.With(c.String()).Inc() },
+		Rejected: func(c guard.Class, reason string) {
+			m.guardRejected.With(c.String(), reason).Inc()
+		},
+		Observed: func(c guard.Class, d time.Duration) {
+			m.guardLatency.With(c.String()).ObserveDuration(d)
+		},
+	})
+	m.reg.OnCollect(func() {
+		m.guardP99.Set(a.Shedder().P99().Seconds())
+		for _, c := range guard.Classes() {
+			m.guardInflight.With(c.String()).Set(float64(a.InFlight(c)))
+		}
+		if b := a.Breaker(); b != nil {
+			var v float64
+			switch b.State() {
+			case guard.BreakerHalfOpen:
+				v = 1
+			case guard.BreakerOpen:
+				v = 2
+			}
+			m.breakerState.Set(v)
 		}
 	})
 }
@@ -300,5 +373,6 @@ func Instrument(reg *obs.Registry, s *Server, store *docstore.Store) *Metrics {
 	m.InstrumentBroker(s.broker)
 	m.InstrumentStore(store)
 	m.InstrumentServer(s)
+	m.InstrumentAdmission(s.Guard)
 	return m
 }

@@ -1,13 +1,16 @@
 package goflow
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
 	"time"
 
+	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/sensing"
 )
 
 // REST API (Figure 2): clients and administrators authenticate and
@@ -36,18 +39,25 @@ func NewHTTPHandler(s *Server) http.Handler {
 	return mux
 }
 
-// register mounts the API routes on mux.
+// register mounts the API routes on mux, each behind the admission
+// chain for its priority class: ingest outranks channel/data queries,
+// which outrank analytics and export — under overload the server
+// degrades dashboards first and refuses sensed observations last.
+// The health probe is never guarded: load balancers must see a
+// draining server as alive while it finishes in-flight work.
 func (h *apiHandler) register(mux *http.ServeMux) {
+	g := h.server.Guard.Guard
 	mux.HandleFunc("GET /v1/healthz", h.health)
-	mux.HandleFunc("POST /v1/apps", h.registerApp)
-	mux.HandleFunc("POST /v1/apps/{app}/login", h.login)
-	mux.HandleFunc("POST /v1/apps/{app}/subscriptions", h.subscribe)
-	mux.HandleFunc("GET /v1/apps/{app}/observations", h.observations)
-	mux.HandleFunc("GET /v1/apps/{app}/observations/count", h.observationCount)
-	mux.HandleFunc("GET /v1/apps/{app}/observations/export", h.exportObservations)
-	mux.HandleFunc("GET /v1/apps/{app}/analytics", h.analytics)
-	mux.HandleFunc("POST /v1/apps/{app}/jobs", h.submitJob)
-	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
+	mux.HandleFunc("POST /v1/apps", g(guard.ClassQuery, h.registerApp))
+	mux.HandleFunc("POST /v1/apps/{app}/login", g(guard.ClassQuery, h.login))
+	mux.HandleFunc("POST /v1/apps/{app}/subscriptions", g(guard.ClassQuery, h.subscribe))
+	mux.HandleFunc("POST /v1/apps/{app}/observations", g(guard.ClassIngest, h.ingestObservations))
+	mux.HandleFunc("GET /v1/apps/{app}/observations", g(guard.ClassQuery, h.observations))
+	mux.HandleFunc("GET /v1/apps/{app}/observations/count", g(guard.ClassQuery, h.observationCount))
+	mux.HandleFunc("GET /v1/apps/{app}/observations/export", g(guard.ClassAnalytics, h.exportObservations))
+	mux.HandleFunc("GET /v1/apps/{app}/analytics", g(guard.ClassAnalytics, h.analytics))
+	mux.HandleFunc("POST /v1/apps/{app}/jobs", g(guard.ClassAnalytics, h.submitJob))
+	mux.HandleFunc("GET /v1/jobs/{id}", g(guard.ClassAnalytics, h.jobStatus))
 }
 
 // NewInstrumentedHTTPHandler is NewHTTPHandler plus observability: the
@@ -73,6 +83,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ErrPayloadTooLarge reports an ingest body over the configured cap.
+var ErrPayloadTooLarge = errors.New("goflow: payload too large")
+
 // writeErr maps domain errors to HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
@@ -83,6 +96,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrBadCredentials):
 		status = http.StatusUnauthorized
+	case errors.Is(err, ErrPayloadTooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		// The backend outlived its deadline: the admission timeout or
+		// client disconnect cancelled the docstore scan mid-flight.
+		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -189,6 +208,52 @@ func queryFromRequest(r *http.Request, appID string) Query {
 	return q
 }
 
+// maxIngestBytes caps an HTTP ingest body: a day of buffered
+// observations fits comfortably; anything larger is a bug or abuse.
+const maxIngestBytes = 1 << 20
+
+type ingestRequest struct {
+	ClientID     string                 `json:"clientId"`
+	Observations []*sensing.Observation `json:"observations"`
+}
+
+// ingestObservations stores a batch of sensed observations uploaded
+// over HTTP — the fallback transport for clients that cannot hold a
+// broker connection. The body is hard-capped: overload protection
+// starts at the socket, not after an unbounded read.
+func (h *apiHandler) ingestObservations(w http.ResponseWriter, r *http.Request) {
+	appID := r.PathValue("app")
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBytes)
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, ErrPayloadTooLarge)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body"})
+		return
+	}
+	if req.ClientID == "" || len(req.Observations) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "clientId and observations are required"})
+		return
+	}
+	if _, err := h.server.Accounts.App(appID); err != nil {
+		writeErr(w, err)
+		return
+	}
+	stored, err := h.server.BulkIngest(appID, req.ClientID, req.Observations)
+	if err != nil {
+		// The valid prefix is stored; report both.
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":  err.Error(),
+			"stored": stored,
+		})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"stored": stored})
+}
+
 func (h *apiHandler) observations(w http.ResponseWriter, r *http.Request) {
 	appID := r.PathValue("app")
 	q := queryFromRequest(r, appID)
@@ -199,7 +264,7 @@ func (h *apiHandler) observations(w http.ResponseWriter, r *http.Request) {
 	if requester == "" {
 		requester = appID
 	}
-	docs, err := h.server.Data.RetrieveShared(appID, requester, q)
+	docs, err := h.server.Data.RetrieveSharedContext(r.Context(), appID, requester, q)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -240,7 +305,7 @@ func (h *apiHandler) exportObservations(w http.ResponseWriter, r *http.Request) 
 
 func (h *apiHandler) observationCount(w http.ResponseWriter, r *http.Request) {
 	appID := r.PathValue("app")
-	n, err := h.server.Data.Count(queryFromRequest(r, appID))
+	n, err := h.server.Data.CountContext(r.Context(), queryFromRequest(r, appID))
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -1,6 +1,7 @@
 package goflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -25,6 +26,9 @@ type Server struct {
 	Data      *DataManager
 	Analytics *Analytics
 	Jobs      *Jobs
+	// Guard is the REST admission chain; every API route except the
+	// health probe passes through it.
+	Guard *Admission
 
 	broker *mq.Broker
 	clock  simclock.Clock
@@ -60,6 +64,9 @@ type ServerConfig struct {
 	Clock simclock.Clock
 	// MaxConcurrentJobs bounds background-job parallelism.
 	MaxConcurrentJobs int
+	// Admission parameterizes the REST overload guards; the zero
+	// value enables every guard with defaults.
+	Admission AdmissionConfig
 }
 
 // NewServer builds a server and provisions the GoFlow broker
@@ -96,6 +103,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Data:      dm,
 		Analytics: NewAnalytics(),
 		Jobs:      NewJobs(dm, cfg.MaxConcurrentJobs),
+		Guard:     NewAdmission(cfg.Admission),
 		broker:    cfg.Broker,
 		clock:     cfg.Clock,
 	}
@@ -262,8 +270,21 @@ func (s *Server) WaitIdle(timeout time.Duration) error {
 	}
 }
 
-// Shutdown stops the ingest loop and background jobs.
+// Shutdown stops the ingest loop and background jobs, waiting as long
+// as it takes. Use ShutdownContext to bound the drain.
 func (s *Server) Shutdown() {
+	_ = s.ShutdownContext(context.Background())
+}
+
+// ShutdownContext drains the server gracefully: the admission layer
+// flips to draining (new API requests get 503 + Retry-After while the
+// health probe stays green), the ingest consumer is cancelled and its
+// loop waited for, and background jobs are stopped. A ctx that ends
+// before the ingest loop drains returns ctx.Err() with the consumer
+// already cancelled — the loop finishes in the background, and
+// unacked deliveries are requeued by the broker either way.
+func (s *Server) ShutdownContext(ctx context.Context) error {
+	s.Guard.SetDraining(true)
 	s.mu.Lock()
 	consumer := s.consumer
 	done := s.done
@@ -272,7 +293,12 @@ func (s *Server) Shutdown() {
 	s.mu.Unlock()
 	if consumer != nil {
 		consumer.Cancel()
-		<-done
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	s.Jobs.Shutdown()
+	return nil
 }

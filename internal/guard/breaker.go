@@ -1,0 +1,212 @@
+package guard
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker state.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: traffic flows, failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused until the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a limited number of probe requests test the
+	// dependency; success re-closes, failure re-opens.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer; values double as metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterises a circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that
+	// trips the breaker open. Defaults to 5.
+	FailureThreshold int
+	// OpenFor is the base cool-down spent open before probing.
+	// Defaults to 5s.
+	OpenFor time.Duration
+	// Jitter is the maximum extra cool-down added on each trip,
+	// drawn from a seeded source so overload runs replay exactly —
+	// the same determinism convention as internal/faults. Zero means
+	// no jitter.
+	Jitter time.Duration
+	// Seed seeds the jitter source. The same (Seed, trip sequence)
+	// yields the same cool-downs.
+	Seed int64
+	// HalfOpenProbes is how many concurrent probes half-open admits.
+	// Defaults to 1.
+	HalfOpenProbes int
+	// Now overrides the clock for tests. Defaults to time.Now.
+	Now func() time.Time
+	// OnStateChange, when non-nil, observes transitions. Called
+	// outside the breaker lock; must be fast and must not call back
+	// into the breaker.
+	OnStateChange func(from, to BreakerState)
+}
+
+// Breaker is a generic closed/open/half-open circuit breaker. Callers
+// bracket each protected operation with Allow and Record:
+//
+//	if err := b.Allow(); err != nil { return err }
+//	err := op()
+//	b.Record(err == nil)
+type Breaker struct {
+	cfg BreakerConfig
+	rng *rand.Rand // guarded by mu
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openUntil time.Time
+	probes    int // in-flight half-open probes
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 5 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// State returns the current state, advancing open→half-open if the
+// cool-down has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	transition := b.advanceLocked(b.cfg.Now())
+	st := b.state
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+	return st
+}
+
+// Allow reports whether a protected call may proceed. In the open
+// state it returns a *Rejection wrapping ErrBreakerOpen whose
+// RetryAfter is the remaining cool-down. In half-open it admits up to
+// HalfOpenProbes concurrent probes and rejects the rest.
+func (b *Breaker) Allow() error {
+	now := b.cfg.Now()
+	b.mu.Lock()
+	transition := b.advanceLocked(now)
+	var err error
+	switch b.state {
+	case BreakerClosed:
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+		} else {
+			err = Reject(ErrBreakerOpen, b.cfg.OpenFor)
+		}
+	default: // BreakerOpen
+		wait := b.openUntil.Sub(now)
+		if wait < 0 {
+			wait = 0
+		}
+		err = Reject(ErrBreakerOpen, wait)
+	}
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+	return err
+}
+
+// Record reports the outcome of a call previously admitted by Allow.
+func (b *Breaker) Record(ok bool) {
+	now := b.cfg.Now()
+	b.mu.Lock()
+	var transition func()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+		} else {
+			b.failures++
+			if b.failures >= b.cfg.FailureThreshold {
+				transition = b.tripLocked(now)
+			}
+		}
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			from := b.state
+			b.state = BreakerClosed
+			b.failures = 0
+			b.probes = 0
+			transition = b.notify(from, BreakerClosed)
+		} else {
+			transition = b.tripLocked(now)
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; outcome is stale.
+	}
+	b.mu.Unlock()
+	if transition != nil {
+		transition()
+	}
+}
+
+// tripLocked moves to open and schedules the next probe window with
+// seeded jitter. Returns the deferred state-change notification.
+func (b *Breaker) tripLocked(now time.Time) func() {
+	from := b.state
+	b.state = BreakerOpen
+	b.failures = 0
+	b.probes = 0
+	cool := b.cfg.OpenFor
+	if b.cfg.Jitter > 0 {
+		cool += time.Duration(b.rng.Int63n(int64(b.cfg.Jitter)))
+	}
+	b.openUntil = now.Add(cool)
+	return b.notify(from, BreakerOpen)
+}
+
+// advanceLocked moves open→half-open once the cool-down has elapsed,
+// returning the state-change notification for the caller to run after
+// unlocking (nil when no transition happened).
+func (b *Breaker) advanceLocked(now time.Time) func() {
+	if b.state == BreakerOpen && !now.Before(b.openUntil) {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+		return b.notify(BreakerOpen, BreakerHalfOpen)
+	}
+	return nil
+}
+
+func (b *Breaker) notify(from, to BreakerState) func() {
+	cb := b.cfg.OnStateChange
+	if cb == nil || from == to {
+		return nil
+	}
+	return func() { cb(from, to) }
+}

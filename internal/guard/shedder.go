@@ -1,0 +1,141 @@
+package guard
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShedderConfig parameterises the adaptive load shedder.
+type ShedderConfig struct {
+	// Target is the p99 latency the server tries to hold. When the
+	// moving p99 exceeds Target the shedder starts refusing the least
+	// important class; each further multiple of Target sheds the next
+	// class up. Ingest is only shed beyond numClasses*Target — i.e.
+	// last, per the "never drop sensed observations until last" rule.
+	Target time.Duration
+	// Window is the moving window over which p99 is computed.
+	// Defaults to 10s.
+	Window time.Duration
+	// MinSamples is the minimum number of observations in the window
+	// before the shedder acts; below it everything is admitted.
+	// Defaults to 20.
+	MinSamples int
+	// RetryAfter is the back-off hint attached to shed decisions.
+	// Defaults to 1s.
+	RetryAfter time.Duration
+	// Now overrides the clock for tests. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Shedder is an adaptive load shedder driven by a moving p99-latency
+// signal. Handlers report their latency through Observe; Admit refuses
+// work class by class as the p99 climbs past multiples of the target,
+// always degrading analytics first and ingest last.
+type Shedder struct {
+	cfg ShedderConfig
+
+	mu      sync.Mutex
+	samples []latencySample // ring-ish: pruned by time on each touch
+}
+
+type latencySample struct {
+	at time.Time
+	d  time.Duration
+}
+
+// NewShedder builds a shedder. A zero Target disables shedding: Admit
+// always accepts.
+func NewShedder(cfg ShedderConfig) *Shedder {
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Second
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Shedder{cfg: cfg}
+}
+
+// Observe records one request latency into the moving window.
+func (s *Shedder) Observe(d time.Duration) {
+	if s.cfg.Target <= 0 {
+		return
+	}
+	now := s.cfg.Now()
+	s.mu.Lock()
+	s.pruneLocked(now)
+	s.samples = append(s.samples, latencySample{at: now, d: d})
+	s.mu.Unlock()
+}
+
+// Admit reports whether work of class c should run now. On rejection
+// the error is a *Rejection wrapping ErrOverloaded with a RetryAfter
+// hint.
+func (s *Shedder) Admit(c Class) error {
+	if s.cfg.Target <= 0 {
+		return nil
+	}
+	p99 := s.P99()
+	if p99 <= 0 {
+		return nil
+	}
+	// Pressure 1 sheds the least important class (analytics), 2 also
+	// sheds queries, 3 sheds everything including ingest.
+	pressure := int(p99 / s.cfg.Target)
+	if pressure <= 0 {
+		return nil
+	}
+	if pressure > numClasses {
+		pressure = numClasses
+	}
+	// Class c is shed when its rank from the bottom (< pressure).
+	// Analytics has rank 0, query 1, ingest 2.
+	rank := numClasses - 1 - int(c)
+	if rank < pressure {
+		return Reject(ErrOverloaded, s.cfg.RetryAfter)
+	}
+	return nil
+}
+
+// P99 returns the current moving-window p99 latency, or 0 when the
+// window holds fewer than MinSamples observations.
+func (s *Shedder) P99() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked(s.cfg.Now())
+	n := len(s.samples)
+	if n < s.cfg.MinSamples {
+		return 0
+	}
+	// Copy-and-sort: windows are small (bounded by request rate *
+	// Window) and Admit is consulted once per request, so simplicity
+	// beats quickselect.
+	ds := make([]time.Duration, n)
+	for i, smp := range s.samples {
+		ds[i] = smp.d
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	// Nearest-rank p99: ceil(0.99*n)-th smallest.
+	idx := (n*99+99)/100 - 1
+	if idx >= n {
+		idx = n - 1
+	}
+	return ds[idx]
+}
+
+func (s *Shedder) pruneLocked(now time.Time) {
+	cutoff := now.Add(-s.cfg.Window)
+	i := 0
+	for i < len(s.samples) && s.samples[i].at.Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		s.samples = append(s.samples[:0], s.samples[i:]...)
+	}
+}

@@ -191,6 +191,12 @@ type Broker struct {
 	dedup     *publishDedup
 	dedupHits atomic.Uint64
 
+	// Flow-control state (flow.go): subscribers receiving watermark
+	// pause/resume transitions and the currently-paused queue set.
+	flowMu       sync.Mutex
+	flowSubs     map[*FlowSub]struct{}
+	pausedQueues map[string]struct{}
+
 	hooks atomic.Pointer[Hooks]
 }
 
@@ -279,7 +285,7 @@ func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
 	if _, ok := b.queues[name]; ok {
 		return nil
 	}
-	b.queues[name] = newQueue(name, opts, &b.hooks)
+	b.queues[name] = newQueue(name, opts, &b.hooks, b.notifyFlow)
 	b.invalidateRoutes()
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,12 @@ const (
 // nacked back to the queue.
 const maxOrphanedDeliveries = 256
 
+// defaultFlowWait bounds how long a publish waits for a paused queue
+// to resume before proceeding anyway. Flow control is advisory — it
+// spreads bursts out, it must never deadlock a publisher against a
+// broker whose consumers died.
+const defaultFlowWait = 2 * time.Second
+
 // transport is one TCP session under a Conn. A resilient Conn runs a
 // sequence of transports; done closes when the transport's read loop
 // exits, releasing any RPC parked on it.
@@ -77,6 +84,14 @@ type Conn struct {
 	journal     []journalEntry
 	closeErr    error
 	connected   chan struct{} // closed whenever state == stateConnected
+
+	// Flow control (server-pushed opFlow frames): the set of queues
+	// asking publishers to pause and a channel closed when the set
+	// empties. Publishes gate on it for up to flowWait before
+	// proceeding anyway (advisory backpressure never deadlocks).
+	flowPaused map[string]struct{}
+	flowResume chan struct{}
+	flowWait   time.Duration
 
 	closeOnce sync.Once
 	closedCh  chan struct{} // closed on Close / permanent failure
@@ -118,6 +133,8 @@ func dialConn(addr string, cfg *ReconnectConfig) (*Conn, error) {
 	}
 	connected := make(chan struct{})
 	close(connected)
+	flowResume := make(chan struct{})
+	close(flowResume)
 	c := &Conn{
 		addr:        addr,
 		cfg:         cfg,
@@ -127,6 +144,9 @@ func dialConn(addr string, cfg *ReconnectConfig) (*Conn, error) {
 		orphans:     make(map[uint64][]Delivery),
 		connected:   connected,
 		closedCh:    make(chan struct{}),
+		flowPaused:  make(map[string]struct{}),
+		flowResume:  flowResume,
+		flowWait:    defaultFlowWait,
 		tokenPrefix: strconv.FormatInt(time.Now().UnixNano(), 36) + "." +
 			strconv.FormatUint(_connNonce.Add(1), 36),
 	}
@@ -206,6 +226,7 @@ func (c *Conn) failAllLocked(err error) {
 	c.consumerSet = make(map[*RemoteConsumer]struct{})
 	c.consumers = make(map[uint64]*RemoteConsumer)
 	c.orphans = make(map[uint64][]Delivery)
+	c.clearFlowLocked()
 	c.mu.Unlock()
 	c.closeOnce.Do(func() { close(c.closedCh) })
 	for _, ch := range pending {
@@ -240,6 +261,9 @@ func (c *Conn) transportBroken(tr *transport, cause error) {
 	// requeues its unacked messages, so dropping the local copies
 	// cannot lose anything.
 	c.orphans = make(map[uint64][]Delivery)
+	// Pause state died with the session too; the next connection gets
+	// a fresh snapshot right after accept.
+	c.clearFlowLocked()
 	c.wg.Add(1) // under the lock, same ordering argument as installTransport
 	c.mu.Unlock()
 	_ = tr.nc.Close()
@@ -260,6 +284,18 @@ func (c *Conn) readLoop(tr *transport) {
 			return
 		}
 		switch f.Op {
+		case opFlow:
+			c.mu.Lock()
+			changed := c.applyFlowLocked(f.Queue, f.Paused)
+			c.mu.Unlock()
+			if changed {
+				h := c.hooks.Load()
+				if f.Paused {
+					h.flowPaused(f.Queue)
+				} else {
+					h.flowResumed(f.Queue)
+				}
+			}
 		case opDeliver:
 			d := Delivery{
 				Message: Message{
@@ -304,6 +340,84 @@ func (c *Conn) readLoop(tr *transport) {
 			}
 		}
 	}
+}
+
+// applyFlowLocked updates the paused-queue set, maintaining the
+// invariant that flowResume is a closed channel exactly when the set
+// is empty. Returns whether the state actually changed. Caller holds
+// c.mu.
+func (c *Conn) applyFlowLocked(queue string, paused bool) bool {
+	if paused {
+		if _, ok := c.flowPaused[queue]; ok {
+			return false
+		}
+		if len(c.flowPaused) == 0 {
+			c.flowResume = make(chan struct{})
+		}
+		c.flowPaused[queue] = struct{}{}
+		return true
+	}
+	if _, ok := c.flowPaused[queue]; !ok {
+		return false
+	}
+	delete(c.flowPaused, queue)
+	if len(c.flowPaused) == 0 {
+		close(c.flowResume)
+	}
+	return true
+}
+
+// clearFlowLocked forgets all pause state and releases gated
+// publishers — the session the pauses belonged to is gone; the server
+// re-sends a snapshot on the next connection. Caller holds c.mu.
+func (c *Conn) clearFlowLocked() {
+	if len(c.flowPaused) > 0 {
+		c.flowPaused = make(map[string]struct{})
+		close(c.flowResume)
+	}
+}
+
+// flowGate holds a publish while the broker has any queue paused, up
+// to flowWait. The gate is advisory: on timeout (or a closed conn) the
+// publish proceeds and takes its chances with the queue's MaxLen.
+func (c *Conn) flowGate() {
+	c.mu.Lock()
+	ch := c.flowResume
+	wait := c.flowWait
+	c.mu.Unlock()
+	select {
+	case <-ch:
+		return
+	default:
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	case <-c.closedCh:
+	}
+}
+
+// FlowPausedQueues returns the queues currently asking publishers to
+// pause, sorted (snapshot for tests and gauges).
+func (c *Conn) FlowPausedQueues() []string {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.flowPaused))
+	for q := range c.flowPaused {
+		names = append(names, q)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// SetFlowWait overrides how long publishes wait on flow pause before
+// proceeding (default 2s). Zero or negative means do not wait.
+func (c *Conn) SetFlowWait(d time.Duration) {
+	c.mu.Lock()
+	c.flowWait = d
+	c.mu.Unlock()
 }
 
 // sendNoReply writes a frame without a correlation id; the server's
@@ -423,19 +537,23 @@ func (c *Conn) DeleteExchange(name string) error {
 // DeclareQueue declares a remote queue.
 func (c *Conn) DeclareQueue(name string, opts QueueOptions) error {
 	_, err := c.rpc(&frame{
-		Op:        opDeclareQueue,
-		Queue:     name,
-		MaxLen:    opts.MaxLen,
-		TTLMillis: opts.TTL.Milliseconds(),
-		Exclusive: opts.Exclusive,
+		Op:            opDeclareQueue,
+		Queue:         name,
+		MaxLen:        opts.MaxLen,
+		TTLMillis:     opts.TTL.Milliseconds(),
+		Exclusive:     opts.Exclusive,
+		HighWatermark: opts.HighWatermark,
+		LowWatermark:  opts.LowWatermark,
 	})
 	if err == nil {
 		c.journalAdd(journalEntry{
-			op:        opDeclareQueue,
-			queue:     name,
-			maxLen:    opts.MaxLen,
-			ttlMillis: opts.TTL.Milliseconds(),
-			exclusive: opts.Exclusive,
+			op:            opDeclareQueue,
+			queue:         name,
+			maxLen:        opts.MaxLen,
+			ttlMillis:     opts.TTL.Milliseconds(),
+			exclusive:     opts.Exclusive,
+			highWatermark: opts.HighWatermark,
+			lowWatermark:  opts.LowWatermark,
 		})
 	}
 	return err

@@ -1,0 +1,340 @@
+package mq
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueWatermarkTransitions drives the ready depth across the
+// watermarks broker-side and checks the hook + subscription events.
+func TestQueueWatermarkTransitions(t *testing.T) {
+	b := NewBroker()
+	var paused, resumed atomic.Int64
+	b.SetHooks(Hooks{
+		FlowPaused:  func(q string) { paused.Add(1) },
+		FlowResumed: func(q string) { resumed.Add(1) },
+	})
+	sub := b.SubscribeFlow()
+	defer b.UnsubscribeFlow(sub)
+
+	if err := b.DeclareExchange("x", Direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{HighWatermark: 4, LowWatermark: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BindQueue("q", "x", "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3 messages: below the high watermark, no pause.
+	for i := 0; i < 3; i++ {
+		if _, err := b.Publish("x", "k", nil, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := paused.Load(); got != 0 {
+		t.Fatalf("paused fired %d times below watermark", got)
+	}
+	// 4th message reaches the high watermark: one pause.
+	if _, err := b.Publish("x", "k", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if got := paused.Load(); got != 1 {
+		t.Fatalf("paused fired %d times at watermark, want 1", got)
+	}
+	if got := b.PausedQueues(); len(got) != 1 || got[0] != "q" {
+		t.Fatalf("PausedQueues = %v, want [q]", got)
+	}
+	// More publishes while paused do not re-fire.
+	if _, err := b.Publish("x", "k", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if got := paused.Load(); got != 1 {
+		t.Fatalf("paused re-fired while already paused: %d", got)
+	}
+
+	// Drain via Get+Ack down to the low watermark: one resume.
+	for i := 0; i < 3; i++ {
+		d, found, err := b.Get("q")
+		if err != nil || !found {
+			t.Fatalf("get %d: found=%v err=%v", i, found, err)
+		}
+		if err := b.AckGet("q", d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := resumed.Load(); got != 1 {
+		t.Fatalf("resumed fired %d times at low watermark, want 1", got)
+	}
+	if got := b.PausedQueues(); len(got) != 0 {
+		t.Fatalf("PausedQueues after resume = %v, want empty", got)
+	}
+
+	// The subscription coalesced to the latest state: resumed.
+	select {
+	case <-sub.C():
+	default:
+		t.Fatal("flow subscription never signalled")
+	}
+	events := sub.Drain()
+	if len(events) != 1 || events[0].Queue != "q" || events[0].Paused {
+		t.Fatalf("coalesced events = %+v, want [{q false}]", events)
+	}
+}
+
+// TestFlowRoundTripOnWire proves the pause/resume round-trips to a
+// client: the publisher observes FlowPaused at the high watermark and
+// FlowResumed after the consumer drains to the low watermark.
+func TestFlowRoundTripOnWire(t *testing.T) {
+	b := NewBroker()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pub, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.SetFlowWait(time.Millisecond) // the test asserts state, not blocking
+
+	if err := pub.DeclareExchange("x", Direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.DeclareQueue("q", QueueOptions{HighWatermark: 8, LowWatermark: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.BindQueue("q", "x", "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 8; i++ {
+		if _, err := pub.Publish("x", "k", nil, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "publisher observes pause", func() bool {
+		q := pub.FlowPausedQueues()
+		return len(q) == 1 && q[0] == "q"
+	})
+
+	// Drain via Get/Ack on a second connection until the low watermark.
+	drain, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain.Close()
+	for i := 0; i < 4; i++ {
+		d, found, err := drain.Get("q")
+		if err != nil || !found {
+			t.Fatalf("get %d: found=%v err=%v", i, found, err)
+		}
+		if err := drain.Ack("q", d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "publisher observes resume", func() bool {
+		return len(pub.FlowPausedQueues()) == 0
+	})
+}
+
+// TestFlowSnapshotOnConnect: a connection dialed while a queue is
+// already paused learns the state without waiting for a transition.
+func TestFlowSnapshotOnConnect(t *testing.T) {
+	b := NewBroker()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := b.DeclareExchange("x", Direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{HighWatermark: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BindQueue("q", "x", "k"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Publish("x", "k", nil, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.PausedQueues(); len(got) != 1 {
+		t.Fatalf("queue not paused broker-side: %v", got)
+	}
+
+	late, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	waitFor(t, "late connection got the snapshot", func() bool {
+		q := late.FlowPausedQueues()
+		return len(q) == 1 && q[0] == "q"
+	})
+}
+
+// TestFlowGateBlocksPublish: with a long flow wait, a publish issued
+// while paused completes only after the resume arrives.
+func TestFlowGateBlocksPublish(t *testing.T) {
+	b := NewBroker()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pub, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.SetFlowWait(30 * time.Second)
+
+	if err := pub.DeclareExchange("x", Direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.DeclareQueue("q", QueueOptions{HighWatermark: 2, LowWatermark: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.BindQueue("q", "x", "k"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := pub.Publish("x", "k", nil, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "pause observed", func() bool { return len(pub.FlowPausedQueues()) == 1 })
+
+	published := make(chan error, 1)
+	go func() {
+		_, err := pub.Publish("x", "k", nil, []byte("gated"))
+		published <- err
+	}()
+	select {
+	case err := <-published:
+		t.Fatalf("publish completed while paused (err=%v), want gated", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Drain to the low watermark; the gated publish must complete.
+	drain, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain.Close()
+	d, found, err := drain.Get("q")
+	if err != nil || !found {
+		t.Fatalf("get: found=%v err=%v", found, err)
+	}
+	if err := drain.Ack("q", d.Tag); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-published:
+		if err != nil {
+			t.Fatalf("gated publish failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gated publish never completed after resume")
+	}
+}
+
+// TestOverflowHookAndRateLimitedWarn exercises the MaxLen overflow
+// accounting: the Overflowed hook fires per drop and the log warn is
+// rate-limited to one line per queue per minute.
+func TestOverflowHookAndRateLimitedWarn(t *testing.T) {
+	b := NewBroker()
+	var overflowed atomic.Int64
+	b.SetHooks(Hooks{Overflowed: func(q string) { overflowed.Add(1) }})
+
+	if err := b.DeclareExchange("x", Direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{MaxLen: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BindQueue("q", "x", "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Virtual clock on the queue so the warn window is deterministic.
+	b.mu.RLock()
+	q := b.queues["q"]
+	b.mu.RUnlock()
+	now := time.Unix(1_700_000_000, 0)
+	q.mu.Lock()
+	q.now = func() time.Time { return now }
+	q.mu.Unlock()
+
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+
+	publishN := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := b.Publish("x", "k", nil, []byte("m")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	publishN(5) // 3 overflow drops inside one minute
+	if got := overflowed.Load(); got != 3 {
+		t.Fatalf("Overflowed fired %d times, want 3", got)
+	}
+	if got := strings.Count(buf.String(), "overflow"); got != 1 {
+		t.Fatalf("overflow warned %d times within a minute, want 1:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), `queue "q"`) {
+		t.Fatalf("warn does not name the queue:\n%s", buf.String())
+	}
+
+	// Advance past the window: next overflow warns again, carrying the
+	// accumulated drop count.
+	now = now.Add(61 * time.Second)
+	publishN(2)
+	if got := strings.Count(buf.String(), "overflow"); got != 2 {
+		t.Fatalf("overflow warned %d times across windows, want 2:\n%s", got, buf.String())
+	}
+}
+
+// TestWatermarkDefaults checks LowWatermark derivation.
+func TestWatermarkDefaults(t *testing.T) {
+	q := newQueue("q", QueueOptions{HighWatermark: 10}, nil, nil)
+	if q.opts.LowWatermark != 5 {
+		t.Fatalf("default LowWatermark = %d, want 5", q.opts.LowWatermark)
+	}
+	q = newQueue("q", QueueOptions{HighWatermark: 4, LowWatermark: 9}, nil, nil)
+	if q.opts.LowWatermark != 3 {
+		t.Fatalf("clamped LowWatermark = %d, want 3", q.opts.LowWatermark)
+	}
+	q = newQueue("q", QueueOptions{HighWatermark: 1}, nil, nil)
+	if q.opts.LowWatermark != 0 {
+		t.Fatalf("LowWatermark for HW=1 = %d, want 0", q.opts.LowWatermark)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

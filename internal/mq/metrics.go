@@ -28,6 +28,15 @@ type Hooks struct {
 	// Dropped fires when a message is discarded: MaxLen overflow or a
 	// nack without requeue.
 	Dropped func(queue string)
+	// Overflowed fires (in addition to Dropped) when the discard was a
+	// MaxLen overflow specifically, so operators can alert on capacity
+	// loss separately from deliberate nack-drops.
+	Overflowed func(queue string)
+	// FlowPaused / FlowResumed fire when a queue's ready depth crosses
+	// its high / low watermark and publishers are paused / resumed via
+	// wire-level flow frames. Fire under the queue lock.
+	FlowPaused  func(queue string)
+	FlowResumed func(queue string)
 	// Expired fires when the TTL sweep discards n messages.
 	Expired func(queue string, n int)
 	// ConnOpened / ConnClosed track TCP connections on the wire server.
@@ -82,6 +91,24 @@ func (h *Hooks) nacked(queue string, requeue bool) {
 func (h *Hooks) dropped(queue string) {
 	if h != nil && h.Dropped != nil {
 		h.Dropped(queue)
+	}
+}
+
+func (h *Hooks) overflowed(queue string) {
+	if h != nil && h.Overflowed != nil {
+		h.Overflowed(queue)
+	}
+}
+
+func (h *Hooks) flowPaused(queue string) {
+	if h != nil && h.FlowPaused != nil {
+		h.FlowPaused(queue)
+	}
+}
+
+func (h *Hooks) flowResumed(queue string) {
+	if h != nil && h.FlowResumed != nil {
+		h.FlowResumed(queue)
 	}
 }
 

@@ -3,6 +3,7 @@ package mq
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,16 @@ type QueueOptions struct {
 	// Exclusive marks a per-client private queue (informational; the
 	// broker does not enforce connection affinity).
 	Exclusive bool `json:"exclusive,omitempty"`
+	// HighWatermark pauses publishers when the ready depth reaches it
+	// (a wire-level `flow` frame asks them to stop); 0 disables flow
+	// control. Backpressure replaces silent unbounded buffering: the
+	// deployment lesson is that a consumer outage otherwise turns the
+	// broker into an unbounded buffer that falls over later, all at
+	// once.
+	HighWatermark int `json:"highWatermark,omitempty"`
+	// LowWatermark resumes publishers once the ready depth drains back
+	// to it. Defaults to HighWatermark/2; clamped below HighWatermark.
+	LowWatermark int `json:"lowWatermark,omitempty"`
 }
 
 // QueueStats is a point-in-time snapshot of queue state.
@@ -71,6 +82,18 @@ type queue struct {
 	// hooks aliases the owning broker's hook slot; nil-safe.
 	hooks *atomic.Pointer[Hooks]
 
+	// flowFn forwards watermark pause/resume transitions to the owning
+	// broker's flow subscribers; nil for standalone queues. Fires under
+	// q.mu, so it must not call back into the queue.
+	flowFn func(queue string, paused bool)
+	// paused tracks the flow-control state under mu.
+	paused bool
+
+	// Overflow warn rate limiting: at most one log line per queue per
+	// minute, counting the drops since the last line.
+	lastOverflowWarn  time.Time
+	overflowSinceWarn int
+
 	readyN     atomic.Int64
 	unackedN   atomic.Int64
 	consumersN atomic.Int64
@@ -82,13 +105,22 @@ type queue struct {
 	expired   atomic.Uint64
 }
 
-func newQueue(name string, opts QueueOptions, hooks *atomic.Pointer[Hooks]) *queue {
+func newQueue(name string, opts QueueOptions, hooks *atomic.Pointer[Hooks], flowFn func(string, bool)) *queue {
+	if opts.HighWatermark > 0 {
+		if opts.LowWatermark <= 0 {
+			opts.LowWatermark = opts.HighWatermark / 2
+		}
+		if opts.LowWatermark >= opts.HighWatermark {
+			opts.LowWatermark = opts.HighWatermark - 1
+		}
+	}
 	return &queue{
 		name:    name,
 		opts:    opts,
 		unacked: make(map[uint64]Message),
 		now:     time.Now,
 		hooks:   hooks,
+		flowFn:  flowFn,
 	}
 }
 
@@ -172,18 +204,68 @@ func (q *queue) enqueueLocked(m *Message, h *Hooks) {
 	q.readyN.Add(1)
 	h.enqueued(q.name)
 	if q.opts.MaxLen > 0 {
+		overflowed := 0
 		for q.ready.len() > q.opts.MaxLen {
 			q.ready.dropFront()
 			q.readyN.Add(-1)
 			q.dropped.Add(1)
 			h.dropped(q.name)
+			h.overflowed(q.name)
+			overflowed++
+		}
+		if overflowed > 0 {
+			q.warnOverflowLocked(overflowed)
+		}
+	}
+}
+
+// warnOverflowLocked logs MaxLen overflow drops at most once per queue
+// per minute, accumulating the drop count in between so no loss goes
+// unreported. Caller holds q.mu.
+func (q *queue) warnOverflowLocked(n int) {
+	q.overflowSinceWarn += n
+	now := q.now()
+	if !q.lastOverflowWarn.IsZero() && now.Sub(q.lastOverflowWarn) < time.Minute {
+		return
+	}
+	log.Printf("mq: queue %q dropped %d message(s) to MaxLen=%d overflow (oldest first)",
+		q.name, q.overflowSinceWarn, q.opts.MaxLen)
+	q.lastOverflowWarn = now
+	q.overflowSinceWarn = 0
+}
+
+// updateFlowLocked detects watermark crossings on the ready depth and
+// publishes pause/resume transitions to hooks and the broker's flow
+// subscribers. Caller holds q.mu.
+func (q *queue) updateFlowLocked(h *Hooks) {
+	hw := q.opts.HighWatermark
+	if hw <= 0 {
+		return
+	}
+	n := q.ready.len()
+	switch {
+	case !q.paused && n >= hw:
+		q.paused = true
+		h.flowPaused(q.name)
+		if q.flowFn != nil {
+			q.flowFn(q.name, true)
+		}
+	case q.paused && n <= q.opts.LowWatermark:
+		q.paused = false
+		h.flowResumed(q.name)
+		if q.flowFn != nil {
+			q.flowFn(q.name, false)
 		}
 	}
 }
 
 // dispatchLocked hands ready messages to consumers round-robin while
-// any consumer has prefetch headroom. Caller holds q.mu.
+// any consumer has prefetch headroom. Caller holds q.mu. Every exit
+// path re-evaluates the flow watermarks: dispatch is the common tail
+// of publish, ack, nack-requeue and consumer attach, which are exactly
+// the operations that move the ready depth.
 func (q *queue) dispatchLocked(h *Hooks) {
+	defer q.updateFlowLocked(h)
 	q.expireLocked(h)
 	if len(q.consumers) == 0 {
 		return
@@ -229,6 +311,7 @@ func (q *queue) get() (Delivery, bool, error) {
 	}
 	h := q.h()
 	q.expireLocked(h)
+	defer q.updateFlowLocked(h)
 	msg, ok := q.ready.popFront()
 	if !ok {
 		return Delivery{}, false, nil
@@ -319,6 +402,15 @@ func (q *queue) close() {
 		return
 	}
 	q.closed = true
+	if q.paused {
+		// A deleted queue must not leave publishers paused forever.
+		q.paused = false
+		h := q.h()
+		h.flowResumed(q.name)
+		if q.flowFn != nil {
+			q.flowFn(q.name, false)
+		}
+	}
 	for _, c := range q.consumers {
 		c.closeChan()
 	}
@@ -336,7 +428,9 @@ func (q *queue) close() {
 func (q *queue) stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.expireLocked(q.h())
+	h := q.h()
+	q.expireLocked(h)
+	q.updateFlowLocked(h)
 	return QueueStats{
 		Name:      q.name,
 		Ready:     q.ready.len(),

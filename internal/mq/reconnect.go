@@ -102,6 +102,10 @@ type ConnHooks struct {
 	// PublishRetried fires every time a publish frame is re-sent
 	// after a transport failure.
 	PublishRetried func()
+	// FlowPaused / FlowResumed fire when the server asks this
+	// connection's publishers to pause / resume for a queue.
+	FlowPaused  func(queue string)
+	FlowResumed func(queue string)
 }
 
 func (h *ConnHooks) reconnected(attempts int) {
@@ -119,6 +123,18 @@ func (h *ConnHooks) topologyReplayed(n int) {
 func (h *ConnHooks) publishRetried() {
 	if h != nil && h.PublishRetried != nil {
 		h.PublishRetried()
+	}
+}
+
+func (h *ConnHooks) flowPaused(queue string) {
+	if h != nil && h.FlowPaused != nil {
+		h.FlowPaused(queue)
+	}
+}
+
+func (h *ConnHooks) flowResumed(queue string) {
+	if h != nil && h.FlowResumed != nil {
+		h.FlowResumed(queue)
 	}
 }
 
@@ -211,6 +227,10 @@ func retryablePublishErr(err error) bool {
 // constant across retries, so the broker's dedup window guarantees
 // at-most-once enqueue even when a response was lost in flight.
 func (c *Conn) publishRPC(f *frame) (*frame, error) {
+	// Honor broker backpressure before putting more on the wire. Only
+	// publishes gate — acks and cancels must always flow, or a paused
+	// queue could never drain.
+	c.flowGate()
 	if c.cfg == nil {
 		return c.rpc(f)
 	}
@@ -246,28 +266,32 @@ func (c *Conn) publishRPC(f *frame) (*frame, error) {
 // journalEntry is one recorded topology declaration, replayed on
 // every reconnect.
 type journalEntry struct {
-	op           string
-	exchange     string
-	exchangeType string
-	queue        string
-	srcExchange  string
-	pattern      string
-	maxLen       int
-	ttlMillis    int64
-	exclusive    bool
+	op            string
+	exchange      string
+	exchangeType  string
+	queue         string
+	srcExchange   string
+	pattern       string
+	maxLen        int
+	ttlMillis     int64
+	exclusive     bool
+	highWatermark int
+	lowWatermark  int
 }
 
 func (e *journalEntry) frame() *frame {
 	return &frame{
-		Op:           e.op,
-		Exchange:     e.exchange,
-		ExchangeType: e.exchangeType,
-		Queue:        e.queue,
-		SrcExchange:  e.srcExchange,
-		Pattern:      e.pattern,
-		MaxLen:       e.maxLen,
-		TTLMillis:    e.ttlMillis,
-		Exclusive:    e.exclusive,
+		Op:            e.op,
+		Exchange:      e.exchange,
+		ExchangeType:  e.exchangeType,
+		Queue:         e.queue,
+		SrcExchange:   e.srcExchange,
+		Pattern:       e.pattern,
+		MaxLen:        e.maxLen,
+		TTLMillis:     e.ttlMillis,
+		Exclusive:     e.exclusive,
+		HighWatermark: e.highWatermark,
+		LowWatermark:  e.lowWatermark,
 	}
 }
 

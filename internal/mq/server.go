@@ -19,7 +19,10 @@ type Server struct {
 	ln     net.Listener
 
 	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	conns map[net.Conn]*connState
+
+	flowSub  *FlowSub
+	flowDone chan struct{}
 
 	stop chan struct{}
 	done chan struct{}
@@ -33,12 +36,15 @@ func NewServer(broker *Broker, addr string) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		broker: broker,
-		ln:     ln,
-		conns:  make(map[net.Conn]struct{}),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		broker:   broker,
+		ln:       ln,
+		conns:    make(map[net.Conn]*connState),
+		flowSub:  broker.SubscribeFlow(),
+		flowDone: make(chan struct{}),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
+	go s.flowLoop()
 	go s.acceptLoop()
 	return s, nil
 }
@@ -62,6 +68,8 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	<-s.done
+	s.broker.UnsubscribeFlow(s.flowSub)
+	<-s.flowDone
 }
 
 func (s *Server) acceptLoop() {
@@ -80,17 +88,58 @@ func (s *Server) acceptLoop() {
 			wg.Wait()
 			return
 		}
+		cs := &connState{conn: conn, consumers: make(map[uint64]*Consumer), hooks: s.broker.currentHooks}
 		s.mu.Lock()
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = cs
 		s.mu.Unlock()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.handleConn(conn)
+			// Flow snapshot first: a connection accepted mid-overload
+			// must learn which queues are already paused before its
+			// first publish.
+			for _, q := range s.broker.PausedQueues() {
+				if err := cs.send(&frame{Op: opFlow, Queue: q, Paused: true}); err != nil {
+					break
+				}
+			}
+			s.handleConn(cs)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
 		}()
+	}
+}
+
+// flowLoop broadcasts queue pause/resume transitions to every live
+// connection as opFlow frames. Transitions are coalesced per queue, so
+// a flapping queue costs at most one frame per state per drain.
+func (s *Server) flowLoop() {
+	defer close(s.flowDone)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.flowSub.C():
+			events := s.flowSub.Drain()
+			if len(events) == 0 {
+				continue
+			}
+			s.mu.Lock()
+			conns := make([]*connState, 0, len(s.conns))
+			for _, cs := range s.conns {
+				conns = append(conns, cs)
+			}
+			s.mu.Unlock()
+			for _, ev := range events {
+				f := &frame{Op: opFlow, Queue: ev.Queue, Paused: ev.Paused}
+				for _, cs := range conns {
+					// A dead conn fails its own send; the read loop
+					// tears it down.
+					_ = cs.send(f)
+				}
+			}
+		}
 	}
 }
 
@@ -118,9 +167,8 @@ func (cs *connState) send(f *frame) error {
 	return err
 }
 
-func (s *Server) handleConn(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	cs := &connState{conn: conn, consumers: make(map[uint64]*Consumer), hooks: s.broker.currentHooks}
+func (s *Server) handleConn(cs *connState) {
+	defer func() { _ = cs.conn.Close() }()
 	cs.hooks().connOpened()
 	defer cs.hooks().connClosed()
 	defer func() {
@@ -138,7 +186,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}()
 
-	r := bufio.NewReader(conn)
+	r := bufio.NewReader(cs.conn)
 	var nextConsumerID uint64
 	for {
 		f, n, err := readFrame(r)
@@ -188,9 +236,11 @@ func (s *Server) dispatch(cs *connState, f *frame, nextConsumerID *uint64) *fram
 		return ok()
 	case opDeclareQueue:
 		opts := QueueOptions{
-			MaxLen:    f.MaxLen,
-			TTL:       time.Duration(f.TTLMillis) * time.Millisecond,
-			Exclusive: f.Exclusive,
+			MaxLen:        f.MaxLen,
+			TTL:           time.Duration(f.TTLMillis) * time.Millisecond,
+			Exclusive:     f.Exclusive,
+			HighWatermark: f.HighWatermark,
+			LowWatermark:  f.LowWatermark,
 		}
 		if err := s.broker.DeclareQueue(f.Queue, opts); err != nil {
 			return fail(err)

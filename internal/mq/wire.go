@@ -38,6 +38,11 @@ const (
 	opOK              = "ok"
 	opError           = "error"
 	opDeliver         = "deliver"
+	// opFlow is pushed by the server (no correlation id) when a queue
+	// crosses its flow watermarks: Paused=true asks publishers to stop,
+	// Paused=false resumes them. A snapshot of currently paused queues
+	// is pushed right after accept so late connections learn the state.
+	opFlow = "flow"
 )
 
 // frame is the single wire message shape; unused fields are omitted.
@@ -72,6 +77,12 @@ type frame struct {
 	// token the broker has seen inside its dedup window returns the
 	// original delivery count without enqueueing again.
 	Token string `json:"token,omitempty"`
+	// Paused carries the flow-control state of Queue in opFlow frames.
+	Paused bool `json:"paused,omitempty"`
+	// HighWatermark / LowWatermark carry queue flow thresholds in
+	// declare-queue frames.
+	HighWatermark int `json:"highWatermark,omitempty"`
+	LowWatermark  int `json:"lowWatermark,omitempty"`
 }
 
 // writeFrame encodes and writes one frame, returning the bytes put on
