@@ -5,6 +5,13 @@
 // Usage:
 //
 //	goflow-server [-mq :7672] [-http :7680]
+//
+// Durability: -data alone snapshots the store on shutdown (and every
+// -snapshot-interval, when set). Adding -wal-dir turns on the
+// write-ahead log: every accepted mutation is durable before it is
+// acknowledged (per -fsync-policy), a crash recovers by replaying the
+// log tail over the latest snapshot, and each snapshot doubles as a
+// checkpoint that truncates the log.
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -24,6 +33,7 @@ import (
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
 	"github.com/urbancivics/goflow/internal/soundcity"
+	"github.com/urbancivics/goflow/internal/wal"
 )
 
 func main() {
@@ -35,7 +45,10 @@ func main() {
 func run() error {
 	mqAddr := flag.String("mq", ":7672", "broker TCP listen address")
 	httpAddr := flag.String("http", ":7680", "REST API listen address")
-	dataPath := flag.String("data", "", "snapshot file: loaded on start if present, saved on shutdown")
+	dataPath := flag.String("data", "", "snapshot file: loaded on start if present, saved on checkpoints and shutdown")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: mutations are durable before they are acknowledged (defaults -data to <wal-dir>/snapshot.gob)")
+	fsyncPolicy := flag.String("fsync-policy", "grouped", "WAL fsync policy: grouped (group commit), always (per record) or none (no fsync)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "period between snapshot checkpoints (0 = snapshot only on shutdown); with a WAL, each checkpoint also truncates the log")
 	metricsInterval := flag.Duration("metrics-interval", 30*time.Second, "period between metric snapshot log lines (0 disables)")
 	flag.Parse()
 
@@ -49,16 +62,45 @@ func run() error {
 	defer mqServer.Close()
 
 	store := docstore.NewStore()
-	if *dataPath != "" {
-		switch err := store.LoadFile(*dataPath); {
+	dataFile := *dataPath
+	if *walDir != "" && dataFile == "" {
+		// A WAL needs a snapshot path to checkpoint against, or the
+		// log would grow without bound.
+		dataFile = filepath.Join(*walDir, "snapshot.gob")
+	}
+	if dataFile != "" {
+		switch err := store.LoadFile(dataFile); {
 		case err == nil:
-			fmt.Printf("goflow-server: loaded snapshot %s (%v)\n", *dataPath, store.Collections())
+			fmt.Printf("goflow-server: loaded snapshot %s (%v)\n", dataFile, store.Collections())
 		case os.IsNotExist(errors.Unwrap(err)) || os.IsNotExist(err):
-			fmt.Printf("goflow-server: no snapshot at %s yet, starting fresh\n", *dataPath)
+			fmt.Printf("goflow-server: no snapshot at %s yet, starting fresh\n", dataFile)
 		default:
 			return fmt.Errorf("load snapshot: %w", err)
 		}
 	}
+
+	// Recovery order matters: snapshot first (above), then the WAL
+	// tail on top, and only then attach the log so new mutations are
+	// journaled.
+	var walLog *wal.WAL
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		walLog, err = wal.Open(*walDir, wal.Options{Policy: policy})
+		if err != nil {
+			return fmt.Errorf("open wal: %w", err)
+		}
+		rec, err := docstore.RecoverWAL(store, walLog)
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		docstore.AttachWAL(store, walLog)
+		fmt.Printf("goflow-server: wal %s replayed %d records in %v (lsn %d, policy %s)\n",
+			*walDir, rec.Records, rec.Duration.Round(time.Millisecond), walLog.LastLSN(), policy)
+	}
+
 	server, err := goflow.NewServer(goflow.ServerConfig{
 		Broker: broker,
 		Store:  store,
@@ -71,10 +113,39 @@ func run() error {
 	// Observability: every layer feeds one registry, exposed over
 	// /metrics and summarized periodically on the log.
 	reg := obs.NewRegistry()
-	goflow.Instrument(reg, server, store)
+	metrics := goflow.Instrument(reg, server, store)
+	if walLog != nil {
+		metrics.InstrumentWAL(walLog)
+	}
 	reporter := obs.NewReporter(reg, *metricsInterval, nil)
 	reporter.Start()
 	defer reporter.Stop()
+
+	// checkpoint publishes a snapshot and, with a WAL, truncates the
+	// segments the snapshot now covers. Serialized so the interval
+	// loop, the job and shutdown never interleave.
+	var checkpointMu sync.Mutex
+	checkpoint := func() error {
+		if dataFile == "" {
+			return nil
+		}
+		checkpointMu.Lock()
+		defer checkpointMu.Unlock()
+		if walLog == nil {
+			return store.SaveFile(dataFile)
+		}
+		cut, err := walLog.Rotate()
+		if err != nil {
+			return fmt.Errorf("wal rotate: %w", err)
+		}
+		if err := store.SaveFile(dataFile); err != nil {
+			return err
+		}
+		if _, err := walLog.TruncateBefore(cut); err != nil {
+			return fmt.Errorf("wal truncate: %w", err)
+		}
+		return nil
+	}
 
 	app, err := soundcity.Register(server)
 	if err != nil {
@@ -82,6 +153,38 @@ func run() error {
 	}
 	if err := server.StartIngest(); err != nil {
 		return fmt.Errorf("start ingest: %w", err)
+	}
+
+	// Operators can force a checkpoint through the background-job API;
+	// the interval loop below runs the same script on a timer.
+	server.Jobs.Register("snapshot", func(_ context.Context, _ *goflow.DataManager, _ string) (any, error) {
+		if dataFile == "" {
+			return nil, errors.New("no snapshot path configured (-data or -wal-dir)")
+		}
+		if err := checkpoint(); err != nil {
+			return nil, err
+		}
+		return map[string]string{"snapshot": dataFile}, nil
+	})
+	stopSnapshots := make(chan struct{})
+	var snapshotWG sync.WaitGroup
+	if *snapshotInterval > 0 && dataFile != "" {
+		snapshotWG.Add(1)
+		go func() {
+			defer snapshotWG.Done()
+			ticker := time.NewTicker(*snapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := checkpoint(); err != nil {
+						fmt.Printf("goflow-server: checkpoint: %v\n", err)
+					}
+				case <-stopSnapshots:
+					return
+				}
+			}
+		}()
 	}
 
 	// Mount the middleware API at the root and the SoundCity
@@ -126,8 +229,8 @@ func run() error {
 	// draining first (new API requests get 503 + Retry-After while the
 	// health probe stays green for the load balancer), then drain
 	// in-flight HTTP, then the ingest loop and jobs, then the broker
-	// sessions, and only then flush the final snapshot — after every
-	// writer has stopped.
+	// sessions, and only then flush the final checkpoint — after every
+	// writer has stopped — before closing the WAL it truncated.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	server.Guard.SetDraining(true)
@@ -138,11 +241,18 @@ func run() error {
 		fmt.Printf("goflow-server: ingest drain: %v\n", err)
 	}
 	mqServer.Close()
-	if *dataPath != "" {
-		if err := store.SaveFile(*dataPath); err != nil {
-			return fmt.Errorf("save snapshot: %w", err)
+	close(stopSnapshots)
+	snapshotWG.Wait()
+	if dataFile != "" {
+		if err := checkpoint(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
 		}
-		fmt.Printf("goflow-server: snapshot saved to %s\n", *dataPath)
+		fmt.Printf("goflow-server: snapshot saved to %s\n", dataFile)
+	}
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			return fmt.Errorf("close wal: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,133 @@
+package docstore
+
+// Commit log seam: the durability counterpart of Hooks. When a
+// CommitLog is attached, every mutation is logged before the method
+// returns — Log is invoked with the owning collection's lock held
+// (immediately after validation, so the log order is exactly the apply
+// order) and the returned ticket's Wait is called after the lock is
+// released, so group-commit fsyncs never run under a collection lock.
+//
+// Semantics on failure: a mutation whose ticket Wait fails has been
+// applied in memory but its durability is unknown; the method reports
+// the error and callers must treat the operation as not acknowledged
+// (after a crash and replay it may or may not exist). A mutation whose
+// Log call itself fails is not applied at all.
+
+// MutationOp discriminates logged mutations.
+type MutationOp byte
+
+// Mutation operations. The values are stable on-disk identifiers —
+// they double as WAL record types — so they must never be renumbered.
+const (
+	OpInsert MutationOp = iota + 1
+	OpInsertMany
+	OpUpdate
+	OpUnset
+	OpDelete
+	OpDrop
+	OpEnsureIndex
+)
+
+// String returns the mutation kind for logs and tests.
+func (op MutationOp) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpInsertMany:
+		return "insert-many"
+	case OpUpdate:
+		return "update"
+	case OpUnset:
+		return "unset"
+	case OpDelete:
+		return "delete"
+	case OpDrop:
+		return "drop"
+	case OpEnsureIndex:
+		return "ensure-index"
+	default:
+		return "unknown"
+	}
+}
+
+// Mutation is one typed store mutation, the unit the commit log
+// records and recovery replays. Only the fields relevant to Op are
+// set:
+//
+//	OpInsert      ID, Doc (the full document, id assigned)
+//	OpInsertMany  Docs (full documents, ids assigned)
+//	OpUpdate      ID, Fields (the merged fields)
+//	OpUnset       ID, Names (the removed fields)
+//	OpDelete      ID
+//	OpDrop        (collection only)
+//	OpEnsureIndex Names[0] (the indexed field)
+type Mutation struct {
+	Op         MutationOp
+	Collection string
+	ID         string
+	Doc        Doc
+	Docs       []Doc
+	Fields     Doc
+	Names      []string
+}
+
+// CommitTicket is the pending-durability handle of one logged
+// mutation; Wait blocks until the record is committed per the log's
+// policy and returns nil exactly when it is.
+type CommitTicket interface{ Wait() error }
+
+// CommitLog receives every mutation of a store. Implementations must
+// serialize the mutation during Log (the *Mutation and its documents
+// are owned by the store and may be reused after Log returns) and must
+// be fast: Log runs under the collection lock, so any blocking work
+// belongs behind the returned ticket's Wait.
+type CommitLog interface {
+	Log(m *Mutation) (CommitTicket, error)
+}
+
+// commitLogBox wraps the interface for atomic.Pointer storage.
+type commitLogBox struct{ cl CommitLog }
+
+// SetCommitLog attaches a commit log to every collection of the store,
+// current and future (nil detaches). Attach after any recovery replay
+// and before serving writes; mutations already applied are not
+// re-logged retroactively.
+func (s *Store) SetCommitLog(cl CommitLog) {
+	if cl == nil {
+		s.commitLog.Store(nil)
+		return
+	}
+	s.commitLog.Store(&commitLogBox{cl: cl})
+}
+
+// logStore logs a store-level mutation (drop) when a log is attached.
+func (s *Store) logStore(m *Mutation) (CommitTicket, error) {
+	box := s.commitLog.Load()
+	if box == nil {
+		return nil, nil
+	}
+	return box.cl.Log(m)
+}
+
+// logLocked logs a collection mutation when a log is attached; the
+// caller holds the collection lock. A nil, nil return means no log is
+// attached.
+func (c *Collection) logLocked(m *Mutation) (CommitTicket, error) {
+	if c.commitLog == nil {
+		return nil, nil
+	}
+	box := c.commitLog.Load()
+	if box == nil {
+		return nil, nil
+	}
+	return box.cl.Log(m)
+}
+
+// commitWait waits out a mutation's durability ticket (nil tickets —
+// no log attached — are immediately durable by definition).
+func commitWait(tk CommitTicket) error {
+	if tk == nil {
+		return nil
+	}
+	return tk.Wait()
+}

@@ -39,6 +39,9 @@ type Store struct {
 
 	// hooks is shared with every collection; see SetHooks.
 	hooks atomic.Pointer[Hooks]
+
+	// commitLog is shared with every collection; see SetCommitLog.
+	commitLog atomic.Pointer[commitLogBox]
 }
 
 // NewStore returns an empty store.
@@ -53,7 +56,7 @@ func (s *Store) Collection(name string) *Collection {
 	if c, ok := s.collections[name]; ok {
 		return c
 	}
-	c := newCollection(name, &s.hooks)
+	c := newCollection(name, s)
 	s.collections[name] = c
 	return c
 }
@@ -61,8 +64,13 @@ func (s *Store) Collection(name string) *Collection {
 // Drop removes a collection and its documents.
 func (s *Store) Drop(name string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.collections, name)
+	s.mu.Unlock()
+	// Best effort: Drop has no error return, so a commit-log failure
+	// here cannot be surfaced; the in-memory drop stands either way.
+	if tk, err := s.logStore(&Mutation{Op: OpDrop, Collection: name}); err == nil {
+		_ = commitWait(tk)
+	}
 }
 
 // Collections lists collection names sorted.
@@ -94,9 +102,10 @@ type Collection struct {
 	updated  uint64
 	deleted  uint64
 
-	// hooks aliases the owning store's hook slot so SetHooks applies
-	// to all collections atomically. Nil for standalone collections.
-	hooks *atomic.Pointer[Hooks]
+	// hooks and commitLog alias the owning store's slots so SetHooks
+	// and SetCommitLog apply to all collections atomically.
+	hooks     *atomic.Pointer[Hooks]
+	commitLog *atomic.Pointer[commitLogBox]
 }
 
 // indexEntry pairs an indexed field with its index for slice
@@ -106,12 +115,13 @@ type indexEntry struct {
 	idx   *index
 }
 
-func newCollection(name string, hooks *atomic.Pointer[Hooks]) *Collection {
+func newCollection(name string, s *Store) *Collection {
 	return &Collection{
-		name:    name,
-		docs:    make(map[string]Doc),
-		indexes: make(map[string]*index),
-		hooks:   hooks,
+		name:      name,
+		docs:      make(map[string]Doc),
+		indexes:   make(map[string]*index),
+		hooks:     &s.hooks,
+		commitLog: &s.commitLog,
 	}
 }
 
@@ -129,7 +139,9 @@ func nextID() string {
 
 // Insert stores a copy of doc. When doc carries no _id one is
 // assigned; the id is returned. Inserting an existing _id fails with
-// ErrDuplicateID.
+// ErrDuplicateID. With a commit log attached the insert is durable
+// when Insert returns nil (see SetCommitLog for the failure
+// semantics).
 func (c *Collection) Insert(doc Doc) (string, error) {
 	if h := c.h(); h != nil && h.Insert != nil {
 		defer func(start time.Time) { h.Insert(c.name, time.Since(start)) }(time.Now())
@@ -141,15 +153,24 @@ func (c *Collection) Insert(doc Doc) (string, error) {
 		cp[IDField] = id
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, exists := c.docs[id]; exists {
+		c.mu.Unlock()
 		return "", fmt.Errorf("insert %q: %w", id, ErrDuplicateID)
+	}
+	tk, err := c.logLocked(&Mutation{Op: OpInsert, Collection: c.name, ID: id, Doc: cp})
+	if err != nil {
+		c.mu.Unlock()
+		return "", fmt.Errorf("insert %q: commit log: %w", id, err)
 	}
 	c.docs[id] = cp
 	c.order = append(c.order, id)
 	c.inserted++
 	for _, e := range c.indexList {
 		e.idx.add(id, cp[e.field])
+	}
+	c.mu.Unlock()
+	if err := commitWait(tk); err != nil {
+		return "", fmt.Errorf("insert %q: commit: %w", id, err)
 	}
 	return id, nil
 }
@@ -177,20 +198,48 @@ func (c *Collection) InsertMany(docs []Doc) ([]string, error) {
 	if h != nil {
 		start = time.Now()
 	}
-	ids := make([]string, 0, len(docs))
 	c.mu.Lock()
+	// Validation pre-pass: mint ids and find the first duplicate, so
+	// the accepted prefix is known — and logged as one commit-log
+	// record — before any document is applied.
+	n := len(docs)
 	var firstErr error
+	var seen map[string]struct{}
 	for i := range docs {
 		d := docs[i]
 		id, _ := d[IDField].(string)
 		if id == "" {
-			id = nextID()
-			d[IDField] = id
+			d[IDField] = nextID()
+			continue // minted ids are unique by construction
+		}
+		if _, dup := seen[id]; dup {
+			firstErr = fmt.Errorf("insert #%d: insert %q: %w", i, id, ErrDuplicateID)
+			n = i
+			break
 		}
 		if _, exists := c.docs[id]; exists {
 			firstErr = fmt.Errorf("insert #%d: insert %q: %w", i, id, ErrDuplicateID)
+			n = i
 			break
 		}
+		if seen == nil {
+			seen = make(map[string]struct{})
+		}
+		seen[id] = struct{}{}
+	}
+	var tk CommitTicket
+	if n > 0 {
+		var lerr error
+		tk, lerr = c.logLocked(&Mutation{Op: OpInsertMany, Collection: c.name, Docs: docs[:n]})
+		if lerr != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("insert many: commit log: %w", lerr)
+		}
+	}
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		d := docs[i]
+		id := d[IDField].(string)
 		c.docs[id] = d
 		c.order = append(c.order, id)
 		c.inserted++
@@ -200,6 +249,9 @@ func (c *Collection) InsertMany(docs []Doc) ([]string, error) {
 		ids = append(ids, id)
 	}
 	c.mu.Unlock()
+	if err := commitWait(tk); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("insert many: commit: %w", err)
+	}
 	if h != nil && len(ids) > 0 {
 		per := time.Since(start) / time.Duration(len(ids))
 		for range ids {
@@ -227,10 +279,15 @@ func (c *Collection) Update(id string, fields Doc) error {
 		defer func(start time.Time) { h.Update(c.name, time.Since(start)) }(time.Now())
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	d, ok := c.docs[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("update %q: %w", id, ErrNotFound)
+	}
+	tk, err := c.logLocked(&Mutation{Op: OpUpdate, Collection: c.name, ID: id, Fields: fields})
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("update %q: commit log: %w", id, err)
 	}
 	for k, v := range fields {
 		if k == IDField {
@@ -243,6 +300,10 @@ func (c *Collection) Update(id string, fields Doc) error {
 		d[k] = cloneValue(v)
 	}
 	c.updated++
+	c.mu.Unlock()
+	if err := commitWait(tk); err != nil {
+		return fmt.Errorf("update %q: commit: %w", id, err)
+	}
 	return nil
 }
 
@@ -252,10 +313,15 @@ func (c *Collection) Unset(id string, fields ...string) error {
 		defer func(start time.Time) { h.Update(c.name, time.Since(start)) }(time.Now())
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	d, ok := c.docs[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("unset %q: %w", id, ErrNotFound)
+	}
+	tk, err := c.logLocked(&Mutation{Op: OpUnset, Collection: c.name, ID: id, Names: fields})
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("unset %q: commit log: %w", id, err)
 	}
 	for _, k := range fields {
 		if k == IDField {
@@ -267,6 +333,10 @@ func (c *Collection) Unset(id string, fields ...string) error {
 		delete(d, k)
 	}
 	c.updated++
+	c.mu.Unlock()
+	if err := commitWait(tk); err != nil {
+		return fmt.Errorf("unset %q: commit: %w", id, err)
+	}
 	return nil
 }
 
@@ -276,17 +346,32 @@ func (c *Collection) Delete(id string) error {
 		defer func(start time.Time) { h.Delete(c.name, time.Since(start)) }(time.Now())
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	d, ok := c.docs[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
 	}
+	tk, err := c.logLocked(&Mutation{Op: OpDelete, Collection: c.name, ID: id})
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("delete %q: commit log: %w", id, err)
+	}
+	c.removeLocked(id, d)
+	c.mu.Unlock()
+	if err := commitWait(tk); err != nil {
+		return fmt.Errorf("delete %q: commit: %w", id, err)
+	}
+	return nil
+}
+
+// removeLocked deletes an existing document: map entry, index entries
+// and its insertion-order slot (lazily compacted once half the slots
+// are dead). Caller holds the write lock and has verified existence.
+func (c *Collection) removeLocked(id string, d Doc) {
 	delete(c.docs, id)
 	for _, e := range c.indexList {
 		e.idx.remove(id, d[e.field])
 	}
-	// Lazy order compaction: mark by replacing with empty string and
-	// compact when half the slots are dead.
 	for i, oid := range c.order {
 		if oid == id {
 			c.order[i] = ""
@@ -304,7 +389,6 @@ func (c *Collection) Delete(id string) error {
 		c.order = kept
 		c.deleted = 0
 	}
-	return nil
 }
 
 // DeleteMany removes every document matching filter; it returns the
@@ -530,16 +614,23 @@ func (c *Collection) FindOne(filter Doc) (Doc, error) {
 // EnsureIndex creates an equality index on field (idempotent).
 func (c *Collection) EnsureIndex(field string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.indexes[field]; ok {
+		c.mu.Unlock()
 		return
 	}
+	// Logged so a recovered store rebuilds indexes created after the
+	// last checkpoint; best effort, like Drop.
+	tk, lerr := c.logLocked(&Mutation{Op: OpEnsureIndex, Collection: c.name, Names: []string{field}})
 	idx := newIndex()
 	for id, d := range c.docs {
 		idx.add(id, d[field])
 	}
 	c.indexes[field] = idx
 	c.indexList = append(c.indexList, indexEntry{field: field, idx: idx})
+	c.mu.Unlock()
+	if lerr == nil {
+		_ = commitWait(tk)
+	}
 }
 
 // Stats reports collection counters.

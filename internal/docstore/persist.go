@@ -29,6 +29,12 @@ type collectionSnapshot struct {
 	Order   []string
 	Docs    map[string]Doc
 	Indexes []string
+	// Lifetime counters, so a restored store reports the same Stats as
+	// one that never went through a snapshot. Absent (zero) in
+	// snapshots written before they were added; Restore falls back to
+	// the document count then.
+	Inserted uint64
+	Updated  uint64
 }
 
 func init() {
@@ -60,8 +66,10 @@ func (c *Collection) snapshot() collectionSnapshot {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := collectionSnapshot{
-		Name: c.name,
-		Docs: make(map[string]Doc, len(c.docs)),
+		Name:     c.name,
+		Docs:     make(map[string]Doc, len(c.docs)),
+		Inserted: c.inserted,
+		Updated:  c.updated,
 	}
 	for id, d := range c.docs {
 		out.Docs[id] = cloneDoc(d)
@@ -91,19 +99,29 @@ func (s *Store) Restore(r io.Reader) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, cs := range snap.Collections {
-		c := newCollection(cs.Name, &s.hooks)
+		c := newCollection(cs.Name, s)
 		c.order = make([]string, len(cs.Order))
 		copy(c.order, cs.Order)
 		for id, d := range cs.Docs {
 			c.docs[id] = cloneDoc(d)
 		}
-		c.inserted = uint64(len(cs.Docs))
+		c.inserted = cs.Inserted
+		if c.inserted == 0 {
+			// Legacy snapshot without counters: the document count is
+			// the best lower bound.
+			c.inserted = uint64(len(cs.Docs))
+		}
+		c.updated = cs.Updated
 		for _, field := range cs.Indexes {
 			idx := newIndex()
 			for id, d := range c.docs {
 				idx.add(id, d[field])
 			}
 			c.indexes[field] = idx
+			// indexList must mirror the map: inserts and deletes walk
+			// the list, so an index restored only into the map would
+			// silently go stale for every post-restore mutation.
+			c.indexList = append(c.indexList, indexEntry{field: field, idx: idx})
 		}
 		s.collections[cs.Name] = c
 		// Advance the process-wide id counter past every restored
@@ -177,7 +195,29 @@ func (s *Store) SaveFileVia(path string, wrap func(io.Writer) io.Writer) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("publish snapshot: %w", err)
 	}
+	// The rename published the snapshot against a process crash, but
+	// only a directory fsync makes the new directory entry itself
+	// durable: without it, power loss after the rename can roll the
+	// directory back to the old (now unlinked) snapshot — or to
+	// nothing at all on some filesystems.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("sync snapshot directory: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it survives power
+// loss, not just process crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile loads a snapshot from path into the store.

@@ -371,3 +371,40 @@ func TestWriterTornWriteBudget(t *testing.T) {
 		t.Fatalf("delivered %q", sink.String())
 	}
 }
+
+func TestSeededWriterDeterministicBudget(t *testing.T) {
+	const min, max = 10, 500
+	for seed := int64(0); seed < 20; seed++ {
+		var a, b bytes.Buffer
+		w1 := NewSeededWriter(&a, seed, min, max)
+		w2 := NewSeededWriter(&b, seed, min, max)
+		if w1.Remaining() != w2.Remaining() {
+			t.Fatalf("seed %d: budgets %d vs %d, want identical", seed, w1.Remaining(), w2.Remaining())
+		}
+		if w1.Remaining() < min || w1.Remaining() >= max {
+			t.Fatalf("seed %d: budget %d outside [%d, %d)", seed, w1.Remaining(), min, max)
+		}
+	}
+	// Degenerate range: the writer still gets a usable budget instead
+	// of panicking in rand.Intn.
+	var sink bytes.Buffer
+	w := NewSeededWriter(&sink, 1, 7, 7)
+	if w.Remaining() != 7 {
+		t.Fatalf("empty range budget = %d, want min (7)", w.Remaining())
+	}
+}
+
+func TestSeededWriterTearsAtBudget(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewSeededWriter(&sink, 42, 3, 4) // budget exactly 3
+	n, err := w.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %d, %v; want 3, ErrInjected", n, err)
+	}
+	if sink.String() != "abc" {
+		t.Fatalf("delivered %q, want %q", sink.String(), "abc")
+	}
+	if w.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after tear, want 0", w.Remaining())
+	}
+}

@@ -1,11 +1,15 @@
 package faults
 
-import "io"
+import (
+	"io"
+	"math/rand"
+)
 
 // Writer is a fault-injecting io.Writer for persistence paths: it
 // passes bytes through until a byte budget is exhausted, then fails —
 // the torn write of a crash or a full disk. A budget of 0 fails the
-// very first write.
+// very first write. Once torn, every later write fails too, like the
+// dead disk behind a crashed process.
 type Writer struct {
 	w         io.Writer
 	remaining int
@@ -17,6 +21,21 @@ type Writer struct {
 func NewWriter(w io.Writer, budget int) *Writer {
 	return &Writer{w: w, remaining: budget}
 }
+
+// NewSeededWriter wraps w with a torn-write budget drawn uniformly
+// from [min, max) by a seeded source — crash-point injection where the
+// byte offset the "power loss" lands on is a pure function of the
+// seed, so a WAL kill/replay failure reproduces from its seed alone.
+func NewSeededWriter(w io.Writer, seed int64, min, max int) *Writer {
+	if max <= min {
+		max = min + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return NewWriter(w, min+rng.Intn(max-min))
+}
+
+// Remaining reports the unspent byte budget (0 once torn).
+func (fw *Writer) Remaining() int { return fw.remaining }
 
 // Write implements io.Writer with the torn-write semantics.
 func (fw *Writer) Write(b []byte) (int, error) {

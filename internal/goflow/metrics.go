@@ -8,6 +8,7 @@ import (
 	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/wal"
 )
 
 // Metrics adapts the hook streams of the broker, the document store
@@ -332,6 +333,59 @@ func (m *Metrics) ConnHooks() mq.ConnHooks {
 		TopologyReplayed: func(n int) { m.replayedTopology.Add(uint64(n)) },
 		PublishRetried:   m.publishRetries.Inc,
 	}
+}
+
+// InstrumentWAL registers the wal_* families and feeds them from the
+// write-ahead log's hooks and stats. Families are created here rather
+// than in NewMetrics so servers running without a WAL don't expose
+// dead zero-valued series.
+func (m *Metrics) InstrumentWAL(w *wal.WAL) {
+	records := m.reg.Counter("wal_records_total",
+		"Records appended to the write-ahead log.")
+	walBytes := m.reg.Counter("wal_bytes_total",
+		"Framed bytes appended to the write-ahead log.")
+	fsyncs := m.reg.Counter("wal_fsyncs_total",
+		"Write-ahead log segment fsync calls.")
+	fsyncSeconds := m.reg.Histogram("wal_fsync_duration_seconds",
+		"Latency of write-ahead log segment fsyncs.", nil)
+	batch := m.reg.Histogram("wal_commit_batch_records",
+		"Records made durable per group-commit fsync.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	rotations := m.reg.Counter("wal_rotations_total",
+		"Write-ahead log segment rotations.")
+	truncated := m.reg.Counter("wal_truncated_segments_total",
+		"Sealed segments deleted by checkpoints.")
+	segments := m.reg.Gauge("wal_segments",
+		"Live log segments, including the active one.")
+	lastLSN := m.reg.Gauge("wal_last_lsn",
+		"Highest assigned log sequence number.")
+	durableLSN := m.reg.Gauge("wal_durable_lsn",
+		"Highest log sequence number known fsynced.")
+	replayedRecords := m.reg.Gauge("wal_replayed_records",
+		"Records replayed by the last crash recovery.")
+	replaySeconds := m.reg.Gauge("wal_replay_seconds",
+		"Wall time of the last crash-recovery replay.")
+	w.SetHooks(wal.Hooks{
+		Appended: func(n, b int) {
+			records.Add(uint64(n))
+			walBytes.Add(uint64(b))
+		},
+		Synced: func(n int, d time.Duration) {
+			fsyncs.Inc()
+			fsyncSeconds.ObserveDuration(d)
+			batch.Observe(float64(n))
+		},
+		Rotated:   rotations.Inc,
+		Truncated: func(n int) { truncated.Add(uint64(n)) },
+	})
+	m.reg.OnCollect(func() {
+		st := w.Stats()
+		segments.Set(float64(st.Segments))
+		lastLSN.Set(float64(st.LastLSN))
+		durableLSN.Set(float64(st.DurableLSN))
+		replayedRecords.Set(float64(st.ReplayedRecords))
+		replaySeconds.Set(st.ReplayDuration.Seconds())
+	})
 }
 
 // InstrumentStore installs hooks on the document store.
