@@ -1,0 +1,305 @@
+// Cluster mode for goflow-server: sharded and/or replicated storage
+// behind the same REST and broker front. The single-node path in
+// main.go is untouched — cluster mode swaps only the storage engine
+// handed to goflow.ServerConfig.Data, which is the whole point of the
+// Engine seam.
+//
+// Leader (optionally sharded):
+//
+//	goflow-server -wal-dir /var/goflow -shards 2 \
+//	    -repl-listen :7700,:7701 -sync-followers 1
+//
+// Follower (read replica of one shard; SIGHUP promotes it to a
+// writable leader and starts ingest):
+//
+//	goflow-server -wal-dir /var/goflow-replica \
+//	    -follow leader-host:7700 -follower-name replica-1
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/cluster"
+	"github.com/urbancivics/goflow/internal/goflow"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/soundcity"
+	"github.com/urbancivics/goflow/internal/storage"
+	"github.com/urbancivics/goflow/internal/wal"
+)
+
+// clusterConfig carries the parsed flags relevant to cluster mode.
+type clusterConfig struct {
+	mqAddr, httpAddr string
+	walDir           string
+	fsyncPolicy      string
+	shards           int
+	replListen       string
+	syncFollowers    int
+	follow           string
+	followerName     string
+	snapshotInterval time.Duration
+	metricsInterval  time.Duration
+}
+
+// clusterMode reports whether any cluster flag was used.
+func (c clusterConfig) clusterMode() bool {
+	return c.shards > 1 || c.replListen != "" || c.follow != ""
+}
+
+func runCluster(cfg clusterConfig) error {
+	if cfg.walDir == "" {
+		return errors.New("cluster mode (-shards/-repl-listen/-follow) requires -wal-dir")
+	}
+	if cfg.follow != "" && (cfg.shards > 1 || cfg.replListen != "") {
+		return errors.New("-follow is exclusive with -shards/-repl-listen: a follower replicates one shard")
+	}
+	policy, err := wal.ParseFsyncPolicy(cfg.fsyncPolicy)
+	if err != nil {
+		return err
+	}
+
+	broker := mq.NewBroker()
+	defer broker.Close()
+	mqServer, err := mq.NewServer(broker, cfg.mqAddr)
+	if err != nil {
+		return fmt.Errorf("broker server: %w", err)
+	}
+	defer mqServer.Close()
+
+	reg := obs.NewRegistry()
+	cmetrics := cluster.NewMetrics(reg)
+
+	// Build the storage engine for the requested role.
+	var (
+		data     storage.Engine
+		shard0   *storage.Local // primary local store, for instrumentation and /sc
+		follower *cluster.Follower
+	)
+	if cfg.follow != "" {
+		local, err := storage.OpenLocal(storage.LocalOptions{
+			WALDir: cfg.walDir, Policy: policy, NoAttach: true,
+		})
+		if err != nil {
+			return err
+		}
+		name := cfg.followerName
+		if name == "" {
+			if host, err := os.Hostname(); err == nil {
+				name = host
+			} else {
+				name = "follower"
+			}
+		}
+		follower, err = cluster.StartFollower(local, cluster.FollowerOptions{
+			Name: name, Addr: cfg.follow, Metrics: cmetrics,
+		})
+		if err != nil {
+			return err
+		}
+		shard0 = local
+		data = follower.Engine()
+		fmt.Printf("goflow-server: follower %q replicating from %s (SIGHUP promotes)\n", name, cfg.follow)
+	} else {
+		var addrs []string
+		if cfg.replListen != "" {
+			addrs = strings.Split(cfg.replListen, ",")
+			if len(addrs) != cfg.shards {
+				return fmt.Errorf("-repl-listen needs one address per shard: got %d for %d shard(s)", len(addrs), cfg.shards)
+			}
+		}
+		engines := make([]storage.Engine, cfg.shards)
+		for i := range engines {
+			local, err := storage.OpenLocal(storage.LocalOptions{
+				WALDir: filepath.Join(cfg.walDir, fmt.Sprintf("shard-%d", i)),
+				Policy: policy, NoAttach: true,
+			})
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			var ln net.Listener
+			if addrs != nil {
+				if ln, err = net.Listen("tcp", addrs[i]); err != nil {
+					return fmt.Errorf("shard %d replication listener: %w", i, err)
+				}
+			}
+			ldr, err := cluster.NewLeader(local, ln, cluster.LeaderOptions{
+				SyncFollowers: cfg.syncFollowers, Metrics: cmetrics,
+			})
+			if err != nil {
+				return fmt.Errorf("shard %d leader: %w", i, err)
+			}
+			if ln != nil {
+				fmt.Printf("goflow-server: shard %d shipping its log on %s\n", i, ldr.Addr())
+			}
+			engines[i] = ldr
+			if i == 0 {
+				shard0 = local
+			}
+		}
+		if cfg.shards > 1 {
+			router, err := cluster.NewRouter(engines, cluster.RouterOptions{
+				Keys: cluster.DefaultShardKeys(), Metrics: cmetrics,
+			})
+			if err != nil {
+				return err
+			}
+			data = router
+			fmt.Printf("goflow-server: routing %d shards (keys %v)\n", cfg.shards, cluster.DefaultShardKeys())
+		} else {
+			data = engines[0]
+		}
+	}
+
+	server, err := goflow.NewServer(goflow.ServerConfig{
+		Broker: broker,
+		Data:   data,
+	})
+	if err != nil {
+		_ = data.Close()
+		return fmt.Errorf("goflow server: %w", err)
+	}
+	defer server.Shutdown()
+
+	metrics := goflow.Instrument(reg, server, shard0.Store())
+	if shard0.WAL() != nil {
+		metrics.InstrumentWAL(shard0.WAL())
+	}
+	reporter := obs.NewReporter(reg, cfg.metricsInterval, nil)
+	reporter.Start()
+	defer reporter.Stop()
+
+	app, err := soundcity.Register(server)
+	if err != nil {
+		return fmt.Errorf("register app: %w", err)
+	}
+	// A follower rejects every write until promoted, so ingest only
+	// starts on leaders (and on a follower at promotion).
+	if follower == nil {
+		if err := server.StartIngest(); err != nil {
+			return fmt.Errorf("start ingest: %w", err)
+		}
+	}
+
+	// Checkpoints go through the engine: a Local rotates + snapshots +
+	// truncates, a Router fans out to every shard, and a replicated
+	// leader retains whatever its slowest follower still needs.
+	server.Jobs.Register("snapshot", func(_ context.Context, _ *goflow.DataManager, _ string) (any, error) {
+		if err := data.Checkpoint(); err != nil {
+			return nil, err
+		}
+		return map[string]string{"checkpoint": cfg.walDir}, nil
+	})
+	stopSnapshots := make(chan struct{})
+	var snapshotWG sync.WaitGroup
+	if cfg.snapshotInterval > 0 {
+		snapshotWG.Add(1)
+		go func() {
+			defer snapshotWG.Done()
+			ticker := time.NewTicker(cfg.snapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := data.Checkpoint(); err != nil {
+						fmt.Printf("goflow-server: checkpoint: %v\n", err)
+					}
+				case <-stopSnapshots:
+					return
+				}
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	api := goflow.NewInstrumentedHTTPHandler(server, reg)
+	mux.Handle("/v1/", api)
+	mux.Handle("/metrics", api)
+	mux.Handle("/metrics.json", api)
+	if follower == nil {
+		// The SoundCity user API writes journeys straight into the
+		// primary store (shard 0 — journeys are unkeyed, so the router
+		// pins them there too). On a follower those direct writes would
+		// diverge from the replicated history, so /sc stays off.
+		userAPI, err := soundcity.NewUserAPI(soundcity.APIConfig{
+			Server: server,
+			Store:  shard0.Store(),
+			Broker: broker,
+		})
+		if err != nil {
+			return fmt.Errorf("user API: %w", err)
+		}
+		mux.Handle("/sc/", http.StripPrefix("/sc", userAPI))
+	}
+
+	httpServer := &http.Server{
+		Addr:              cfg.httpAddr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+
+	fmt.Printf("goflow-server: broker on %s, REST on %s, metrics on %s/metrics\n", mqServer.Addr(), cfg.httpAddr, cfg.httpAddr)
+	fmt.Printf("goflow-server: app %q registered (secret %s)\n", app.ID, app.Secret)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case s := <-sig:
+			fmt.Printf("goflow-server: caught %v, shutting down\n", s)
+			break loop
+		case err := <-errCh:
+			if err != nil && err != http.ErrServerClosed {
+				return fmt.Errorf("http server: %w", err)
+			}
+			break loop
+		case <-hup:
+			if follower == nil || follower.Promoted() {
+				continue
+			}
+			follower.Promote()
+			if err := server.StartIngest(); err != nil {
+				return fmt.Errorf("start ingest after promotion: %w", err)
+			}
+			fmt.Println("goflow-server: promoted to leader, ingest started")
+		}
+	}
+
+	// Same drain order as the single-node path; the engine Close at the
+	// end stops replication sessions and flushes every shard WAL.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	server.Guard.SetDraining(true)
+	if err := httpServer.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := server.ShutdownContext(ctx); err != nil {
+		fmt.Printf("goflow-server: ingest drain: %v\n", err)
+	}
+	mqServer.Close()
+	close(stopSnapshots)
+	snapshotWG.Wait()
+	if err := data.Checkpoint(); err != nil {
+		fmt.Printf("goflow-server: final checkpoint: %v\n", err)
+	}
+	if follower != nil {
+		return follower.Close()
+	}
+	return data.Close()
+}

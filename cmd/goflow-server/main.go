@@ -6,6 +6,10 @@
 //
 //	goflow-server [-mq :7672] [-http :7680]
 //
+// Cluster mode (see cluster.go): -shards partitions collections across
+// N WAL-backed shards, -repl-listen ships each shard's log to
+// followers, -follow runs a read replica that SIGHUP promotes.
+//
 // Durability: -data alone snapshots the store on shutdown (and every
 // -snapshot-interval, when set). Adding -wal-dir turns on the
 // write-ahead log: every accepted mutation is durable before it is
@@ -50,7 +54,22 @@ func run() error {
 	fsyncPolicy := flag.String("fsync-policy", "grouped", "WAL fsync policy: grouped (group commit), always (per record) or none (no fsync)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "period between snapshot checkpoints (0 = snapshot only on shutdown); with a WAL, each checkpoint also truncates the log")
 	metricsInterval := flag.Duration("metrics-interval", 30*time.Second, "period between metric snapshot log lines (0 disables)")
+	shards := flag.Int("shards", 1, "number of storage shards under <wal-dir>/shard-N (cluster mode when > 1)")
+	replListen := flag.String("repl-listen", "", "comma-separated replication listener addresses, one per shard (enables log shipping)")
+	syncFollowers := flag.Int("sync-followers", 0, "followers that must acknowledge a write before it is acknowledged to the client (0 = async replication)")
+	follow := flag.String("follow", "", "run as a follower replicating from this leader replication address (read-only until SIGHUP promotes)")
+	followerName := flag.String("follower-name", "", "stable follower identity for ack tracking (default: hostname)")
 	flag.Parse()
+
+	if cfg := (clusterConfig{
+		mqAddr: *mqAddr, httpAddr: *httpAddr,
+		walDir: *walDir, fsyncPolicy: *fsyncPolicy,
+		shards: *shards, replListen: *replListen, syncFollowers: *syncFollowers,
+		follow: *follow, followerName: *followerName,
+		snapshotInterval: *snapshotInterval, metricsInterval: *metricsInterval,
+	}); cfg.clusterMode() {
+		return runCluster(cfg)
+	}
 
 	broker := mq.NewBroker()
 	defer broker.Close()

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/storage"
+)
+
+// ErrNotLeader is returned for writes against a follower that has not
+// been promoted. Followers serve reads (possibly stale by their
+// replication lag) and reject every mutation.
+var ErrNotLeader = errors.New("cluster: not the leader")
+
+// FollowerOptions configure StartFollower.
+type FollowerOptions struct {
+	// Name is the follower's stable identity; the leader keys ack
+	// tracking by it across reconnects. Required.
+	Name string
+	// Addr is the leader's replication listener address. Required.
+	Addr string
+	// Shard is the shard number announced in hello (bookkeeping only).
+	Shard int
+	// Dial overrides the transport (fault injectors, in-process pipes);
+	// nil dials plain TCP.
+	Dial func(addr string) (net.Conn, error)
+	// FetchRecords / FetchBytes bound one requested batch (0 = leader
+	// defaults).
+	FetchRecords int
+	FetchBytes   int
+	// RetryInterval is the pause between replication-session attempts
+	// after a failure (default 100ms).
+	RetryInterval time.Duration
+	// Metrics receives follower counters when non-nil.
+	Metrics *Metrics
+}
+
+// Follower is a shard replica: it tails the leader's WAL over the
+// replication protocol, applies every record to its own Local engine
+// (memory and WAL both, so a restart recovers locally and resumes
+// where it stopped), serves reads, and can be promoted to writable
+// when the leader is lost.
+//
+// The follower's WAL assigns its own LSNs, but because it appends
+// exactly the leader's records in leader order starting from the same
+// empty log, the numbering coincides — a shipped record's local LSN is
+// asserted equal to its leader LSN, so any divergence is caught the
+// moment it happens rather than at failover.
+type Follower struct {
+	local *storage.Local
+	opt   FollowerOptions
+
+	applied  atomic.Uint64
+	promoted atomic.Bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// StartFollower begins replicating from the leader at opts.Addr into
+// local, which must be WAL-backed and opened with NoAttach (the
+// follower appends shipped records itself; attaching would re-log
+// every applied mutation). The replication loop retries failed
+// sessions until Stop or Promote.
+func StartFollower(local *storage.Local, opts FollowerOptions) (*Follower, error) {
+	if local.WAL() == nil {
+		return nil, errors.New("cluster: follower requires a WAL-backed engine")
+	}
+	if opts.Name == "" || opts.Addr == "" {
+		return nil, errors.New("cluster: follower needs a name and a leader address")
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if opts.RetryInterval <= 0 {
+		opts.RetryInterval = 100 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{
+		local:  local,
+		opt:    opts,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	// Local recovery already replayed this WAL into the store; resume
+	// fetching right after the last locally durable record.
+	f.applied.Store(local.WAL().LastLSN())
+	go f.run(ctx)
+	return f, nil
+}
+
+// AppliedLSN is the highest leader LSN this follower has durably
+// applied.
+func (f *Follower) AppliedLSN() uint64 { return f.applied.Load() }
+
+// Promoted reports whether Promote has run.
+func (f *Follower) Promoted() bool { return f.promoted.Load() }
+
+// Engine returns the follower as a storage.Engine: reads are served
+// from the local replica, writes fail with ErrNotLeader until Promote.
+func (f *Follower) Engine() storage.Engine { return (*followerEngine)(f) }
+
+// Stop ends replication without promoting. Safe to call twice.
+func (f *Follower) Stop() {
+	f.cancel()
+	f.mu.Lock()
+	if f.conn != nil {
+		_ = f.conn.Close()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+// Promote ends replication and attaches the local WAL as a plain
+// commit log, turning the replica into a writable single-node engine
+// that has exactly the acknowledged history: every record the old
+// leader's clients were acked (under a sync quorum that includes this
+// follower) is in the local log by definition of the ack. Returns the
+// now-writable engine.
+func (f *Follower) Promote() storage.Engine {
+	f.Stop()
+	if f.promoted.CompareAndSwap(false, true) {
+		docstore.AttachWAL(f.local.Store(), f.local.WAL())
+		if f.opt.Metrics != nil {
+			f.opt.Metrics.Promotions.Inc()
+		}
+	}
+	return f.Engine()
+}
+
+// Close stops replication and closes the local engine.
+func (f *Follower) Close() error {
+	f.Stop()
+	return f.local.Close()
+}
+
+// run is the replication loop: dial, stream, and on any failure retry
+// a whole session (the fetch position is durable, so a re-shipped
+// record is skipped idempotently).
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			if f.opt.Metrics != nil {
+				f.opt.Metrics.Reconnects.Inc()
+			}
+			select {
+			case <-time.After(f.opt.RetryInterval):
+			case <-ctx.Done():
+				return
+			}
+		}
+		first = false
+		_ = f.session(ctx)
+	}
+}
+
+// session runs one replication connection until it fails or the
+// follower stops.
+func (f *Follower) session(ctx context.Context) error {
+	nc, err := f.opt.Dial(f.opt.Addr)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.conn = nc
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		_ = nc.Close()
+	}()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	r := bufio.NewReader(nc)
+	if _, err := mq.WriteReplFrame(nc, &mq.ReplFrame{
+		Op: mq.ReplOpHello, Shard: f.opt.Shard, Follower: f.opt.Name,
+	}); err != nil {
+		return err
+	}
+	hello, _, err := mq.ReadReplFrame(r)
+	if err != nil {
+		return err
+	}
+	if hello.Op != mq.ReplOpHello {
+		return fmt.Errorf("cluster: leader greeted with %q", hello.Op)
+	}
+	for ctx.Err() == nil {
+		applied := f.applied.Load()
+		if _, err := mq.WriteReplFrame(nc, &mq.ReplFrame{
+			Op:         mq.ReplOpFetch,
+			From:       applied + 1,
+			AppliedLSN: applied,
+			MaxRecords: f.opt.FetchRecords,
+			MaxBytes:   f.opt.FetchBytes,
+		}); err != nil {
+			return err
+		}
+		batch, _, err := mq.ReadReplFrame(r)
+		if err != nil {
+			return err
+		}
+		switch batch.Op {
+		case mq.ReplOpBatch:
+		case mq.ReplOpError:
+			return fmt.Errorf("cluster: leader error: %s", batch.Error)
+		default:
+			return fmt.Errorf("cluster: unexpected frame %q", batch.Op)
+		}
+		if err := f.apply(batch.Records); err != nil {
+			return err
+		}
+		if f.opt.Metrics != nil && batch.LeaderLSN >= f.applied.Load() {
+			f.opt.Metrics.FollowerLag.With(f.opt.Name).Set(float64(batch.LeaderLSN - f.applied.Load()))
+		}
+	}
+	return ctx.Err()
+}
+
+// apply applies one shipped batch: decode each record, apply it to the
+// store, append it to the local WAL, then wait out the last ticket
+// (the group commit flushes the whole run) before advancing the
+// durable applied position.
+func (f *Follower) apply(records []mq.ReplRecord) error {
+	if len(records) == 0 {
+		return nil
+	}
+	w := f.local.WAL()
+	store := f.local.Store()
+	var lastTk interface{ Wait() error }
+	var lastLSN uint64
+	applied := f.applied.Load()
+	for _, rec := range records {
+		if rec.LSN <= applied {
+			continue // idempotent re-ship after a reconnect
+		}
+		if rec.LSN != applied+1 {
+			return fmt.Errorf("cluster: gap in shipped log: have %d, got %d", applied, rec.LSN)
+		}
+		m, err := docstore.DecodeMutation(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if m.Op == 0 {
+			m.Op = docstore.MutationOp(rec.Type)
+		}
+		if err := store.ApplyMutation(m); err != nil {
+			return err
+		}
+		tk, err := w.Append(rec.Type, rec.Payload)
+		if err != nil {
+			return err
+		}
+		if tk.LSN() != rec.LSN {
+			return fmt.Errorf("cluster: local lsn %d diverged from leader lsn %d", tk.LSN(), rec.LSN)
+		}
+		lastTk, lastLSN = tk, rec.LSN
+		applied = rec.LSN
+	}
+	if lastTk == nil {
+		return nil
+	}
+	if err := lastTk.Wait(); err != nil {
+		return err
+	}
+	f.applied.Store(lastLSN)
+	if f.opt.Metrics != nil {
+		f.opt.Metrics.AppliedRecords.Add(uint64(len(records)))
+	}
+	return nil
+}
+
+// followerEngine exposes the replica through the Engine interface with
+// writes gated on promotion.
+type followerEngine Follower
+
+func (e *followerEngine) f() *Follower { return (*Follower)(e) }
+
+func (e *followerEngine) writable() bool { return e.f().promoted.Load() }
+
+func (e *followerEngine) Insert(col string, doc storage.Doc) (string, error) {
+	if !e.writable() {
+		return "", ErrNotLeader
+	}
+	return e.local.Insert(col, doc)
+}
+
+func (e *followerEngine) InsertMany(col string, docs []storage.Doc) ([]string, error) {
+	if !e.writable() {
+		return nil, ErrNotLeader
+	}
+	return e.local.InsertMany(col, docs)
+}
+
+func (e *followerEngine) Get(col, id string) (storage.Doc, error) {
+	return e.local.Get(col, id)
+}
+
+func (e *followerEngine) Update(col, id string, fields storage.Doc) error {
+	if !e.writable() {
+		return ErrNotLeader
+	}
+	return e.local.Update(col, id, fields)
+}
+
+func (e *followerEngine) Unset(col, id string, fields ...string) error {
+	if !e.writable() {
+		return ErrNotLeader
+	}
+	return e.local.Unset(col, id, fields...)
+}
+
+func (e *followerEngine) Delete(col, id string) error {
+	if !e.writable() {
+		return ErrNotLeader
+	}
+	return e.local.Delete(col, id)
+}
+
+func (e *followerEngine) DeleteMany(col string, filter storage.Doc) (int, error) {
+	if !e.writable() {
+		return 0, ErrNotLeader
+	}
+	return e.local.DeleteMany(col, filter)
+}
+
+func (e *followerEngine) FindContext(ctx context.Context, col string, filter storage.Doc, opts docstore.FindOptions) ([]storage.Doc, error) {
+	return e.local.FindContext(ctx, col, filter, opts)
+}
+
+func (e *followerEngine) CountContext(ctx context.Context, col string, filter storage.Doc) (int, error) {
+	return e.local.CountContext(ctx, col, filter)
+}
+
+func (e *followerEngine) EnsureIndex(col, field string) {
+	// Index mutations replicate from the leader; a pre-promotion
+	// EnsureIndex would desync the follower's commit history.
+	if e.writable() {
+		e.local.EnsureIndex(col, field)
+	}
+}
+
+func (e *followerEngine) Collections() []string { return e.local.Collections() }
+
+func (e *followerEngine) Stats(col string) docstore.Stats { return e.local.Stats(col) }
+
+func (e *followerEngine) Checkpoint() error { return e.local.Checkpoint() }
+
+func (e *followerEngine) Close() error { return e.f().Close() }
+
+var _ storage.Engine = (*followerEngine)(nil)

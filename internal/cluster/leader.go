@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/storage"
+	"github.com/urbancivics/goflow/internal/wal"
+)
+
+// ErrAckTimeout reports a write that is durable on the leader but was
+// not acknowledged by the required follower quorum in time. The caller
+// must treat the write as unacknowledged: after a failover it may or
+// may not survive, exactly like a write whose fsync never returned.
+var ErrAckTimeout = errors.New("cluster: follower ack quorum timed out")
+
+// LeaderOptions configure NewLeader.
+type LeaderOptions struct {
+	// SyncFollowers is how many followers must acknowledge a record
+	// before its commit ticket resolves. 0 replicates asynchronously:
+	// writes are acknowledged on local fsync alone, and an unlucky
+	// failover can lose the unshipped tail.
+	SyncFollowers int
+	// AckTimeout bounds the quorum wait (default 5s).
+	AckTimeout time.Duration
+	// Heartbeat caps a long-polled fetch: a caught-up follower gets an
+	// empty batch after at most this long, carrying the leader's
+	// durable LSN as a liveness signal (default 500ms).
+	Heartbeat time.Duration
+	// BatchRecords / BatchBytes bound one shipped batch (defaults
+	// 1024 records, 1 MiB).
+	BatchRecords int
+	BatchBytes   int
+	// Metrics receives replication counters when non-nil.
+	Metrics *Metrics
+}
+
+// Leader is a shard's write side: the Local engine plus a
+// replication-aware commit log and a log-shipping server. All Engine
+// methods come from the embedded Local — writes flow through the
+// store's commit-log seam, which the leader has rewired so that Wait
+// means "fsynced locally AND acknowledged by the follower quorum".
+type Leader struct {
+	*storage.Local
+
+	opt  LeaderOptions
+	acks *ackTracker
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	serveWG  sync.WaitGroup
+}
+
+// NewLeader wires a Local engine (opened with NoAttach so its commit
+// log slot is free, and with a WAL — the log is what gets shipped)
+// into a replicating leader, and starts serving replication streams on
+// ln. The follower set is open: any follower that connects and acks is
+// counted toward quorums and the truncation bound.
+func NewLeader(local *storage.Local, ln net.Listener, opt LeaderOptions) (*Leader, error) {
+	if local.WAL() == nil {
+		return nil, errors.New("cluster: leader requires a WAL-backed engine")
+	}
+	if opt.AckTimeout <= 0 {
+		opt.AckTimeout = 5 * time.Second
+	}
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = 500 * time.Millisecond
+	}
+	if opt.BatchRecords <= 0 {
+		opt.BatchRecords = 1024
+	}
+	if opt.BatchBytes <= 0 {
+		opt.BatchBytes = 1 << 20
+	}
+	l := &Leader{
+		Local: local,
+		opt:   opt,
+		acks:  newAckTracker(),
+		conns: map[net.Conn]struct{}{},
+	}
+	local.Store().SetCommitLog(&leaderCommitLog{l: l})
+	// Checkpoints must not truncate history a known follower has yet
+	// to acknowledge; with no followers the bound is "no constraint".
+	local.SetTruncateBound(func() uint64 { return l.acks.minAcked() })
+	if ln != nil {
+		l.listener = ln
+		l.serveWG.Add(1)
+		go l.serve(ln)
+	}
+	return l, nil
+}
+
+// Addr returns the replication listener address ("" when not serving).
+func (l *Leader) Addr() string {
+	if l.listener == nil {
+		return ""
+	}
+	return l.listener.Addr().String()
+}
+
+// FollowerAcked reports a named follower's acknowledged LSN (0 when it
+// has never acked).
+func (l *Leader) FollowerAcked(name string) uint64 { return l.acks.get(name) }
+
+// Close implements storage.Engine: stop the replication server, drop
+// the commit log, and close the Local engine.
+func (l *Leader) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	ln := l.listener
+	for c := range l.conns {
+		_ = c.Close()
+	}
+	l.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	l.serveWG.Wait()
+	l.acks.close()
+	return l.Local.Close()
+}
+
+// leaderCommitLog is the replication-aware commit log: every mutation
+// becomes a WAL record whose ticket also waits for the follower-ack
+// quorum.
+type leaderCommitLog struct{ l *Leader }
+
+// Log implements docstore.CommitLog.
+func (cl *leaderCommitLog) Log(m *docstore.Mutation) (docstore.CommitTicket, error) {
+	payload, err := docstore.EncodeMutation(m)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := cl.l.WAL().Append(byte(m.Op), payload)
+	if err != nil {
+		return nil, err
+	}
+	return &replTicket{l: cl.l, walTk: tk}, nil
+}
+
+// replTicket resolves when the record is durable locally and, in sync
+// mode, acknowledged by the follower quorum.
+type replTicket struct {
+	l     *Leader
+	walTk *wal.Ticket
+}
+
+// Wait implements docstore.CommitTicket.
+func (t *replTicket) Wait() error {
+	if err := t.walTk.Wait(); err != nil {
+		return err
+	}
+	need := t.l.opt.SyncFollowers
+	if need <= 0 {
+		return nil
+	}
+	if err := t.l.acks.waitQuorum(t.walTk.LSN(), need, t.l.opt.AckTimeout); err != nil {
+		if t.l.opt.Metrics != nil {
+			t.l.opt.Metrics.AckTimeouts.Inc()
+		}
+		return err
+	}
+	return nil
+}
+
+// ackTracker tracks each follower's acknowledged (durably applied)
+// LSN and wakes commit waiters as acks arrive.
+type ackTracker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	acked  map[string]uint64
+	closed bool
+}
+
+func newAckTracker() *ackTracker {
+	a := &ackTracker{acked: map[string]uint64{}}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// update raises a follower's acknowledged LSN (never lowers it) and
+// wakes quorum waiters.
+func (a *ackTracker) update(name string, lsn uint64) {
+	a.mu.Lock()
+	if lsn > a.acked[name] {
+		a.acked[name] = lsn
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+func (a *ackTracker) get(name string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acked[name]
+}
+
+// minAcked is the truncation bound: the slowest known follower's
+// acknowledged LSN, or ^uint64(0) ("no constraint") with no followers.
+func (a *ackTracker) minAcked() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	min := ^uint64(0)
+	for _, lsn := range a.acked {
+		if lsn < min {
+			min = lsn
+		}
+	}
+	return min
+}
+
+// quorumLSNLocked is the highest LSN acknowledged by at least need
+// followers.
+func (a *ackTracker) quorumLSNLocked(need int) uint64 {
+	if need <= 0 || len(a.acked) < need {
+		return 0
+	}
+	lsns := make([]uint64, 0, len(a.acked))
+	for _, lsn := range a.acked {
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	return lsns[need-1]
+}
+
+// waitQuorum blocks until need followers have acknowledged lsn, the
+// timeout elapses, or the tracker closes.
+func (a *ackTracker) waitQuorum(lsn uint64, need int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, a.cond.Broadcast)
+	defer timer.Stop()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.quorumLSNLocked(need) < lsn {
+		if a.closed {
+			return ErrAckTimeout
+		}
+		if !time.Now().Before(deadline) {
+			return ErrAckTimeout
+		}
+		a.cond.Wait()
+	}
+	return nil
+}
+
+func (a *ackTracker) close() {
+	a.mu.Lock()
+	a.closed = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// A leader's WAL must run a syncing fsync policy (grouped or always):
+// under FsyncNone the durable LSN never advances on the append path,
+// so ReadFrom ships nothing and followers starve. The server wiring
+// rejects the combination.
+var _ storage.Engine = (*Leader)(nil)

@@ -1,0 +1,48 @@
+package cluster
+
+import "github.com/urbancivics/goflow/internal/obs"
+
+// Metrics are the cluster's observability counters, registered on the
+// shared obs registry by the server wiring (nil disables them — every
+// use site is nil-guarded, the same hook-struct pattern the docstore
+// and WAL instrumentation follow).
+type Metrics struct {
+	// RouterFanouts counts fanned-out batch inserts.
+	RouterFanouts *obs.Counter
+
+	// ShippedRecords / ShippedBatches / ShippedBytes count replication
+	// traffic the leader served to followers.
+	ShippedRecords *obs.Counter
+	ShippedBatches *obs.Counter
+	ShippedBytes   *obs.Counter
+
+	// AckTimeouts counts writes whose follower-ack quorum did not
+	// arrive inside the ack timeout (the write is durable locally but
+	// unacknowledged to the client).
+	AckTimeouts *obs.Counter
+
+	// AppliedRecords counts records a follower applied from its leader.
+	AppliedRecords *obs.Counter
+	// FollowerLag is the leader-durable-LSN minus follower-applied-LSN
+	// gap observed on the follower's last batch.
+	FollowerLag *obs.GaugeVec
+	// Reconnects counts follower replication-session restarts.
+	Reconnects *obs.Counter
+	// Promotions counts follower promotions to leader.
+	Promotions *obs.Counter
+}
+
+// NewMetrics registers the cluster metric families.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		RouterFanouts:  reg.Counter("cluster_router_fanout_total", "Fanned-out batch inserts"),
+		ShippedRecords: reg.Counter("cluster_repl_shipped_records_total", "WAL records shipped to followers"),
+		ShippedBatches: reg.Counter("cluster_repl_shipped_batches_total", "Replication batches shipped"),
+		ShippedBytes:   reg.Counter("cluster_repl_shipped_bytes_total", "Replication payload bytes shipped"),
+		AckTimeouts:    reg.Counter("cluster_repl_ack_timeout_total", "Writes not acknowledged by the follower quorum in time"),
+		AppliedRecords: reg.Counter("cluster_repl_applied_records_total", "Records applied from the leader"),
+		FollowerLag:    reg.GaugeVec("cluster_repl_follower_lag_records", "Leader durable LSN minus follower applied LSN", "follower"),
+		Reconnects:     reg.Counter("cluster_repl_reconnect_total", "Follower replication session restarts"),
+		Promotions:     reg.Counter("cluster_repl_promotion_total", "Follower promotions to leader"),
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/wal"
+)
+
+// Leader side of the log-shipping protocol (see internal/mq/repl.go
+// for the wire contract). One goroutine per follower connection; the
+// stream is follower-driven pull, so the leader holds no per-follower
+// send state beyond the ack tracker.
+
+func (l *Leader) serve(ln net.Listener) {
+	defer l.serveWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		l.conns[nc] = struct{}{}
+		l.serveWG.Add(1)
+		l.mu.Unlock()
+		go l.handle(nc)
+	}
+}
+
+func (l *Leader) handle(nc net.Conn) {
+	defer l.serveWG.Done()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, nc)
+		l.mu.Unlock()
+		_ = nc.Close()
+	}()
+	r := bufio.NewReader(nc)
+	hello, _, err := mq.ReadReplFrame(r)
+	if err != nil || hello.Op != mq.ReplOpHello {
+		return
+	}
+	follower := hello.Follower
+	if follower == "" {
+		follower = nc.RemoteAddr().String()
+	}
+	w := l.WAL()
+	if _, err := mq.WriteReplFrame(nc, &mq.ReplFrame{
+		Op: mq.ReplOpHello, Shard: hello.Shard, LeaderLSN: w.DurableLSN(),
+	}); err != nil {
+		return
+	}
+	for {
+		req, _, err := mq.ReadReplFrame(r)
+		if err != nil || req.Op != mq.ReplOpFetch {
+			return
+		}
+		// Every fetch is also an ack: the follower has durably applied
+		// everything below AppliedLSN.
+		l.acks.update(follower, req.AppliedLSN)
+		maxRecs, maxBytes := req.MaxRecords, req.MaxBytes
+		if maxRecs <= 0 || maxRecs > l.opt.BatchRecords {
+			maxRecs = l.opt.BatchRecords
+		}
+		if maxBytes <= 0 || maxBytes > l.opt.BatchBytes {
+			maxBytes = l.opt.BatchBytes
+		}
+		recs, err := l.readBatch(req.From, maxRecs, maxBytes)
+		if err != nil {
+			_, _ = mq.WriteReplFrame(nc, &mq.ReplFrame{Op: mq.ReplOpError, Error: err.Error()})
+			return
+		}
+		batch := &mq.ReplFrame{Op: mq.ReplOpBatch, LeaderLSN: w.DurableLSN()}
+		var payloadBytes int
+		for _, rec := range recs {
+			batch.Records = append(batch.Records, mq.ReplRecord{LSN: rec.LSN, Type: rec.Type, Payload: rec.Payload})
+			payloadBytes += len(rec.Payload)
+		}
+		if _, err := mq.WriteReplFrame(nc, batch); err != nil {
+			return
+		}
+		if m := l.opt.Metrics; m != nil {
+			m.ShippedBatches.Inc()
+			m.ShippedRecords.Add(uint64(len(recs)))
+			m.ShippedBytes.Add(uint64(payloadBytes))
+		}
+	}
+}
+
+// readBatch reads records from the WAL starting at from, long-polling
+// up to the heartbeat interval when the follower is caught up. The
+// notify channel is armed before the read, so a commit landing between
+// the read and the wait cannot be missed.
+func (l *Leader) readBatch(from uint64, maxRecs, maxBytes int) ([]wal.Record, error) {
+	w := l.WAL()
+	deadline := time.Now().Add(l.opt.Heartbeat)
+	for {
+		notify := w.DurableNotify()
+		recs, err := w.ReadFrom(from, maxRecs, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			return recs, nil
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, nil // heartbeat: empty batch
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+			return nil, nil
+		}
+	}
+}

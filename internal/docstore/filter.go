@@ -230,6 +230,11 @@ func comparable2(a, b any) bool {
 	return typeRank(a) == typeRank(b)
 }
 
+// CompareValues orders two document values with the same rules Find's
+// sort uses. Exported so a shard router can merge the sorted partial
+// results of a fanned-out scan without re-implementing the ordering.
+func CompareValues(a, b any) int { return compareValues(a, b) }
+
 // compareValues orders two document values. Numbers compare
 // numerically across int/float widths; times by instant; strings
 // lexically. Values of different kinds order by typeRank.

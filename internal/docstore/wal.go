@@ -53,7 +53,7 @@ type walCommitLog struct{ w *wal.WAL }
 // and the fsync — happens behind the ticket's Wait, off the collection
 // lock.
 func (l walCommitLog) Log(m *Mutation) (CommitTicket, error) {
-	payload, err := encodeWALMutation(m)
+	payload, err := EncodeMutation(m)
 	if err != nil {
 		return nil, err
 	}
@@ -64,11 +64,13 @@ func (l walCommitLog) Log(m *Mutation) (CommitTicket, error) {
 	return t, nil
 }
 
-// encodeWALMutation gob-encodes a mutation. Each record carries its
-// own encoder stream: self-contained records cost some bytes in type
-// descriptors but keep every record independently decodable, which is
-// what lets recovery truncate at an arbitrary torn record.
-func encodeWALMutation(m *Mutation) ([]byte, error) {
+// EncodeMutation gob-encodes a mutation into a WAL record payload.
+// Each record carries its own encoder stream: self-contained records
+// cost some bytes in type descriptors but keep every record
+// independently decodable, which is what lets recovery truncate at an
+// arbitrary torn record — and what lets a replication follower apply
+// shipped records one by one. Exported for the cluster layer.
+func EncodeMutation(m *Mutation) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
 		return nil, fmt.Errorf("docstore: encode wal mutation: %w", err)
@@ -76,8 +78,9 @@ func encodeWALMutation(m *Mutation) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decodeWALMutation decodes one WAL record payload.
-func decodeWALMutation(payload []byte) (*Mutation, error) {
+// DecodeMutation decodes one WAL record payload back into a Mutation
+// (the inverse of EncodeMutation).
+func DecodeMutation(payload []byte) (*Mutation, error) {
 	var m Mutation
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("docstore: decode wal mutation: %w", err)
@@ -104,14 +107,14 @@ func RecoverWAL(s *Store, w *wal.WAL) (WALRecovery, error) {
 	start := time.Now()
 	n := 0
 	err := w.Replay(func(lsn uint64, typ byte, payload []byte) error {
-		m, err := decodeWALMutation(payload)
+		m, err := DecodeMutation(payload)
 		if err != nil {
 			return fmt.Errorf("lsn %d: %w", lsn, err)
 		}
 		if m.Op == 0 {
 			m.Op = MutationOp(typ)
 		}
-		if err := s.applyReplay(m); err != nil {
+		if err := s.ApplyMutation(m); err != nil {
 			return fmt.Errorf("lsn %d: %w", lsn, err)
 		}
 		n++
@@ -123,9 +126,14 @@ func RecoverWAL(s *Store, w *wal.WAL) (WALRecovery, error) {
 	return WALRecovery{Records: n, Duration: time.Since(start)}, nil
 }
 
-// applyReplay applies one recovered mutation with the idempotent
-// semantics documented at the top of this file.
-func (s *Store) applyReplay(m *Mutation) error {
+// ApplyMutation applies one recovered or replicated mutation with the
+// idempotent semantics documented at the top of this file, bypassing
+// hooks and the commit log. It is the apply side of both WAL recovery
+// and log-shipping replication: a follower decodes each shipped record
+// with DecodeMutation and applies it here, and because application is
+// idempotent a re-shipped record (after a follower reconnect) simply
+// converges.
+func (s *Store) ApplyMutation(m *Mutation) error {
 	switch m.Op {
 	case OpInsert:
 		if m.ID == "" {

@@ -52,13 +52,14 @@ func TestCrowdCalibrateJob(t *testing.T) {
 
 	// The calibration collection holds crowd entries whose relative
 	// spacing matches the seeded biases (zero-median gauge).
-	col := dm.store.Collection(CalibrationCollection)
 	got := make(map[string]float64, 3)
 	for model := range biases {
-		doc, err := col.FindOne(docstore.Doc{"appId": "SC", "model": model, "source": "crowd"})
-		if err != nil {
+		docs, err := dm.Engine().FindContext(t.Context(), CalibrationCollection,
+			docstore.Doc{"appId": "SC", "model": model, "source": "crowd"}, docstore.FindOptions{Limit: 1})
+		if err != nil || len(docs) == 0 {
 			t.Fatalf("calibration doc for %s: %v", model, err)
 		}
+		doc := docs[0]
 		bias, ok := doc["biasDb"].(float64)
 		if !ok {
 			t.Fatalf("biasDb missing: %v", doc)
@@ -82,7 +83,7 @@ func TestCrowdCalibrateJob(t *testing.T) {
 	if err != nil || job2.State != JobDone {
 		t.Fatalf("rerun state = %v, %v", job2.State, err)
 	}
-	n, err := col.Count(docstore.Doc{"appId": "SC", "source": "crowd"})
+	n, err := dm.Engine().CountContext(t.Context(), CalibrationCollection, docstore.Doc{"appId": "SC", "source": "crowd"})
 	if err != nil || n != 3 {
 		t.Fatalf("calibration docs after rerun = %d, want 3", n)
 	}

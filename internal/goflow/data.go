@@ -9,6 +9,7 @@ import (
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/geo"
 	"github.com/urbancivics/goflow/internal/sensing"
+	"github.com/urbancivics/goflow/internal/storage"
 )
 
 // Crowd-sensed data management: observations arriving through the
@@ -20,26 +21,33 @@ import (
 // ObservationsCollection is the docstore collection name.
 const ObservationsCollection = "observations"
 
-// DataManager stores and retrieves crowd-sensed observations.
+// DataManager stores and retrieves crowd-sensed observations. It
+// talks to storage exclusively through the Engine seam, so the same
+// code serves a bare in-memory store, a WAL-backed single node, or a
+// sharded replicated cluster.
 type DataManager struct {
-	store    *docstore.Store
+	data     storage.Engine
 	accounts *Accounts
 	zones    *geo.ZoneGrid
 }
 
-// NewDataManager wires the storage layer. zones may be nil to skip
-// zone derivation.
+// NewDataManager wires the storage layer over a plain document store.
+// zones may be nil to skip zone derivation.
 func NewDataManager(store *docstore.Store, accounts *Accounts, zones *geo.ZoneGrid) *DataManager {
-	col := store.Collection(ObservationsCollection)
-	col.EnsureIndex("deviceModel")
-	col.EnsureIndex("appId")
-	col.EnsureIndex("userId")
-	col.EnsureIndex("provider")
-	col.EnsureIndex("mode")
-	col.EnsureIndex("appVersion")
-	col.EnsureIndex("zone")
-	return &DataManager{store: store, accounts: accounts, zones: zones}
+	return NewDataManagerEngine(storage.NewLocal(store), accounts, zones)
 }
+
+// NewDataManagerEngine wires the storage layer over an arbitrary
+// engine (a Local, a cluster Router, a replicated shard leader).
+func NewDataManagerEngine(data storage.Engine, accounts *Accounts, zones *geo.ZoneGrid) *DataManager {
+	for _, field := range []string{"deviceModel", "appId", "userId", "provider", "mode", "appVersion", "zone"} {
+		data.EnsureIndex(ObservationsCollection, field)
+	}
+	return &DataManager{data: data, accounts: accounts, zones: zones}
+}
+
+// Engine exposes the storage engine, for jobs and server wiring.
+func (dm *DataManager) Engine() storage.Engine { return dm.data }
 
 // Ingest validates, anonymizes and stores one observation published
 // by clientID for appID; it returns the stored document id.
@@ -51,7 +59,7 @@ func (dm *DataManager) Ingest(appID, clientID string, o *sensing.Observation, re
 		return "", fmt.Errorf("ingest: %w", err)
 	}
 	doc := dm.toDoc(appID, clientID, o, receivedAt)
-	id, err := dm.store.Collection(ObservationsCollection).Insert(doc)
+	id, err := dm.data.Insert(ObservationsCollection, doc)
 	if err != nil {
 		return "", fmt.Errorf("store observation: %w", err)
 	}
@@ -82,7 +90,7 @@ func (dm *DataManager) IngestBatch(appID, clientID string, observations []*sensi
 		}
 		docs = append(docs, dm.toDocAnon(appID, anonID, o, receivedAt[i]))
 	}
-	ids, err := dm.store.Collection(ObservationsCollection).InsertMany(docs)
+	ids, err := dm.data.InsertMany(ObservationsCollection, docs)
 	if err != nil {
 		return ids, fmt.Errorf("store observations: %w", err)
 	}
@@ -203,7 +211,7 @@ func (dm *DataManager) Retrieve(q Query) ([]docstore.Doc, error) {
 // the admission timeout) is cancelled instead of holding the
 // collection lock to completion.
 func (dm *DataManager) RetrieveContext(ctx context.Context, q Query) ([]docstore.Doc, error) {
-	docs, err := dm.store.Collection(ObservationsCollection).FindContext(ctx, q.toFilter(), docstore.FindOptions{
+	docs, err := dm.data.FindContext(ctx, ObservationsCollection, q.toFilter(), docstore.FindOptions{
 		SortField: "sensedAt",
 		Skip:      q.Skip,
 		Limit:     q.Limit,
@@ -221,7 +229,7 @@ func (dm *DataManager) Count(q Query) (int, error) {
 
 // CountContext is Count bounded by ctx.
 func (dm *DataManager) CountContext(ctx context.Context, q Query) (int, error) {
-	return dm.store.Collection(ObservationsCollection).CountContext(ctx, q.toFilter())
+	return dm.data.CountContext(ctx, ObservationsCollection, q.toFilter())
 }
 
 // RetrieveShared returns matching observations of appID as visible to
@@ -274,7 +282,7 @@ func applyPolicy(docs []docstore.Doc, policy DataPolicy) []docstore.Doc {
 // DeleteUserData erases a contributor's stored observations (right to
 // erasure); it returns the number of documents removed.
 func (dm *DataManager) DeleteUserData(anonID string) (int, error) {
-	return dm.store.Collection(ObservationsCollection).DeleteMany(docstore.Doc{"userId": anonID})
+	return dm.data.DeleteMany(ObservationsCollection, docstore.Doc{"userId": anonID})
 }
 
 // ObservationFromDoc rebuilds a sensing.Observation from its stored

@@ -115,7 +115,7 @@ func builtinJobs() map[string]JobFunc {
 		},
 		// purge-unlocalized deletes the app's unlocalized observations.
 		"purge-unlocalized": func(_ context.Context, dm *DataManager, appID string) (any, error) {
-			n, err := dm.store.Collection(ObservationsCollection).DeleteMany(docstore.Doc{
+			n, err := dm.data.DeleteMany(ObservationsCollection, docstore.Doc{
 				"appId":     appID,
 				"localized": false,
 			})
@@ -169,19 +169,21 @@ func crowdCalibrateJob(ctx context.Context, dm *DataManager, appID string) (any,
 	if err != nil {
 		return nil, fmt.Errorf("crowd-calibrate %q: %w", appID, err)
 	}
-	col := dm.store.Collection(CalibrationCollection)
-	col.EnsureIndex("model")
+	dm.data.EnsureIndex(CalibrationCollection, "model")
 	updated := 0
 	for model, bias := range res.Biases {
-		existing, err := col.FindOne(docstore.Doc{"appId": appID, "model": model, "source": "crowd"})
-		switch {
-		case err == nil:
-			id, _ := existing[docstore.IDField].(string)
-			if err := col.Update(id, docstore.Doc{"biasDb": bias, "updatedAt": time.Now()}); err != nil {
+		filter := docstore.Doc{"appId": appID, "model": model, "source": "crowd"}
+		existing, err := dm.data.FindContext(ctx, CalibrationCollection, filter, docstore.FindOptions{Limit: 1})
+		if err != nil {
+			return nil, err
+		}
+		if len(existing) > 0 {
+			id, _ := existing[0][docstore.IDField].(string)
+			if err := dm.data.Update(CalibrationCollection, id, docstore.Doc{"biasDb": bias, "updatedAt": time.Now()}); err != nil {
 				return nil, err
 			}
-		case errors.Is(err, docstore.ErrNotFound):
-			if _, err := col.Insert(docstore.Doc{
+		} else {
+			if _, err := dm.data.Insert(CalibrationCollection, docstore.Doc{
 				"appId":     appID,
 				"model":     model,
 				"biasDb":    bias,
@@ -190,8 +192,6 @@ func crowdCalibrateJob(ctx context.Context, dm *DataManager, appID string) (any,
 			}); err != nil {
 				return nil, err
 			}
-		default:
-			return nil, err
 		}
 		updated++
 	}

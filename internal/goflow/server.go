@@ -14,6 +14,7 @@ import (
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/sensing"
 	"github.com/urbancivics/goflow/internal/simclock"
+	"github.com/urbancivics/goflow/internal/storage"
 )
 
 // Server is the GoFlow crowd-sensing server: it wires the account
@@ -55,8 +56,14 @@ func (s *Server) SetIngestHooks(onIngest func(appID string), onReject func()) {
 type ServerConfig struct {
 	// Broker is the messaging substrate (required).
 	Broker *mq.Broker
-	// Store is the document store (required).
+	// Store is the document store. Exactly one of Store and Data must
+	// be set.
 	Store *docstore.Store
+	// Data is a storage engine (a WAL-backed Local, a cluster Router,
+	// a replicated leader) to use instead of Store. When set, the
+	// server runs against it unchanged — sharding and replication are
+	// invisible above the Engine seam.
+	Data storage.Engine
 	// Zones derives observation zone ids; nil defaults to the Paris
 	// grid.
 	Zones *geo.ZoneGrid
@@ -76,8 +83,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Broker == nil {
 		return nil, errors.New("goflow: server needs a broker")
 	}
-	if cfg.Store == nil {
-		return nil, errors.New("goflow: server needs a store")
+	if cfg.Store == nil && cfg.Data == nil {
+		return nil, errors.New("goflow: server needs a store or a storage engine")
+	}
+	if cfg.Store != nil && cfg.Data != nil {
+		return nil, errors.New("goflow: set either Store or Data, not both")
 	}
 	if cfg.Zones == nil {
 		cfg.Zones = geo.ParisZones()
@@ -96,7 +106,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	dm := NewDataManager(cfg.Store, accounts, cfg.Zones)
+	data := cfg.Data
+	if data == nil {
+		data = storage.NewLocal(cfg.Store)
+	}
+	dm := NewDataManagerEngine(data, accounts, cfg.Zones)
 	s := &Server{
 		Accounts:  accounts,
 		Channels:  channels,

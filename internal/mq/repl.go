@@ -1,0 +1,89 @@
+package mq
+
+import (
+	"bufio"
+	"io"
+)
+
+// Replication protocol. Log shipping between a shard leader and its
+// followers rides the same wire layer as the broker protocol — 4-byte
+// big-endian length + JSON frame — but with its own frame shape and a
+// dedicated connection per (follower, shard): a replication connection
+// never multiplexes broker traffic, so a stalled catch-up read cannot
+// head-of-line-block deliveries.
+//
+// The exchange is follower-driven pull:
+//
+//	F -> L  hello  {shard}                       open a stream
+//	L -> F  hello  {shard, leaderLSN}            leader confirms
+//	F -> L  fetch  {from, appliedLSN, max...}    ask for records >= from
+//	L -> F  batch  {records, leaderLSN}          zero records = caught up
+//
+// Every fetch carries the follower's applied LSN, so the leader learns
+// follower progress (for ack quorums and truncation bounds) without a
+// separate ack message. A fetch at the leader's durable LSN long-polls
+// until new records commit or a heartbeat interval elapses, so the
+// live tail needs no push channel.
+
+// Replication ops.
+const (
+	ReplOpHello = "repl-hello"
+	ReplOpFetch = "repl-fetch"
+	ReplOpBatch = "repl-batch"
+	ReplOpError = "repl-error"
+)
+
+// ReplRecord is one WAL record in flight: the leader's LSN, the record
+// type byte, and the opaque payload (an encoded docstore mutation).
+type ReplRecord struct {
+	LSN     uint64 `json:"lsn"`
+	Type    uint8  `json:"type"`
+	Payload []byte `json:"payload"`
+}
+
+// ReplFrame is the single replication message shape; unused fields are
+// omitted on the wire.
+type ReplFrame struct {
+	Op    string `json:"op"`
+	Error string `json:"error,omitempty"`
+
+	// Shard identifies the shard stream in hello frames.
+	Shard int `json:"shard,omitempty"`
+	// Follower is the follower's stable name (hello). The leader keys
+	// acknowledgement tracking by it, so a reconnecting follower
+	// resumes its own ack slot instead of minting a new one.
+	Follower string `json:"follower,omitempty"`
+	// From is the first LSN the follower wants (fetch).
+	From uint64 `json:"from,omitempty"`
+	// AppliedLSN is the highest LSN the follower has durably applied
+	// (fetch); the leader uses it for ack quorums and truncation.
+	AppliedLSN uint64 `json:"appliedLsn,omitempty"`
+	// MaxRecords / MaxBytes bound one batch (fetch). Zero = leader
+	// defaults. A record that crosses MaxBytes is still included, so a
+	// record larger than the budget cannot wedge the stream.
+	MaxRecords int `json:"maxRecords,omitempty"`
+	MaxBytes   int `json:"maxBytes,omitempty"`
+
+	// Records is the shipped batch, in LSN order (batch).
+	Records []ReplRecord `json:"records,omitempty"`
+	// LeaderLSN is the leader's durable LSN when the frame was built
+	// (hello, batch) — the follower's lag is LeaderLSN - AppliedLSN.
+	LeaderLSN uint64 `json:"leaderLsn,omitempty"`
+}
+
+// WriteReplFrame writes one replication frame, returning the bytes put
+// on the wire.
+func WriteReplFrame(w io.Writer, f *ReplFrame) (int, error) {
+	return writeJSONFrame(w, f)
+}
+
+// ReadReplFrame reads one replication frame, returning the bytes
+// consumed from the wire.
+func ReadReplFrame(r *bufio.Reader) (*ReplFrame, int, error) {
+	var f ReplFrame
+	n, err := readJSONFrame(r, &f)
+	if err != nil {
+		return nil, n, err
+	}
+	return &f, n, nil
+}

@@ -85,12 +85,14 @@ type frame struct {
 	LowWatermark  int `json:"lowWatermark,omitempty"`
 }
 
-// writeFrame encodes and writes one frame, returning the bytes put on
-// the wire (length prefix included) for traffic accounting. The prefix
-// and payload go out in a single Write so a frame is atomic with
-// respect to per-write fault injection (and one fewer syscall).
-func writeFrame(w io.Writer, f *frame) (int, error) {
-	payload, err := json.Marshal(f)
+// writeJSONFrame encodes v and writes it as one length-prefixed frame,
+// returning the bytes put on the wire (length prefix included) for
+// traffic accounting. The prefix and payload go out in a single Write
+// so a frame is atomic with respect to per-write fault injection (and
+// one fewer syscall). Shared by the broker protocol (frame) and the
+// replication protocol (ReplFrame).
+func writeJSONFrame(w io.Writer, v any) (int, error) {
+	payload, err := json.Marshal(v)
 	if err != nil {
 		return 0, fmt.Errorf("encode frame: %w", err)
 	}
@@ -100,25 +102,39 @@ func writeFrame(w io.Writer, f *frame) (int, error) {
 	return w.Write(buf)
 }
 
-// readFrame reads and decodes one frame, returning the bytes consumed
-// from the wire (length prefix included).
-func readFrame(r *bufio.Reader) (*frame, int, error) {
+// readJSONFrame reads one length-prefixed frame into v, returning the
+// bytes consumed from the wire (length prefix included).
+func readJSONFrame(r *bufio.Reader, v any) (int, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > maxFrameBytes {
-		return nil, len(lenBuf), fmt.Errorf("mq: frame of %d bytes exceeds limit", n)
+		return len(lenBuf), fmt.Errorf("mq: frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, len(lenBuf), err
+		return len(lenBuf), err
 	}
 	total := len(lenBuf) + int(n)
-	var f frame
-	if err := json.Unmarshal(payload, &f); err != nil {
-		return nil, total, fmt.Errorf("decode frame: %w", err)
+	if err := json.Unmarshal(payload, v); err != nil {
+		return total, fmt.Errorf("decode frame: %w", err)
 	}
-	return &f, total, nil
+	return total, nil
+}
+
+// writeFrame encodes and writes one broker frame.
+func writeFrame(w io.Writer, f *frame) (int, error) {
+	return writeJSONFrame(w, f)
+}
+
+// readFrame reads and decodes one broker frame.
+func readFrame(r *bufio.Reader) (*frame, int, error) {
+	var f frame
+	n, err := readJSONFrame(r, &f)
+	if err != nil {
+		return nil, n, err
+	}
+	return &f, n, nil
 }

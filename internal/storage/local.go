@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/wal"
+)
+
+// Local is the single-node storage engine: a docstore.Store with an
+// optional write-ahead log and snapshot checkpointing. It is the exact
+// store + WAL + checkpoint wiring goflow-server has always run —
+// extracted behind the Engine seam so the cluster layer can stack N of
+// them as shards and replicate their logs.
+type Local struct {
+	store *docstore.Store
+	wal   *wal.WAL
+	// snapshotPath is where Checkpoint publishes snapshots ("" = no
+	// snapshot persistence).
+	snapshotPath string
+
+	// checkpointMu serializes Checkpoint so an interval loop, a
+	// triggered job and shutdown never interleave rotate/save/truncate.
+	checkpointMu sync.Mutex
+
+	// truncateBound, when set, caps how far Checkpoint truncates the
+	// WAL. A replicated shard leader sets it to the slowest follower's
+	// acknowledged LSN so a lagging follower can always catch up from
+	// the log instead of needing a snapshot transfer.
+	truncateBound func() uint64
+}
+
+// LocalOptions configure OpenLocal.
+type LocalOptions struct {
+	// SnapshotPath is the snapshot file, loaded on open when present
+	// and rewritten by Checkpoint. Empty with a WALDir defaults to
+	// <WALDir>/snapshot.gob; empty without one disables snapshots.
+	SnapshotPath string
+	// WALDir enables the write-ahead log in this directory.
+	WALDir string
+	// Policy is the WAL fsync policy (default grouped).
+	Policy wal.FsyncPolicy
+	// SegmentBytes overrides the WAL segment size (0 = default).
+	SegmentBytes int64
+	// NoAttach opens and recovers the WAL but leaves the store's
+	// commit log detached. The cluster layer uses it to install its
+	// own replication-aware commit log in place of the plain WAL one.
+	NoAttach bool
+}
+
+// NewLocal wraps an existing store as an Engine with no persistence of
+// its own — the adapter the single-node server path and tests use when
+// the store's durability is managed elsewhere (or not at all).
+func NewLocal(store *docstore.Store) *Local {
+	return &Local{store: store}
+}
+
+// OpenLocal builds a Local engine with full recovery: load the latest
+// snapshot if one exists, replay the WAL tail on top, then attach the
+// WAL so new mutations are journaled. This is the recovery order the
+// durability model requires (snapshot first, log tail second, attach
+// last) packaged behind one call.
+func OpenLocal(opts LocalOptions) (*Local, error) {
+	l := &Local{store: docstore.NewStore(), snapshotPath: opts.SnapshotPath}
+	if l.snapshotPath == "" && opts.WALDir != "" {
+		l.snapshotPath = filepath.Join(opts.WALDir, "snapshot.gob")
+	}
+	if l.snapshotPath != "" {
+		if err := os.MkdirAll(filepath.Dir(l.snapshotPath), 0o755); err != nil {
+			return nil, fmt.Errorf("storage: snapshot dir: %w", err)
+		}
+		switch err := l.store.LoadFile(l.snapshotPath); {
+		case err == nil:
+		case os.IsNotExist(errors.Unwrap(err)) || os.IsNotExist(err):
+			// First boot: no snapshot yet.
+		default:
+			return nil, fmt.Errorf("storage: load snapshot: %w", err)
+		}
+	}
+	if opts.WALDir != "" {
+		w, err := wal.Open(opts.WALDir, wal.Options{Policy: opts.Policy, SegmentBytes: opts.SegmentBytes})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := docstore.RecoverWAL(l.store, w); err != nil {
+			_ = w.Close()
+			return nil, fmt.Errorf("storage: wal recovery: %w", err)
+		}
+		l.wal = w
+		if !opts.NoAttach {
+			docstore.AttachWAL(l.store, w)
+		}
+	}
+	return l, nil
+}
+
+// Store exposes the underlying document store, for callers that need
+// collections the Engine interface does not surface (metadata
+// collections, hooks, commit-log seams).
+func (l *Local) Store() *docstore.Store { return l.store }
+
+// WAL exposes the engine's write-ahead log (nil when none is
+// configured). The cluster layer ships its segments to followers.
+func (l *Local) WAL() *wal.WAL { return l.wal }
+
+// SnapshotPath returns where Checkpoint publishes snapshots ("" =
+// none).
+func (l *Local) SnapshotPath() string { return l.snapshotPath }
+
+// SetTruncateBound caps how far Checkpoint truncates the WAL: segments
+// holding records at or above bound() survive. Pass nil to clear.
+func (l *Local) SetTruncateBound(bound func() uint64) {
+	l.checkpointMu.Lock()
+	l.truncateBound = bound
+	l.checkpointMu.Unlock()
+}
+
+// Insert implements Engine.
+func (l *Local) Insert(col string, doc Doc) (string, error) {
+	return l.store.Collection(col).Insert(doc)
+}
+
+// InsertMany implements Engine.
+func (l *Local) InsertMany(col string, docs []Doc) ([]string, error) {
+	return l.store.Collection(col).InsertMany(docs)
+}
+
+// Get implements Engine.
+func (l *Local) Get(col, id string) (Doc, error) {
+	return l.store.Collection(col).Get(id)
+}
+
+// Update implements Engine.
+func (l *Local) Update(col, id string, fields Doc) error {
+	return l.store.Collection(col).Update(id, fields)
+}
+
+// Unset implements Engine.
+func (l *Local) Unset(col, id string, fields ...string) error {
+	return l.store.Collection(col).Unset(id, fields...)
+}
+
+// Delete implements Engine.
+func (l *Local) Delete(col, id string) error {
+	return l.store.Collection(col).Delete(id)
+}
+
+// DeleteMany implements Engine.
+func (l *Local) DeleteMany(col string, filter Doc) (int, error) {
+	return l.store.Collection(col).DeleteMany(filter)
+}
+
+// FindContext implements Engine.
+func (l *Local) FindContext(ctx context.Context, col string, filter Doc, opts docstore.FindOptions) ([]Doc, error) {
+	return l.store.Collection(col).FindContext(ctx, filter, opts)
+}
+
+// CountContext implements Engine.
+func (l *Local) CountContext(ctx context.Context, col string, filter Doc) (int, error) {
+	return l.store.Collection(col).CountContext(ctx, filter)
+}
+
+// EnsureIndex implements Engine.
+func (l *Local) EnsureIndex(col, field string) {
+	l.store.Collection(col).EnsureIndex(field)
+}
+
+// Collections implements Engine.
+func (l *Local) Collections() []string { return l.store.Collections() }
+
+// Stats implements Engine.
+func (l *Local) Stats(col string) docstore.Stats {
+	return l.store.Collection(col).Stats()
+}
+
+// Checkpoint implements Engine: rotate the WAL, publish a snapshot and
+// truncate the sealed segments the snapshot covers (bounded by
+// SetTruncateBound when replication needs history retained). Without a
+// snapshot path it is a no-op; without a WAL it just saves a snapshot.
+func (l *Local) Checkpoint() error {
+	l.checkpointMu.Lock()
+	defer l.checkpointMu.Unlock()
+	if l.snapshotPath == "" {
+		return nil
+	}
+	if l.wal == nil {
+		return l.store.SaveFile(l.snapshotPath)
+	}
+	cut, err := l.wal.Rotate()
+	if err != nil {
+		return fmt.Errorf("storage: wal rotate: %w", err)
+	}
+	if err := l.store.SaveFile(l.snapshotPath); err != nil {
+		return err
+	}
+	if l.truncateBound != nil {
+		// bound is the lowest LSN a follower still needs minus one;
+		// ^uint64(0) means "no constraint" and must not overflow.
+		if b := l.truncateBound(); b != ^uint64(0) && b+1 < cut {
+			cut = b + 1
+		}
+	}
+	if _, err := l.wal.TruncateBefore(cut); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	return nil
+}
+
+// Close implements Engine: detach the commit log and close the WAL.
+func (l *Local) Close() error {
+	l.store.SetCommitLog(nil)
+	if l.wal == nil {
+		return nil
+	}
+	return l.wal.Close()
+}
+
+// ReplayInfo reports the last WAL recovery, for operator logs.
+func (l *Local) ReplayInfo() (records int, d time.Duration) {
+	if l.wal == nil {
+		return 0, 0
+	}
+	st := l.wal.Stats()
+	return st.ReplayedRecords, st.ReplayDuration
+}

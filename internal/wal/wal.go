@@ -140,6 +140,38 @@ type Hooks struct {
 // ErrClosed is returned by Append after Close.
 var ErrClosed = errors.New("wal: closed")
 
+// ErrTruncated is returned by ReadFrom when the requested LSN predates
+// the oldest record still on disk: a checkpoint already deleted the
+// segment holding it, so the reader needs a snapshot, not the log.
+var ErrTruncated = errors.New("wal: requested lsn precedes retained log")
+
+// CorruptionError reports damage inside a sealed segment — the one
+// kind of error recovery cannot repair, since Open already truncated
+// the only legitimate crash damage (the torn tail of the final
+// segment). It pinpoints the segment file and byte offset so a
+// multi-shard operator can localize which replica's disk is bad.
+type CorruptionError struct {
+	// Segment is the path of the damaged segment file.
+	Segment string
+	// Offset is the byte offset of the first bad frame.
+	Offset int64
+	// LastLSN is the last intact LSN before the damage (0 when the
+	// segment's very first record is bad and nothing preceded it).
+	LastLSN uint64
+	// Err is the underlying decode or sequence error.
+	Err error
+}
+
+// Error formats the full localization: file, offset and last good LSN.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: segment %s corrupt at offset %d (last intact lsn %d): %v",
+		e.Segment, e.Offset, e.LastLSN, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is matching
+// (typically ErrCorrupt).
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
 // Ticket is the handle for one appended record. Wait blocks until the
 // record's durability is decided per the fsync policy and returns nil
 // exactly when the record is committed.
@@ -256,6 +288,12 @@ type WAL struct {
 
 	durable atomic.Uint64
 
+	// notifyMu guards durableCh, the broadcast channel closed (and
+	// replaced) every time the durable LSN advances. Replication
+	// followers long-poll on it to tail the log without busy waiting.
+	notifyMu  sync.Mutex
+	durableCh chan struct{}
+
 	records atomic.Uint64
 	bytes   atomic.Uint64
 	fsyncs  atomic.Uint64
@@ -282,12 +320,13 @@ func Open(dir string, opt Options) (*WAL, error) {
 		return nil, err
 	}
 	w := &WAL{
-		dir:  dir,
-		opt:  opt,
-		kick: make(chan struct{}, 1),
-		full: make(chan struct{}, 1),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		dir:       dir,
+		opt:       opt,
+		kick:      make(chan struct{}, 1),
+		full:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		durableCh: make(chan struct{}),
 	}
 	w.flushCond = sync.NewCond(&w.mu)
 	if len(segs) == 0 {
@@ -338,7 +377,8 @@ func scanTail(path string, firstLSN uint64) (int64, uint64, error) {
 			break // torn tail: truncate here
 		}
 		if rec.LSN != want {
-			return 0, 0, fmt.Errorf("wal: segment %s: lsn %d at offset %d, want %d", path, rec.LSN, off, want)
+			return 0, 0, &CorruptionError{Segment: path, Offset: int64(off), LastLSN: lastLSN,
+				Err: fmt.Errorf("lsn %d out of sequence (want %d)", rec.LSN, want)}
 		}
 		lastLSN = rec.LSN
 		want = rec.LSN + 1
@@ -385,6 +425,92 @@ func (w *WAL) LastLSN() uint64 {
 
 // DurableLSN returns the highest LSN known fsynced.
 func (w *WAL) DurableLSN() uint64 { return w.durable.Load() }
+
+// advanceDurable publishes a new durable LSN and wakes everyone
+// blocked on DurableNotify.
+func (w *WAL) advanceDurable(lsn uint64) {
+	w.durable.Store(lsn)
+	w.notifyMu.Lock()
+	close(w.durableCh)
+	w.durableCh = make(chan struct{})
+	w.notifyMu.Unlock()
+}
+
+// DurableNotify returns a channel closed the next time the durable LSN
+// advances. The long-poll idiom for tailing the log:
+//
+//	ch := w.DurableNotify()
+//	if w.DurableLSN() >= target { ... } // re-check after subscribing
+//	select { case <-ch: ... case <-timeout: ... }
+//
+// Each advance closes the current channel and installs a fresh one, so
+// a caller must re-subscribe per wait.
+func (w *WAL) DurableNotify() <-chan struct{} {
+	w.notifyMu.Lock()
+	defer w.notifyMu.Unlock()
+	return w.durableCh
+}
+
+// ReadFrom returns up to maxRecords committed records with LSN >=
+// fromLSN (maxBytes bounds their combined payload size; both limits
+// <= 0 mean unbounded). Only records at or below the durable LSN are
+// returned — the log never ships a record it has not fsynced — and
+// payloads are copied, so the result is safe to retain and serialize.
+// It is the record-streaming primitive of log-shipping replication:
+// catch-up reads drain the sealed segments in big batches, then the
+// live tail polls with DurableNotify. ReadFrom returns ErrTruncated
+// when fromLSN predates the oldest retained segment (the reader must
+// bootstrap from a snapshot instead) and a *CorruptionError when a
+// sealed segment is damaged.
+func (w *WAL) ReadFrom(fromLSN uint64, maxRecords, maxBytes int) ([]Record, error) {
+	durable := w.durable.Load()
+	if fromLSN > durable {
+		return nil, nil
+	}
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	segs := append(append([]segInfo(nil), w.sealed...), w.seg.info())
+	if fromLSN < segs[0].firstLSN {
+		return nil, fmt.Errorf("%w: lsn %d, oldest retained %d", ErrTruncated, fromLSN, segs[0].firstLSN)
+	}
+	var out []Record
+	var outBytes int
+	for i, s := range segs {
+		// Skip segments wholly below fromLSN: the next segment's first
+		// LSN bounds this one's range.
+		if i+1 < len(segs) && segs[i+1].firstLSN <= fromLSN {
+			continue
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment: %w", err)
+		}
+		off := 0
+		prev := s.firstLSN - 1
+		for off < len(data) {
+			rec, sz, err := DecodeRecord(data[off:])
+			if err != nil {
+				return nil, &CorruptionError{Segment: s.path, Offset: int64(off), LastLSN: prev, Err: err}
+			}
+			prev = rec.LSN
+			off += sz
+			if rec.LSN < fromLSN {
+				continue
+			}
+			if rec.LSN > durable {
+				return out, nil
+			}
+			payload := make([]byte, len(rec.Payload))
+			copy(payload, rec.Payload)
+			out = append(out, Record{LSN: rec.LSN, Type: rec.Type, Payload: payload})
+			outBytes += len(payload)
+			if (maxRecords > 0 && len(out) >= maxRecords) || (maxBytes > 0 && outBytes >= maxBytes) {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
 
 // Append frames one record into the pending batch and returns its
 // Ticket. The call itself never touches disk — callers may hold locks
@@ -553,7 +679,7 @@ func (w *WAL) commitBatch(buf []byte, waiters []*Ticket, sync bool) error {
 		}
 		w.fsyncs.Add(1)
 		if len(waiters) > 0 {
-			w.durable.Store(waiters[len(waiters)-1].lsn)
+			w.advanceDurable(waiters[len(waiters)-1].lsn)
 		}
 		if h := w.h(); h != nil && h.Synced != nil {
 			h.Synced(len(waiters), time.Since(start))
@@ -587,7 +713,7 @@ func (w *WAL) commitEach(buf []byte, waiters []*Ticket) error {
 			return serr
 		}
 		w.fsyncs.Add(1)
-		w.durable.Store(t.lsn)
+		w.advanceDurable(t.lsn)
 		if h := w.h(); h != nil && h.Synced != nil {
 			h.Synced(1, time.Since(start))
 		}
@@ -732,10 +858,11 @@ func (w *WAL) Replay(fn func(lsn uint64, typ byte, payload []byte) error) error 
 		for off < len(data) {
 			rec, sz, err := DecodeRecord(data[off:])
 			if err != nil {
-				return fmt.Errorf("wal: segment %s corrupt at offset %d: %w", s.path, off, err)
+				return &CorruptionError{Segment: s.path, Offset: int64(off), LastLSN: prev, Err: err}
 			}
 			if rec.LSN != prev+1 {
-				return fmt.Errorf("wal: segment %s: lsn %d at offset %d, want %d", s.path, rec.LSN, off, prev+1)
+				return &CorruptionError{Segment: s.path, Offset: int64(off), LastLSN: prev,
+					Err: fmt.Errorf("lsn %d out of sequence (want %d)", rec.LSN, prev+1)}
 			}
 			if err := fn(rec.LSN, rec.Type, rec.Payload); err != nil {
 				return err
