@@ -51,6 +51,10 @@ type clusterConfig struct {
 	followerName     string
 	snapshotInterval time.Duration
 	metricsInterval  time.Duration
+	// series enables the per-shard series view; each shard keeps its
+	// own chunks and rollups under <shard-dir>/series, and the router
+	// merges the per-shard partial aggregates at query time.
+	series *storage.SeriesOptions
 }
 
 // clusterMode reports whether any cluster flag was used.
@@ -90,6 +94,7 @@ func runCluster(cfg clusterConfig) error {
 	if cfg.follow != "" {
 		local, err := storage.OpenLocal(storage.LocalOptions{
 			WALDir: cfg.walDir, Policy: policy, NoAttach: true,
+			Series: cfg.series,
 		})
 		if err != nil {
 			return err
@@ -124,6 +129,7 @@ func runCluster(cfg clusterConfig) error {
 			local, err := storage.OpenLocal(storage.LocalOptions{
 				WALDir: filepath.Join(cfg.walDir, fmt.Sprintf("shard-%d", i)),
 				Policy: policy, NoAttach: true,
+				Series: cfg.series,
 			})
 			if err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
@@ -175,6 +181,11 @@ func runCluster(cfg clusterConfig) error {
 	metrics := goflow.Instrument(reg, server, shard0.Store())
 	if shard0.WAL() != nil {
 		metrics.InstrumentWAL(shard0.WAL())
+	}
+	if shard0.Series() != nil {
+		// Shard 0's view stands in for the fleet on the metrics page;
+		// cross-shard totals come from the REST noisemap itself.
+		metrics.InstrumentSeries(shard0.Series())
 	}
 	reporter := obs.NewReporter(reg, cfg.metricsInterval, nil)
 	reporter.Start()

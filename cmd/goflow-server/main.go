@@ -16,6 +16,13 @@
 // acknowledged (per -fsync-policy), a crash recovers by replaying the
 // log tail over the latest snapshot, and each snapshot doubles as a
 // checkpoint that truncates the log.
+//
+// Analytics: -series maintains the time-partitioned series view —
+// compressed observation chunks plus continuous per-zone rollups —
+// so the noisemap endpoints answer in microseconds instead of
+// scanning documents. -rollup-interval sets the rollup bucket width
+// and -retention lets checkpoints age raw chunks out while the
+// rollups keep the full history.
 package main
 
 import (
@@ -27,16 +34,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
 
-	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/goflow"
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/series"
 	"github.com/urbancivics/goflow/internal/soundcity"
+	"github.com/urbancivics/goflow/internal/storage"
 	"github.com/urbancivics/goflow/internal/wal"
 )
 
@@ -59,7 +66,18 @@ func run() error {
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must acknowledge a write before it is acknowledged to the client (0 = async replication)")
 	follow := flag.String("follow", "", "run as a follower replicating from this leader replication address (read-only until SIGHUP promotes)")
 	followerName := flag.String("follower-name", "", "stable follower identity for ack tracking (default: hostname)")
+	seriesOn := flag.Bool("series", false, "maintain the time-partitioned series view: compressed chunks plus continuous per-zone rollups that answer noise analytics in microseconds (persisted under <wal-dir>/series when a WAL is configured, memory-only otherwise)")
+	retention := flag.Duration("retention", 0, "series raw-data horizon: checkpoints drop chunks wholly older than this while rollups keep the full history (0 = keep raw data forever)")
+	rollupInterval := flag.Duration("rollup-interval", 5*time.Minute, "series rollup bucket width (requires -series)")
 	flag.Parse()
+
+	var seriesOpts *storage.SeriesOptions
+	if *seriesOn {
+		seriesOpts = &storage.SeriesOptions{Options: series.Options{
+			Retention:    *retention,
+			RollupBucket: *rollupInterval,
+		}}
+	}
 
 	if cfg := (clusterConfig{
 		mqAddr: *mqAddr, httpAddr: *httpAddr,
@@ -67,6 +85,7 @@ func run() error {
 		shards: *shards, replListen: *replListen, syncFollowers: *syncFollowers,
 		follow: *follow, followerName: *followerName,
 		snapshotInterval: *snapshotInterval, metricsInterval: *metricsInterval,
+		series: seriesOpts,
 	}); cfg.clusterMode() {
 		return runCluster(cfg)
 	}
@@ -80,49 +99,42 @@ func run() error {
 	}
 	defer mqServer.Close()
 
-	store := docstore.NewStore()
-	dataFile := *dataPath
-	if *walDir != "" && dataFile == "" {
-		// A WAL needs a snapshot path to checkpoint against, or the
-		// log would grow without bound.
-		dataFile = filepath.Join(*walDir, "snapshot.gob")
-	}
-	if dataFile != "" {
-		switch err := store.LoadFile(dataFile); {
-		case err == nil:
-			fmt.Printf("goflow-server: loaded snapshot %s (%v)\n", dataFile, store.Collections())
-		case os.IsNotExist(errors.Unwrap(err)) || os.IsNotExist(err):
-			fmt.Printf("goflow-server: no snapshot at %s yet, starting fresh\n", dataFile)
-		default:
-			return fmt.Errorf("load snapshot: %w", err)
-		}
+	policy, err := wal.ParseFsyncPolicy(*fsyncPolicy)
+	if err != nil {
+		return err
 	}
 
-	// Recovery order matters: snapshot first (above), then the WAL
-	// tail on top, and only then attach the log so new mutations are
-	// journaled.
-	var walLog *wal.WAL
-	if *walDir != "" {
-		policy, err := wal.ParseFsyncPolicy(*fsyncPolicy)
-		if err != nil {
-			return err
-		}
-		walLog, err = wal.Open(*walDir, wal.Options{Policy: policy})
-		if err != nil {
-			return fmt.Errorf("open wal: %w", err)
-		}
-		rec, err := docstore.RecoverWAL(store, walLog)
-		if err != nil {
-			return fmt.Errorf("wal recovery: %w", err)
-		}
-		docstore.AttachWAL(store, walLog)
+	// The Local engine owns the recovery order: snapshot first, series
+	// view next (so replay can re-feed its tail), the WAL tail on top,
+	// and only then attach the log so new mutations are journaled.
+	local, err := storage.OpenLocal(storage.LocalOptions{
+		SnapshotPath: *dataPath,
+		WALDir:       *walDir,
+		Policy:       policy,
+		Series:       seriesOpts,
+	})
+	if err != nil {
+		return err
+	}
+	store := local.Store()
+	dataFile := local.SnapshotPath()
+	if dataFile != "" {
+		fmt.Printf("goflow-server: snapshots at %s (%v)\n", dataFile, store.Collections())
+	}
+	if local.WAL() != nil {
+		records, d := local.ReplayInfo()
 		fmt.Printf("goflow-server: wal %s replayed %d records in %v (lsn %d, policy %s)\n",
-			*walDir, rec.Records, rec.Duration.Round(time.Millisecond), walLog.LastLSN(), policy)
+			*walDir, records, d.Round(time.Millisecond), local.WAL().LastLSN(), policy)
+	}
+	if sdb := local.Series(); sdb != nil {
+		st := sdb.Stats()
+		fmt.Printf("goflow-server: series view up (%d points, %d zones, %d rollup buckets)\n",
+			st.Points, st.Zones, st.RollupBuckets)
 	}
 
 	server, err := goflow.NewServer(goflow.ServerConfig{
 		Broker: broker,
-		Store:  store,
+		Data:   local,
 	})
 	if err != nil {
 		return fmt.Errorf("goflow server: %w", err)
@@ -133,38 +145,23 @@ func run() error {
 	// /metrics and summarized periodically on the log.
 	reg := obs.NewRegistry()
 	metrics := goflow.Instrument(reg, server, store)
-	if walLog != nil {
-		metrics.InstrumentWAL(walLog)
+	if local.WAL() != nil {
+		metrics.InstrumentWAL(local.WAL())
+	}
+	if local.Series() != nil {
+		metrics.InstrumentSeries(local.Series())
 	}
 	reporter := obs.NewReporter(reg, *metricsInterval, nil)
 	reporter.Start()
 	defer reporter.Stop()
 
-	// checkpoint publishes a snapshot and, with a WAL, truncates the
-	// segments the snapshot now covers. Serialized so the interval
-	// loop, the job and shutdown never interleave.
-	var checkpointMu sync.Mutex
-	checkpoint := func() error {
-		if dataFile == "" {
-			return nil
-		}
-		checkpointMu.Lock()
-		defer checkpointMu.Unlock()
-		if walLog == nil {
-			return store.SaveFile(dataFile)
-		}
-		cut, err := walLog.Rotate()
-		if err != nil {
-			return fmt.Errorf("wal rotate: %w", err)
-		}
-		if err := store.SaveFile(dataFile); err != nil {
-			return err
-		}
-		if _, err := walLog.TruncateBefore(cut); err != nil {
-			return fmt.Errorf("wal truncate: %w", err)
-		}
-		return nil
-	}
+	// checkpoint publishes a snapshot, persists the series view and,
+	// with a WAL, truncates the segments the snapshot covers; the
+	// engine serializes callers, so the interval loop, the job and
+	// shutdown never interleave. Retention ages raw series chunks out
+	// on the same cadence.
+	checkpoint := local.Checkpoint
+	wantCheckpoints := dataFile != "" || local.Series() != nil
 
 	app, err := soundcity.Register(server)
 	if err != nil {
@@ -177,8 +174,8 @@ func run() error {
 	// Operators can force a checkpoint through the background-job API;
 	// the interval loop below runs the same script on a timer.
 	server.Jobs.Register("snapshot", func(_ context.Context, _ *goflow.DataManager, _ string) (any, error) {
-		if dataFile == "" {
-			return nil, errors.New("no snapshot path configured (-data or -wal-dir)")
+		if !wantCheckpoints {
+			return nil, errors.New("nothing to checkpoint (configure -data, -wal-dir or -series)")
 		}
 		if err := checkpoint(); err != nil {
 			return nil, err
@@ -187,7 +184,7 @@ func run() error {
 	})
 	stopSnapshots := make(chan struct{})
 	var snapshotWG sync.WaitGroup
-	if *snapshotInterval > 0 && dataFile != "" {
+	if *snapshotInterval > 0 && wantCheckpoints {
 		snapshotWG.Add(1)
 		go func() {
 			defer snapshotWG.Done()
@@ -262,16 +259,16 @@ func run() error {
 	mqServer.Close()
 	close(stopSnapshots)
 	snapshotWG.Wait()
-	if dataFile != "" {
+	if wantCheckpoints {
 		if err := checkpoint(); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
-		fmt.Printf("goflow-server: snapshot saved to %s\n", dataFile)
-	}
-	if walLog != nil {
-		if err := walLog.Close(); err != nil {
-			return fmt.Errorf("close wal: %w", err)
+		if dataFile != "" {
+			fmt.Printf("goflow-server: snapshot saved to %s\n", dataFile)
 		}
+	}
+	if err := local.Close(); err != nil {
+		return fmt.Errorf("close engine: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,62 @@
+package assim
+
+import (
+	"math"
+	"sort"
+
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/series"
+)
+
+// Bridging the series engine into assimilation: the continuous
+// per-zone rollups already hold count, energetic mean and spread for
+// every zone, so the BLUE analysis can run from them directly instead
+// of re-reading raw observations. One rollup becomes one synthetic
+// observation at the zone center — the LAeq as the value, and an
+// error that shrinks with the number of contributing measurements
+// (averaging n independent readings divides the sampling variance by
+// n) but never below a floor that accounts for the zone-center
+// position error, which no amount of averaging removes.
+
+// sigmaFloorDB is the irreducible observation error of a zone-level
+// aggregate: the measurements were taken across the whole cell, not
+// at its center.
+const sigmaFloorDB = 1.0
+
+// ObservationsFromRollups converts per-zone aggregates into BLUE
+// observations at the zone centers. sigma0 is the error std-dev of a
+// single raw measurement (use the per-device calibration residual, or
+// DefaultBLUEParams().SigmaB when unknown); a zone with n points gets
+// sigma0/sqrt(n), floored. Zones the grid cannot place (out-of-area
+// contributions) and empty aggregates are skipped. The result is
+// sorted by zone id, so equal inputs yield byte-equal analyses.
+func ObservationsFromRollups(zones *geo.ZoneGrid, aggs map[string]series.Agg, sigma0 float64) []Observation {
+	if zones == nil || len(aggs) == 0 {
+		return nil
+	}
+	if sigma0 <= 0 {
+		sigma0 = DefaultBLUEParams().SigmaB
+	}
+	ids := make([]string, 0, len(aggs))
+	for id := range aggs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Observation, 0, len(ids))
+	for _, id := range ids {
+		a := aggs[id]
+		if a.Count == 0 {
+			continue
+		}
+		at, ok := zones.ZoneCenter(id)
+		if !ok {
+			continue
+		}
+		sigma := sigma0 / math.Sqrt(float64(a.Count))
+		if sigma < sigmaFloorDB {
+			sigma = sigmaFloorDB
+		}
+		out = append(out, Observation{At: at, ValueDB: a.LAeq(), SigmaDB: sigma})
+	}
+	return out
+}

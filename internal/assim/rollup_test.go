@@ -1,0 +1,81 @@
+package assim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/geo"
+	"github.com/urbancivics/goflow/internal/series"
+)
+
+func rollupAgg(values ...float64) series.Agg {
+	var a series.Agg
+	for _, v := range values {
+		a.Add(v)
+	}
+	return a
+}
+
+func TestObservationsFromRollups(t *testing.T) {
+	zones := geo.ParisZones()
+	aggs := map[string]series.Agg{
+		"FR75001": rollupAgg(60, 62, 64, 66),
+		"FR75010": rollupAgg(80),
+		"FR75XXX": rollupAgg(50), // out-of-area id: unplaceable, skipped
+		"FR75002": {},            // empty aggregate: skipped
+	}
+	obs := ObservationsFromRollups(zones, aggs, 4)
+	if len(obs) != 2 {
+		t.Fatalf("want 2 observations, got %d: %+v", len(obs), obs)
+	}
+	// Sorted by zone id: FR75001 first.
+	first := aggs["FR75001"]
+	if got, want := obs[0].ValueDB, first.LAeq(); got != want {
+		t.Fatalf("value: want LAeq %v, got %v", want, got)
+	}
+	if got, want := obs[0].SigmaDB, 4.0/math.Sqrt(4); got != want {
+		t.Fatalf("sigma: want %v, got %v", want, got)
+	}
+	// A single-point zone keeps the raw sigma (4/sqrt(1) is above the
+	// floor).
+	if got := obs[1].SigmaDB; got != 4.0 {
+		t.Fatalf("single-point sigma: want 4, got %v", got)
+	}
+	// The observation sits at the zone's cell center.
+	if c, ok := zones.ZoneCenter("FR75001"); !ok || obs[0].At != c {
+		t.Fatalf("position: want center %+v, got %+v", c, obs[0].At)
+	}
+	// Equal inputs yield byte-equal output (map order must not leak).
+	again := ObservationsFromRollups(zones, aggs, 4)
+	for i := range obs {
+		if obs[i] != again[i] {
+			t.Fatalf("non-deterministic output at %d: %+v vs %+v", i, obs[i], again[i])
+		}
+	}
+}
+
+func TestObservationsFromRollupsSigmaFloor(t *testing.T) {
+	zones := geo.ParisZones()
+	big := series.Agg{}
+	for i := 0; i < 100; i++ {
+		big.Add(70)
+	}
+	obs := ObservationsFromRollups(zones, map[string]series.Agg{"FR75005": big}, 4)
+	if len(obs) != 1 {
+		t.Fatalf("want 1 observation, got %d", len(obs))
+	}
+	// 4/sqrt(100) = 0.4 would claim the aggregate knows the cell better
+	// than the cell-center position error allows; the floor binds.
+	if obs[0].SigmaDB != sigmaFloorDB {
+		t.Fatalf("sigma: want floor %v, got %v", sigmaFloorDB, obs[0].SigmaDB)
+	}
+}
+
+func TestObservationsFromRollupsNilInputs(t *testing.T) {
+	if got := ObservationsFromRollups(nil, map[string]series.Agg{"FR75001": rollupAgg(60)}, 4); got != nil {
+		t.Fatalf("nil grid: %+v", got)
+	}
+	if got := ObservationsFromRollups(geo.ParisZones(), nil, 4); got != nil {
+		t.Fatalf("nil aggs: %+v", got)
+	}
+}

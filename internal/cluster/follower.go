@@ -12,6 +12,7 @@ import (
 
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/series"
 	"github.com/urbancivics/goflow/internal/storage"
 )
 
@@ -260,7 +261,10 @@ func (f *Follower) apply(records []mq.ReplRecord) error {
 		if m.Op == 0 {
 			m.Op = docstore.MutationOp(rec.Type)
 		}
-		if err := store.ApplyMutation(m); err != nil {
+		// ApplyMutationAt carries the leader's LSN into the ingest
+		// observer, so a follower's series view stays watermarked in
+		// step with its store.
+		if err := store.ApplyMutationAt(rec.LSN, m); err != nil {
 			return err
 		}
 		tk, err := w.Append(rec.Type, rec.Payload)
@@ -338,6 +342,21 @@ func (e *followerEngine) DeleteMany(col string, filter storage.Doc) (int, error)
 		return 0, ErrNotLeader
 	}
 	return e.local.DeleteMany(col, filter)
+}
+
+// Series queries are reads and serve from the replica's series view —
+// a follower with -series answers rollup analytics without touching
+// the leader.
+func (e *followerEngine) SeriesZoneAggregate(ctx context.Context, zone string, from, to time.Time) (series.Agg, bool, error) {
+	return e.local.SeriesZoneAggregate(ctx, zone, from, to)
+}
+
+func (e *followerEngine) SeriesNoisemap(ctx context.Context, from, to time.Time) (map[string]series.Agg, bool, error) {
+	return e.local.SeriesNoisemap(ctx, from, to)
+}
+
+func (e *followerEngine) SeriesStats() (series.Stats, bool) {
+	return e.local.SeriesStats()
 }
 
 func (e *followerEngine) FindContext(ctx context.Context, col string, filter storage.Doc, opts docstore.FindOptions) ([]storage.Doc, error) {

@@ -155,6 +155,11 @@ type replTicket struct {
 	walTk *wal.Ticket
 }
 
+// LSN exposes the underlying WAL position, so the docstore ingest
+// observer carries the right LSN into derived views (the series
+// engine) on replicated leaders too.
+func (t *replTicket) LSN() uint64 { return t.walTk.LSN() }
+
 // Wait implements docstore.CommitTicket.
 func (t *replTicket) Wait() error {
 	if err := t.walTk.Wait(); err != nil {

@@ -288,19 +288,16 @@ func (r *Router) FindContext(ctx context.Context, col string, filter storage.Doc
 		return nil, err
 	}
 	var merged []storage.Doc
-	for _, p := range partials {
-		merged = append(merged, p...)
-	}
 	if opts.SortField != "" {
-		// Each partial is already sorted; a stable sort of the
-		// concatenation preserves per-shard order among equal keys.
-		sort.SliceStable(merged, func(i, j int) bool {
-			c := docstore.CompareValues(merged[i][opts.SortField], merged[j][opts.SortField])
-			if opts.SortDesc {
-				return c > 0
-			}
-			return c < 0
-		})
+		// Each partial is already sorted: stream-merge the runs
+		// (merge.go) instead of re-sorting the concatenation. Ties
+		// resolve by (shard, position), exactly what a stable sort of
+		// the shard-ordered concatenation would yield.
+		merged = mergeSortedRuns(partials, opts.SortField, opts.SortDesc)
+	} else {
+		for _, p := range partials {
+			merged = append(merged, p...)
+		}
 	}
 	if opts.Skip > 0 {
 		if opts.Skip >= len(merged) {

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/series"
+	"github.com/urbancivics/goflow/internal/storage"
+)
+
+// Series queries under sharding. Observations shard by the anonymized
+// contributor id, so one zone's points are spread across every shard
+// and each shard's rollups are partial aggregates. Because every Agg
+// field is mergeable (counts, sums, energy, min/max, histogram bins
+// all add), merging the shard partials reproduces the single-node
+// answer exactly — per-zone rollup maintenance needs no cross-shard
+// coordination at ingest, only this merge at query time.
+
+var _ storage.SeriesQuerier = (*Router)(nil)
+
+// SeriesZoneAggregate implements storage.SeriesQuerier: fan out,
+// merge the partial aggregates. The ok result is false when any shard
+// has no series attached (the caller then falls back to a document
+// scan, which fans out the ordinary way).
+func (r *Router) SeriesZoneAggregate(ctx context.Context, zone string, from, to time.Time) (series.Agg, bool, error) {
+	var (
+		mu  sync.Mutex
+		agg series.Agg
+		ok  = true
+	)
+	err := r.fanOut(func(s storage.Engine) error {
+		sq, is := s.(storage.SeriesQuerier)
+		if !is {
+			mu.Lock()
+			ok = false
+			mu.Unlock()
+			return nil
+		}
+		a, has, err := sq.SeriesZoneAggregate(ctx, zone, from, to)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if has {
+			agg.Merge(&a)
+		} else {
+			ok = false
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || !ok {
+		return series.Agg{}, ok, err
+	}
+	return agg, true, nil
+}
+
+// SeriesNoisemap implements storage.SeriesQuerier: fan out and merge
+// the per-zone partial aggregates of every shard.
+func (r *Router) SeriesNoisemap(ctx context.Context, from, to time.Time) (map[string]series.Agg, bool, error) {
+	var (
+		mu     sync.Mutex
+		merged = make(map[string]series.Agg)
+		ok     = true
+	)
+	err := r.fanOut(func(s storage.Engine) error {
+		sq, is := s.(storage.SeriesQuerier)
+		if !is {
+			mu.Lock()
+			ok = false
+			mu.Unlock()
+			return nil
+		}
+		m, has, err := sq.SeriesNoisemap(ctx, from, to)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if has {
+			for zone, a := range m {
+				got := merged[zone]
+				got.Merge(&a)
+				merged[zone] = got
+			}
+		} else {
+			ok = false
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return merged, true, nil
+}
+
+// SeriesStats implements storage.SeriesQuerier: counters summed
+// across shards (Zones sums per-shard zone counts, so a zone present
+// on several shards counts once per shard; Watermark and
+// RetentionFloor report the maximum).
+func (r *Router) SeriesStats() (series.Stats, bool) {
+	var agg series.Stats
+	for _, s := range r.shards {
+		sq, is := s.(storage.SeriesQuerier)
+		if !is {
+			return series.Stats{}, false
+		}
+		st, has := sq.SeriesStats()
+		if !has {
+			return series.Stats{}, false
+		}
+		agg.Points += st.Points
+		agg.Partitions += st.Partitions
+		agg.SealedChunks += st.SealedChunks
+		agg.SealedBytes += st.SealedBytes
+		agg.Zones += st.Zones
+		agg.RollupBuckets += st.RollupBuckets
+		if st.Watermark > agg.Watermark {
+			agg.Watermark = st.Watermark
+		}
+		if st.RetentionFloor > agg.RetentionFloor {
+			agg.RetentionFloor = st.RetentionFloor
+		}
+	}
+	return agg, true
+}

@@ -42,6 +42,10 @@ type Store struct {
 
 	// commitLog is shared with every collection; see SetCommitLog.
 	commitLog atomic.Pointer[commitLogBox]
+
+	// ingestObs is shared with every collection; see
+	// SetIngestObserver.
+	ingestObs atomic.Pointer[ingestObsBox]
 }
 
 // NewStore returns an empty store.
@@ -102,10 +106,12 @@ type Collection struct {
 	updated  uint64
 	deleted  uint64
 
-	// hooks and commitLog alias the owning store's slots so SetHooks
-	// and SetCommitLog apply to all collections atomically.
+	// hooks, commitLog and ingestObs alias the owning store's slots so
+	// SetHooks, SetCommitLog and SetIngestObserver apply to all
+	// collections atomically.
 	hooks     *atomic.Pointer[Hooks]
 	commitLog *atomic.Pointer[commitLogBox]
+	ingestObs *atomic.Pointer[ingestObsBox]
 }
 
 // indexEntry pairs an indexed field with its index for slice
@@ -122,6 +128,7 @@ func newCollection(name string, s *Store) *Collection {
 		indexes:   make(map[string]*index),
 		hooks:     &s.hooks,
 		commitLog: &s.commitLog,
+		ingestObs: &s.ingestObs,
 	}
 }
 
@@ -167,6 +174,12 @@ func (c *Collection) Insert(doc Doc) (string, error) {
 	c.inserted++
 	for _, e := range c.indexList {
 		e.idx.add(id, cp[e.field])
+	}
+	// Fire the ingest observer inside the critical section that
+	// assigned the commit-log LSN, so observers see inserts in LSN
+	// order (see observer.go).
+	if fn := c.obsFn(); fn != nil {
+		fn(ticketLSN(tk), cp)
 	}
 	c.mu.Unlock()
 	if err := commitWait(tk); err != nil {
@@ -247,6 +260,14 @@ func (c *Collection) InsertMany(docs []Doc) ([]string, error) {
 			e.idx.add(id, d[e.field])
 		}
 		ids = append(ids, id)
+	}
+	// One commit-log record covers the whole accepted prefix, so every
+	// observed document carries the same LSN (see observer.go).
+	if fn := c.obsFn(); fn != nil && n > 0 {
+		lsn := ticketLSN(tk)
+		for i := 0; i < n; i++ {
+			fn(lsn, docs[i])
+		}
 	}
 	c.mu.Unlock()
 	if err := commitWait(tk); err != nil && firstErr == nil {
@@ -558,7 +579,18 @@ func (c *Collection) FindContext(ctx context.Context, filter Doc, opts FindOptio
 	}
 	c.mu.RLock()
 	docs := make([]Doc, 0, len(ids))
-	for _, id := range ids {
+	for i, id := range ids {
+		// The materialization loop clones every matched document and
+		// can dwarf the id scan on wide results, so it honors the
+		// deadline at the same cadence the scan does — without this a
+		// cancelled query would keep cloning (and keep the read lock)
+		// to completion.
+		if i&(scanCtxCheckEvery-1) == scanCtxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				c.mu.RUnlock()
+				return nil, err
+			}
+		}
 		if d, ok := c.docs[id]; ok {
 			docs = append(docs, cloneDoc(d))
 		}

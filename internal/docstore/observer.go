@@ -1,0 +1,78 @@
+package docstore
+
+// Ingest-observer seam: the derived-view counterpart of the commit
+// log. A derived store (the series engine's continuous aggregates)
+// registers an observer on a collection and receives every insert —
+// live, replayed from the WAL, or replicated — together with the WAL
+// LSN of the mutation that carried it.
+//
+// Ordering contract: for live inserts the observer fires inside the
+// collection's write critical section, immediately after the mutation
+// is applied — the same critical section that assigned the commit-log
+// LSN — so observers see documents in exactly the LSN order the WAL
+// records them. That is what lets a derived view checkpoint a single
+// high-water LSN and have replay re-feed precisely the records the
+// checkpoint missed (see series.DB.Append). The observed document is
+// the stored one, not a copy: observers must extract what they need
+// and not retain or mutate it.
+//
+// Observers see inserts only. Updates, deletes and drops do not fire
+// — the series view aggregates immutable observations, and its
+// retention model (raw chunks age out, anonymous rollups persist) is
+// deliberately insensitive to document-level erasure. Callers that
+// need erasure to propagate into derived views must rebuild them.
+
+// IngestObserver receives one inserted document and the LSN of the
+// commit-log record that carried it (0 when no commit log is
+// attached, or on backfill scans).
+type IngestObserver func(lsn uint64, doc Doc)
+
+// ingestObsBox wraps the observer map for atomic.Pointer storage.
+type ingestObsBox struct{ byCol map[string]IngestObserver }
+
+// SetIngestObserver registers fn for every insert into the named
+// collection (nil removes it). Register before serving writes;
+// inserts already applied are not replayed into the observer (the
+// storage layer's backfill path covers pre-existing documents).
+func (s *Store) SetIngestObserver(col string, fn IngestObserver) {
+	for {
+		old := s.ingestObs.Load()
+		byCol := make(map[string]IngestObserver)
+		if old != nil {
+			for k, v := range old.byCol {
+				byCol[k] = v
+			}
+		}
+		if fn == nil {
+			delete(byCol, col)
+		} else {
+			byCol[col] = fn
+		}
+		var next *ingestObsBox
+		if len(byCol) > 0 {
+			next = &ingestObsBox{byCol: byCol}
+		}
+		if s.ingestObs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// obsFn returns the collection's ingest observer (nil when none).
+func (c *Collection) obsFn() IngestObserver {
+	box := c.ingestObs.Load()
+	if box == nil {
+		return nil
+	}
+	return box.byCol[c.name]
+}
+
+// ticketLSN extracts the WAL LSN a commit ticket carries (0 when the
+// ticket kind has none — e.g. no commit log attached). wal.Ticket and
+// the cluster replication ticket both implement LSN().
+func ticketLSN(tk CommitTicket) uint64 {
+	if l, ok := tk.(interface{ LSN() uint64 }); ok {
+		return l.LSN()
+	}
+	return 0
+}

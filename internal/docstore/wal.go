@@ -114,7 +114,7 @@ func RecoverWAL(s *Store, w *wal.WAL) (WALRecovery, error) {
 		if m.Op == 0 {
 			m.Op = MutationOp(typ)
 		}
-		if err := s.ApplyMutation(m); err != nil {
+		if err := s.ApplyMutationAt(lsn, m); err != nil {
 			return fmt.Errorf("lsn %d: %w", lsn, err)
 		}
 		n++
@@ -132,22 +132,39 @@ func RecoverWAL(s *Store, w *wal.WAL) (WALRecovery, error) {
 // and log-shipping replication: a follower decodes each shipped record
 // with DecodeMutation and applies it here, and because application is
 // idempotent a re-shipped record (after a follower reconnect) simply
-// converges.
-func (s *Store) ApplyMutation(m *Mutation) error {
+// converges. Equivalent to ApplyMutationAt with an unknown (zero)
+// LSN.
+func (s *Store) ApplyMutation(m *Mutation) error { return s.ApplyMutationAt(0, m) }
+
+// ApplyMutationAt is ApplyMutation for a record whose WAL LSN is
+// known: replayed and replicated inserts additionally fire the
+// collection's ingest observer with that LSN, so derived views (the
+// series engine) recover in step with the store. Callers replaying a
+// log must apply records in LSN order — observer ordering comes from
+// the single replay goroutine here, not from a lock.
+func (s *Store) ApplyMutationAt(lsn uint64, m *Mutation) error {
 	switch m.Op {
 	case OpInsert:
 		if m.ID == "" {
 			return errors.New("docstore: replay insert without id")
 		}
-		s.Collection(m.Collection).replayInsert(m.ID, m.Doc)
+		c := s.Collection(m.Collection)
+		c.replayInsert(m.ID, m.Doc)
+		if fn := c.obsFn(); fn != nil {
+			fn(lsn, m.Doc)
+		}
 	case OpInsertMany:
 		c := s.Collection(m.Collection)
+		fn := c.obsFn()
 		for _, d := range m.Docs {
 			id, _ := d[IDField].(string)
 			if id == "" {
 				return errors.New("docstore: replay insert-many without id")
 			}
 			c.replayInsert(id, d)
+			if fn != nil {
+				fn(lsn, d)
+			}
 		}
 	case OpUpdate:
 		s.Collection(m.Collection).replayUpdate(m.ID, m.Fields)

@@ -76,6 +76,35 @@ func (g *ZoneGrid) ZoneID(p Point) string {
 	return fmt.Sprintf("%s%s%03d", g.country, g.prefix, r*g.cols+c+1)
 }
 
+// ZoneCenter inverts ZoneID: it returns the center point of the named
+// zone cell. The second result is false for ids this grid did not
+// produce — foreign country/prefix, the out-of-area id, or a cell
+// index outside the grid. Aggregated zone statistics (the series
+// engine's rollups) carry only zone ids; this is how they get back a
+// representative coordinate for mapping and assimilation.
+func (g *ZoneGrid) ZoneCenter(id string) (Point, bool) {
+	head := g.country + g.prefix
+	if !strings.HasPrefix(id, head) {
+		return Point{}, false
+	}
+	idx := 0
+	digits := id[len(head):]
+	if len(digits) == 0 {
+		return Point{}, false
+	}
+	for _, r := range digits {
+		if r < '0' || r > '9' {
+			return Point{}, false
+		}
+		idx = idx*10 + int(r-'0')
+	}
+	idx-- // ids are 1-based
+	if idx < 0 || idx >= g.rows*g.cols {
+		return Point{}, false
+	}
+	return g.CellCenter(idx/g.cols, idx%g.cols), true
+}
+
 // CellCenter returns the center point of the zone cell (row, col).
 func (g *ZoneGrid) CellCenter(row, col int) Point {
 	return Point{

@@ -8,6 +8,7 @@ import (
 	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/series"
 	"github.com/urbancivics/goflow/internal/wal"
 )
 
@@ -385,6 +386,77 @@ func (m *Metrics) InstrumentWAL(w *wal.WAL) {
 		durableLSN.Set(float64(st.DurableLSN))
 		replayedRecords.Set(float64(st.ReplayedRecords))
 		replaySeconds.Set(st.ReplayDuration.Seconds())
+	})
+}
+
+// InstrumentSeries registers the series_* families and feeds them
+// from the time-series engine's hooks and stats. Like InstrumentWAL,
+// the families are created here so servers running without a series
+// engine don't expose dead zero-valued series.
+func (m *Metrics) InstrumentSeries(db *series.DB) {
+	appended := m.reg.Counter("series_appended_total",
+		"Observation points appended to the series engine.")
+	seals := m.reg.Counter("series_seals_total",
+		"Chunks sealed (filled or checkpointed).")
+	sealedBytes := m.reg.Counter("series_sealed_bytes_total",
+		"Encoded bytes of sealed chunks.")
+	queryDur := m.reg.HistogramVec("series_query_duration_seconds",
+		"Series query latency, by query kind.", nil, "kind")
+	scanned := m.reg.Counter("series_chunks_scanned_total",
+		"Chunks decoded by series queries.")
+	skipped := m.reg.Counter("series_chunks_skipped_total",
+		"Chunks pruned by the sparse min/max index.")
+	retChunks := m.reg.Counter("series_retention_chunks_total",
+		"Raw chunks dropped by retention.")
+	retPoints := m.reg.Counter("series_retention_points_total",
+		"Raw points dropped by retention (rollups keep their history).")
+	rebuilds := m.reg.Counter("series_rollup_rebuilds_total",
+		"Rollup rebuilds from chunks (recovery mismatch or corruption).")
+	ckptDur := m.reg.Histogram("series_checkpoint_duration_seconds",
+		"Series checkpoint latency.", nil)
+	ckptChunks := m.reg.Counter("series_checkpoint_chunks_total",
+		"Chunks persisted by checkpoints.")
+	points := m.reg.Gauge("series_points",
+		"Points held across raw chunks.")
+	chunks := m.reg.Gauge("series_sealed_chunks",
+		"Sealed immutable chunks.")
+	chunkBytes := m.reg.Gauge("series_sealed_chunk_bytes",
+		"Encoded bytes across sealed chunks.")
+	zones := m.reg.Gauge("series_zones",
+		"Zones with at least one rollup bucket.")
+	buckets := m.reg.Gauge("series_rollup_buckets",
+		"Live (zone, time-bucket) rollup aggregates.")
+	watermark := m.reg.Gauge("series_watermark_lsn",
+		"Highest commit-log LSN folded into the series engine.")
+	db.SetHooks(&series.Hooks{
+		Append: func(n int) { appended.Add(uint64(n)) },
+		Seal: func(p, b int) {
+			seals.Inc()
+			sealedBytes.Add(uint64(b))
+		},
+		Query: func(kind string, d time.Duration, sc, sk int) {
+			queryDur.With(kind).ObserveDuration(d)
+			scanned.Add(uint64(sc))
+			skipped.Add(uint64(sk))
+		},
+		Retention: func(c, p int) {
+			retChunks.Add(uint64(c))
+			retPoints.Add(uint64(p))
+		},
+		Rebuild: rebuilds.Inc,
+		Checkpoint: func(d time.Duration, saved int) {
+			ckptDur.ObserveDuration(d)
+			ckptChunks.Add(uint64(saved))
+		},
+	})
+	m.reg.OnCollect(func() {
+		st := db.Stats()
+		points.Set(float64(st.Points))
+		chunks.Set(float64(st.SealedChunks))
+		chunkBytes.Set(float64(st.SealedBytes))
+		zones.Set(float64(st.Zones))
+		buckets.Set(float64(st.RollupBuckets))
+		watermark.Set(float64(st.Watermark))
 	})
 }
 

@@ -25,6 +25,8 @@ import (
 //	GET  /v1/apps/{app}/observations      retrieve with filters
 //	GET  /v1/apps/{app}/observations/count
 //	GET  /v1/apps/{app}/analytics
+//	GET  /v1/apps/{app}/zones/{zone}/noise  per-zone noise summary
+//	GET  /v1/apps/{app}/noisemap          noise summary of every zone
 //	POST /v1/apps/{app}/jobs              submit a background job
 //	GET  /v1/jobs/{id}                    job status
 //	GET  /v1/healthz
@@ -56,6 +58,8 @@ func (h *apiHandler) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/apps/{app}/observations/count", g(guard.ClassQuery, h.observationCount))
 	mux.HandleFunc("GET /v1/apps/{app}/observations/export", g(guard.ClassAnalytics, h.exportObservations))
 	mux.HandleFunc("GET /v1/apps/{app}/analytics", g(guard.ClassAnalytics, h.analytics))
+	mux.HandleFunc("GET /v1/apps/{app}/zones/{zone}/noise", g(guard.ClassAnalytics, h.zoneNoise))
+	mux.HandleFunc("GET /v1/apps/{app}/noisemap", g(guard.ClassAnalytics, h.noisemap))
 	mux.HandleFunc("POST /v1/apps/{app}/jobs", g(guard.ClassAnalytics, h.submitJob))
 	mux.HandleFunc("GET /v1/jobs/{id}", g(guard.ClassAnalytics, h.jobStatus))
 }
@@ -321,6 +325,66 @@ func (h *apiHandler) analytics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// noiseRange parses the from/to query parameters (RFC 3339). The
+// default window is the last 24 hours, matching the dashboard's
+// opening view.
+func noiseRange(r *http.Request) (time.Time, time.Time, error) {
+	to := time.Now()
+	from := to.Add(-24 * time.Hour)
+	if s := r.URL.Query().Get("to"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return time.Time{}, time.Time{}, errors.New("bad 'to' timestamp: want RFC 3339")
+		}
+		to = t
+		from = to.Add(-24 * time.Hour)
+	}
+	if s := r.URL.Query().Get("from"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return time.Time{}, time.Time{}, errors.New("bad 'from' timestamp: want RFC 3339")
+		}
+		from = t
+	}
+	return from, to, nil
+}
+
+// zoneNoise summarizes one zone's sound level: rollup-backed when the
+// engine has a series attached, document scan otherwise.
+func (h *apiHandler) zoneNoise(w http.ResponseWriter, r *http.Request) {
+	from, to, err := noiseRange(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	st, err := h.server.Data.ZoneNoise(r.Context(), r.PathValue("zone"), from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// noisemap summarizes every zone's sound level over the range.
+func (h *apiHandler) noisemap(w http.ResponseWriter, r *http.Request) {
+	from, to, err := noiseRange(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	zones, err := h.server.Data.Noisemap(r.Context(), from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"from":  from,
+		"to":    to,
+		"count": len(zones),
+		"zones": zones,
+	})
 }
 
 type submitJobRequest struct {

@@ -1,0 +1,94 @@
+package series
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The benchmark pair behind BENCH_series.json: the same one-hour zone
+// window answered from the continuous rollups versus forced through
+// the compressed chunks. The docstore full-scan baseline lives in
+// internal/storage (it needs documents, not points).
+
+// benchFill appends n seeded points spread across zones and time.
+func benchFill(db *DB, n int, spread time.Duration, zones int) {
+	rng := rand.New(rand.NewSource(7))
+	zs := make([]string, zones)
+	for i := range zs {
+		zs[i] = fmt.Sprintf("FR75%03d", i+1)
+	}
+	base := testBase.UnixMilli()
+	ms := spread.Milliseconds()
+	for i := 0; i < n; i++ {
+		db.Append(uint64(i+1), Point{
+			TS:    base + rng.Int63n(ms),
+			Value: 20 + rng.Float64()*90,
+			Zone:  zs[rng.Intn(len(zs))],
+		})
+	}
+}
+
+var benchSizes = []int{100_000, 1_000_000, 10_000_000}
+
+func BenchmarkSeriesQuery(b *testing.B) {
+	const spread = 7 * 24 * time.Hour
+	lo := testBase.Add(72 * time.Hour)
+	hi := lo.Add(time.Hour)
+	for _, n := range benchSizes {
+		// Rollup path: 5-minute buckets, the aligned window is pure
+		// aggregate merging.
+		db := New(Options{ChunkWindow: time.Hour, RollupBucket: 5 * time.Minute})
+		benchFill(db, n, spread, 64)
+		b.Run(fmt.Sprintf("n=%d/path=rollup", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ZoneAggregate(context.Background(), "FR75001", lo, hi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/path=rollup-noisemap", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Noisemap(context.Background(), lo, hi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// Chunk path: a rollup bucket as wide as the whole spread means
+		// no window ever covers one, so the same query runs entirely as
+		// an edge scan — decode the overlapping chunks, sparse index
+		// pruning the rest.
+		ch := New(Options{ChunkWindow: time.Hour, RollupBucket: spread})
+		benchFill(ch, n, spread, 64)
+		b.Run(fmt.Sprintf("n=%d/path=chunks", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ch.ZoneAggregate(context.Background(), "FR75001", lo, hi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppend prices the ingest-side work: chunk encoding plus
+// rollup maintenance per observation.
+func BenchmarkAppend(b *testing.B) {
+	db := New(Options{ChunkWindow: time.Hour, RollupBucket: 5 * time.Minute})
+	rng := rand.New(rand.NewSource(7))
+	base := testBase.UnixMilli()
+	ms := (7 * 24 * time.Hour).Milliseconds()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Append(uint64(i+1), Point{
+			TS:    base + rng.Int63n(ms),
+			Value: 20 + rng.Float64()*90,
+			Zone:  "FR75001",
+		})
+	}
+}

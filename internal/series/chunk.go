@@ -1,0 +1,189 @@
+package series
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Chunk is one immutable run of encoded points inside a partition
+// window. Its metadata doubles as the sparse index: MinTS/MaxTS bound
+// the chunk on the time axis and Zones (the encoding dictionary) is
+// exactly the set of zones present, so a range or single-zone query
+// decides whether to decode a chunk from the header alone.
+//
+// Encoding, per point, all varints:
+//
+//	delta-of-delta(timestamp ms)  zigzag   (first point: ts − Part)
+//	delta(value, centi-dB int64)  zigzag   (first point: the value)
+//	zone dictionary index         uvarint
+//
+// Observation streams tick at near-constant intervals with slowly
+// moving levels, so the deltas of deltas and the value deltas hover
+// near zero and most points cost 3–5 bytes.
+type Chunk struct {
+	// Part is the owning partition's window start (Unix ms).
+	Part int64
+	// Seq orders chunks within a partition (seal order == append
+	// order, which rollup rebuilds rely on).
+	Seq int
+	// Count is the number of encoded points.
+	Count int
+	// MinTS and MaxTS bound the points' timestamps (Unix ms),
+	// inclusive.
+	MinTS, MaxTS int64
+	// MinVal and MaxVal bound the values (dB).
+	MinVal, MaxVal float64
+	// Zones is the zone dictionary in first-appearance order.
+	Zones []string
+	// Data is the encoded point stream.
+	Data []byte
+
+	// saved marks the chunk as persisted to its file (persist.go).
+	saved bool
+}
+
+// overlaps reports whether the chunk may contain points in [lo, hi).
+func (c *Chunk) overlaps(lo, hi int64) bool {
+	return c.Count > 0 && c.MaxTS >= lo && c.MinTS < hi
+}
+
+// hasZone reports whether the chunk contains any point of zone.
+func (c *Chunk) hasZone(zone string) bool {
+	for _, z := range c.Zones {
+		if z == zone {
+			return true
+		}
+	}
+	return false
+}
+
+// points decodes the chunk, calling fn once per point in append
+// order.
+func (c *Chunk) points(fn func(ts int64, v float64, zone string)) error {
+	data := c.Data
+	var prevTS, prevDelta, prevVal int64
+	first := true
+	for i := 0; i < c.Count; i++ {
+		dod, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("series: chunk %d/%d: truncated timestamp at point %d", c.Part, c.Seq, i)
+		}
+		data = data[n:]
+		dv, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("series: chunk %d/%d: truncated value at point %d", c.Part, c.Seq, i)
+		}
+		data = data[n:]
+		zi, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("series: chunk %d/%d: truncated zone at point %d", c.Part, c.Seq, i)
+		}
+		data = data[n:]
+		if int(zi) >= len(c.Zones) {
+			return fmt.Errorf("series: chunk %d/%d: zone index %d out of dictionary (%d) at point %d", c.Part, c.Seq, zi, len(c.Zones), i)
+		}
+		if first {
+			prevDelta = unzigzag(dod)
+			prevTS = c.Part + prevDelta
+			prevVal = unzigzag(dv)
+			first = false
+		} else {
+			prevDelta += unzigzag(dod)
+			prevTS += prevDelta
+			prevVal += unzigzag(dv)
+		}
+		fn(prevTS, float64(prevVal)/100, c.Zones[zi])
+	}
+	return nil
+}
+
+// chunkBuilder accumulates the active (mutable) chunk of a partition.
+type chunkBuilder struct {
+	part  int64
+	buf   []byte
+	count int
+
+	minTS, maxTS   int64
+	minVal, maxVal float64
+
+	prevTS, prevDelta, prevVal int64
+
+	zones   []string
+	zoneIdx map[string]uint64
+}
+
+func newChunkBuilder(part int64) *chunkBuilder {
+	return &chunkBuilder{part: part, zoneIdx: make(map[string]uint64)}
+}
+
+// add encodes one point. Out-of-order timestamps are fine — deltas go
+// negative and zigzag absorbs the sign — the min/max index just widens.
+func (b *chunkBuilder) add(p Point) {
+	scaled := int64(math.Round(p.Value * 100))
+	zi, ok := b.zoneIdx[p.Zone]
+	if !ok {
+		zi = uint64(len(b.zones))
+		b.zoneIdx[p.Zone] = zi
+		b.zones = append(b.zones, p.Zone)
+	}
+	if b.count == 0 {
+		delta := p.TS - b.part
+		b.buf = binary.AppendUvarint(b.buf, zigzag(delta))
+		b.buf = binary.AppendUvarint(b.buf, zigzag(scaled))
+		b.prevTS, b.prevDelta, b.prevVal = p.TS, delta, scaled
+		b.minTS, b.maxTS = p.TS, p.TS
+		b.minVal, b.maxVal = p.Value, p.Value
+	} else {
+		delta := p.TS - b.prevTS
+		b.buf = binary.AppendUvarint(b.buf, zigzag(delta-b.prevDelta))
+		b.buf = binary.AppendUvarint(b.buf, zigzag(scaled-b.prevVal))
+		b.prevTS, b.prevDelta, b.prevVal = p.TS, delta, scaled
+		if p.TS < b.minTS {
+			b.minTS = p.TS
+		}
+		if p.TS > b.maxTS {
+			b.maxTS = p.TS
+		}
+		if p.Value < b.minVal {
+			b.minVal = p.Value
+		}
+		if p.Value > b.maxVal {
+			b.maxVal = p.Value
+		}
+	}
+	b.buf = binary.AppendUvarint(b.buf, zi)
+	b.count++
+}
+
+// seal freezes the builder into an immutable chunk.
+func (b *chunkBuilder) seal(seq int) *Chunk {
+	return &Chunk{
+		Part: b.part, Seq: seq, Count: b.count,
+		MinTS: b.minTS, MaxTS: b.maxTS,
+		MinVal: b.minVal, MaxVal: b.maxVal,
+		Zones: b.zones, Data: b.buf,
+	}
+}
+
+// snapshot views the builder as a chunk without sealing it, so query
+// scans can decode the active tail. Only valid while the DB lock
+// protects the builder from concurrent appends.
+func (b *chunkBuilder) snapshot() *Chunk {
+	return &Chunk{
+		Part: b.part, Seq: -1, Count: b.count,
+		MinTS: b.minTS, MaxTS: b.maxTS,
+		MinVal: b.minVal, MaxVal: b.maxVal,
+		Zones: b.zones, Data: b.buf,
+	}
+}
+
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvarint is binary.Uvarint with the two failure modes (truncated,
+// overflow) folded into n <= 0.
+func uvarint(data []byte) (uint64, int) {
+	return binary.Uvarint(data)
+}

@@ -1,0 +1,359 @@
+package series
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Persistence. A checkpoint publishes three kinds of file under Dir:
+//
+//	chunks/<part>-<seq>.chk   one per sealed chunk, written once
+//	                          (chunks are immutable)
+//	rollups-<epoch>.gob       the continuous aggregates + watermark
+//	manifest.gob              the commit point: chunk list, rollups
+//	                          file name, watermark, retention floor
+//
+// Every file is a CRC-framed payload written to a temp file and
+// renamed into place; the manifest rename is the atomic commit. A
+// crash mid-checkpoint leaves the previous manifest referencing only
+// previous files (the rollups file is epoch-named, never overwritten,
+// exactly so a half-finished checkpoint cannot clobber the one the
+// live manifest points at). Stray files from failed checkpoints are
+// swept on Open.
+//
+// Ordering with the engine checkpoint (storage.Local): the WAL is
+// rotated first, then the docstore snapshot saved, then this
+// checkpoint, and the WAL is truncated only after all three succeed —
+// so every observation the persisted watermark does not cover is
+// still in the log and re-fed on recovery. Recovery order is the
+// mirror: load snapshot, Open the series, replay the WAL tail through
+// the ingest observer (Append drops LSNs at or below the watermark),
+// then attach.
+
+// frame layout: magic | payload len | crc32c(payload) | payload.
+var frameMagic = [4]byte{'S', 'E', 'R', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	manifestName = "manifest.gob"
+	chunksDir    = "chunks"
+)
+
+// manifest is the checkpoint commit record.
+type manifest struct {
+	Epoch          uint64
+	Watermark      uint64
+	RetentionFloor int64
+	Points         uint64
+	RollupsFile    string
+	Chunks         []chunkRef
+}
+
+// chunkRef names one persisted chunk.
+type chunkRef struct {
+	Part int64
+	Seq  int
+}
+
+func (r chunkRef) file() string { return fmt.Sprintf("%016x-%06d.chk", uint64(r.Part), r.Seq) }
+
+// chunkFile is the on-disk form of a Chunk.
+type chunkFile struct {
+	Part           int64
+	Seq            int
+	Count          int
+	MinTS, MaxTS   int64
+	MinVal, MaxVal float64
+	Zones          []string
+	Data           []byte
+}
+
+// rollupFile is the on-disk form of the continuous aggregates.
+type rollupFile struct {
+	Epoch   uint64
+	Rollups map[string]map[int64]Agg
+}
+
+// Open loads the DB persisted under opts.Dir (a fresh empty DB when
+// nothing is there yet). A missing or corrupt rollups file is
+// rebuilt from the chunks (lossy only when retention has already aged
+// raw data out); a corrupt chunk file is a hard error, like a corrupt
+// sealed WAL segment. Stray files from interrupted checkpoints are
+// removed.
+func Open(opts Options) (*DB, error) {
+	db := New(opts)
+	if opts.Dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, chunksDir), 0o755); err != nil {
+		return nil, fmt.Errorf("series: dir: %w", err)
+	}
+	var man manifest
+	switch err := readGobFrame(filepath.Join(opts.Dir, manifestName), &man); {
+	case err == nil:
+	case os.IsNotExist(err):
+		sweepStrays(opts.Dir, nil)
+		return db, nil
+	default:
+		return nil, fmt.Errorf("series: manifest: %w", err)
+	}
+	db.epoch = man.Epoch
+	db.watermark = man.Watermark
+	db.retentionFloor = man.RetentionFloor
+	db.points = man.Points
+	for _, ref := range man.Chunks {
+		var cf chunkFile
+		path := filepath.Join(opts.Dir, chunksDir, ref.file())
+		if err := readGobFrame(path, &cf); err != nil {
+			return nil, fmt.Errorf("series: chunk %s: %w", ref.file(), err)
+		}
+		ch := &Chunk{
+			Part: cf.Part, Seq: cf.Seq, Count: cf.Count,
+			MinTS: cf.MinTS, MaxTS: cf.MaxTS,
+			MinVal: cf.MinVal, MaxVal: cf.MaxVal,
+			Zones: cf.Zones, Data: cf.Data,
+			saved: true,
+		}
+		pt := db.parts[ch.Part]
+		if pt == nil {
+			pt = &partition{start: ch.Part}
+			db.parts[ch.Part] = pt
+		}
+		pt.sealed = append(pt.sealed, ch)
+		if ch.Seq >= pt.nextSeq {
+			pt.nextSeq = ch.Seq + 1
+		}
+	}
+	// Seal order within a partition is append order; restore it in
+	// case the manifest listed chunks out of order.
+	for _, pt := range db.parts {
+		sort.Slice(pt.sealed, func(i, j int) bool { return pt.sealed[i].Seq < pt.sealed[j].Seq })
+	}
+	var rf rollupFile
+	rerr := readGobFrame(filepath.Join(opts.Dir, man.RollupsFile), &rf)
+	if rerr == nil && rf.Epoch != man.Epoch {
+		rerr = fmt.Errorf("series: rollups epoch %d != manifest epoch %d", rf.Epoch, man.Epoch)
+	}
+	if rerr == nil {
+		for zone, zm := range rf.Rollups {
+			dst := make(map[int64]*Agg, len(zm))
+			for b, a := range zm {
+				cp := a
+				dst[b] = &cp
+			}
+			db.rollups[zone] = dst
+		}
+	} else {
+		db.rebuildRollupsLocked()
+		if h := db.h(); h != nil && h.Rebuild != nil {
+			h.Rebuild()
+		}
+	}
+	sweepStrays(opts.Dir, &man)
+	return db, nil
+}
+
+// Checkpoint persists the DB state under Dir: seal the active
+// builders, write the not-yet-persisted chunks, the rollups and then
+// the manifest. A no-op without a Dir. With Retention configured, raw
+// chunks past the retention horizon are dropped first.
+func (db *DB) Checkpoint() error { return db.CheckpointVia(nil) }
+
+// CheckpointVia is Checkpoint with every file write routed through
+// wrap (nil = direct) — the seam the crash tests use to inject torn
+// writes mid-checkpoint.
+func (db *DB) CheckpointVia(wrap func(io.Writer) io.Writer) error {
+	if db.opts.Dir == "" {
+		return nil
+	}
+	start := time.Now()
+	if db.opts.Retention > 0 {
+		db.ApplyRetention(time.Now().Add(-db.opts.Retention))
+	}
+
+	db.mu.Lock()
+	for _, pt := range db.parts {
+		if pt.active != nil && pt.active.count > 0 {
+			db.sealLocked(pt)
+		}
+	}
+	db.epoch++
+	man := manifest{
+		Epoch:          db.epoch,
+		Watermark:      db.watermark,
+		RetentionFloor: db.retentionFloor,
+		Points:         db.points,
+	}
+	man.RollupsFile = fmt.Sprintf("rollups-%016x.gob", man.Epoch)
+	var unsaved []*Chunk
+	for _, pt := range db.sortedParts() {
+		for _, ch := range pt.sealed {
+			man.Chunks = append(man.Chunks, chunkRef{Part: ch.Part, Seq: ch.Seq})
+			if !ch.saved {
+				unsaved = append(unsaved, ch)
+			}
+		}
+	}
+	// Deep-copy the rollups under the lock, encode and write off it:
+	// sealed chunks are immutable so only the aggregates need a
+	// consistent snapshot.
+	rf := rollupFile{Epoch: man.Epoch, Rollups: make(map[string]map[int64]Agg, len(db.rollups))}
+	for zone, zm := range db.rollups {
+		dst := make(map[int64]Agg, len(zm))
+		for b, a := range zm {
+			dst[b] = *a
+		}
+		rf.Rollups[zone] = dst
+	}
+	db.mu.Unlock()
+
+	for _, ch := range unsaved {
+		cf := chunkFile{
+			Part: ch.Part, Seq: ch.Seq, Count: ch.Count,
+			MinTS: ch.MinTS, MaxTS: ch.MaxTS,
+			MinVal: ch.MinVal, MaxVal: ch.MaxVal,
+			Zones: ch.Zones, Data: ch.Data,
+		}
+		path := filepath.Join(db.opts.Dir, chunksDir, chunkRef{Part: ch.Part, Seq: ch.Seq}.file())
+		if err := writeGobFrame(path, &cf, wrap); err != nil {
+			return fmt.Errorf("series: chunk %d/%d: %w", ch.Part, ch.Seq, err)
+		}
+	}
+	if err := writeGobFrame(filepath.Join(db.opts.Dir, man.RollupsFile), &rf, wrap); err != nil {
+		return fmt.Errorf("series: rollups: %w", err)
+	}
+	if err := writeGobFrame(filepath.Join(db.opts.Dir, manifestName), &man, wrap); err != nil {
+		return fmt.Errorf("series: manifest: %w", err)
+	}
+
+	// The manifest rename committed: mark the chunks persisted and
+	// sweep files no checkpoint references anymore (aged-out chunks,
+	// previous rollup epochs).
+	db.mu.Lock()
+	for _, ch := range unsaved {
+		ch.saved = true
+	}
+	db.mu.Unlock()
+	sweepStrays(db.opts.Dir, &man)
+	if h := db.h(); h != nil && h.Checkpoint != nil {
+		h.Checkpoint(time.Since(start), len(unsaved))
+	}
+	return nil
+}
+
+// sweepStrays removes files under dir that the manifest does not
+// reference: temp files and half-written chunks of an interrupted
+// checkpoint, rollup files of previous epochs, chunk files dropped by
+// retention. With a nil manifest everything series-owned goes.
+func sweepStrays(dir string, man *manifest) {
+	keepChunks := make(map[string]bool)
+	keepRollups := ""
+	if man != nil {
+		for _, ref := range man.Chunks {
+			keepChunks[ref.file()] = true
+		}
+		keepRollups = man.RollupsFile
+	}
+	if entries, err := os.ReadDir(filepath.Join(dir, chunksDir)); err == nil {
+		for _, e := range entries {
+			if !keepChunks[e.Name()] {
+				_ = os.Remove(filepath.Join(dir, chunksDir, e.Name()))
+			}
+		}
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			stray := (strings.HasPrefix(name, "rollups-") && name != keepRollups) ||
+				strings.HasPrefix(name, ".series-")
+			if stray {
+				_ = os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+}
+
+// writeGobFrame writes a CRC-framed gob payload to path atomically:
+// temp file in the same directory, optional writer middleware, fsync,
+// rename, fsync the directory.
+func writeGobFrame(path string, payload any, wrap func(io.Writer) io.Writer) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	body := buf.Bytes()
+	var hdr [12]byte
+	copy(hdr[0:4], frameMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(body, castagnoli))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".series-*.tmp")
+	if err != nil {
+		return fmt.Errorf("temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() { _ = os.Remove(tmpName) }() // no-op after a successful rename
+	var w io.Writer = tmp
+	if wrap != nil {
+		w = wrap(tmp)
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("write: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// readGobFrame reads and verifies a CRC-framed gob payload. Missing
+// files return the raw os.IsNotExist-able error.
+func readGobFrame(path string, out any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < 12 || !bytes.Equal(raw[0:4], frameMagic[:]) {
+		return fmt.Errorf("%s: bad frame header", filepath.Base(path))
+	}
+	n := binary.LittleEndian.Uint32(raw[4:8])
+	sum := binary.LittleEndian.Uint32(raw[8:12])
+	body := raw[12:]
+	if uint32(len(body)) != n {
+		return fmt.Errorf("%s: truncated payload (%d of %d bytes)", filepath.Base(path), len(body), n)
+	}
+	if crc32.Checksum(body, castagnoli) != sum {
+		return fmt.Errorf("%s: crc mismatch", filepath.Base(path))
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(out); err != nil {
+		return fmt.Errorf("%s: decode: %w", filepath.Base(path), err)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/urbancivics/goflow/internal/docstore"
@@ -26,6 +27,7 @@ import (
 //	GET  /me/observations        own contributions (X-Client-ID)
 //	GET  /me/exposure            daily/monthly exposure report
 //	GET  /me/journeys            journeys visible to the user
+//	GET  /noisemap               city noise map with health bands
 //	POST /feedback               submit a feedback report
 type userAPI struct {
 	server *goflow.Server
@@ -71,6 +73,7 @@ func NewUserAPI(cfg APIConfig) (http.Handler, error) {
 	mux.HandleFunc("GET /me/observations", api.myObservations)
 	mux.HandleFunc("GET /me/exposure", api.myExposure)
 	mux.HandleFunc("GET /me/journeys", api.myJourneys)
+	mux.HandleFunc("GET /noisemap", api.noisemap)
 	mux.HandleFunc("POST /feedback", api.postFeedback)
 	return mux, nil
 }
@@ -166,6 +169,48 @@ func (a *userAPI) myJourneys(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeUserJSON(w, map[string]any{"count": len(docs), "journeys": docs})
+}
+
+// noisemapZone is one zone of the city noise map: the aggregate
+// sound level classified into the exposure health bands users already
+// know from their personal reports.
+type noisemapZone struct {
+	goflow.NoiseStats
+	Band HealthBand `json:"band"`
+}
+
+// noisemap renders the city-wide noise map for the dashboard. The
+// window defaults to the last 24 hours; hours=N narrows it. Answers
+// come from the series engine's continuous rollups when the storage
+// engine carries one, so the map stays interactive at tens of
+// millions of stored observations.
+func (a *userAPI) noisemap(w http.ResponseWriter, r *http.Request) {
+	if _, ok := a.authenticate(w, r); !ok {
+		return
+	}
+	to := time.Now()
+	window := 24 * time.Hour
+	if s := r.URL.Query().Get("hours"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 || n > 24*365 {
+			writeUserErr(w, http.StatusBadRequest, "bad 'hours' parameter")
+			return
+		}
+		window = time.Duration(n) * time.Hour
+	}
+	stats, err := a.server.Data.Noisemap(r.Context(), to.Add(-window), to)
+	if err != nil {
+		writeUserErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	zones := make([]noisemapZone, 0, len(stats))
+	for _, st := range stats {
+		if st.Count == 0 {
+			continue
+		}
+		zones = append(zones, noisemapZone{NoiseStats: st, Band: BandOf(st.LAeq)})
+	}
+	writeUserJSON(w, map[string]any{"count": len(zones), "zones": zones})
 }
 
 // feedbackRequest is the POST /feedback body.

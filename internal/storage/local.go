@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/series"
 	"github.com/urbancivics/goflow/internal/wal"
 )
 
@@ -24,6 +25,12 @@ type Local struct {
 	// snapshotPath is where Checkpoint publishes snapshots ("" = no
 	// snapshot persistence).
 	snapshotPath string
+
+	// series is the optional time-partitioned view with continuous
+	// aggregates, fed by the ingest observer on seriesCol (see
+	// series.go in this package).
+	series    *series.DB
+	seriesCol string
 
 	// checkpointMu serializes Checkpoint so an interval loop, a
 	// triggered job and shutdown never interleave rotate/save/truncate.
@@ -52,6 +59,11 @@ type LocalOptions struct {
 	// commit log detached. The cluster layer uses it to install its
 	// own replication-aware commit log in place of the plain WAL one.
 	NoAttach bool
+	// Series enables the time-partitioned series view with continuous
+	// aggregates. An empty Series.Dir with a WALDir defaults to
+	// <WALDir>/series; with neither the series is memory-only
+	// (rebuilt from the store on every boot).
+	Series *SeriesOptions
 }
 
 // NewLocal wraps an existing store as an Engine with no persistence of
@@ -83,6 +95,37 @@ func OpenLocal(opts LocalOptions) (*Local, error) {
 			return nil, fmt.Errorf("storage: load snapshot: %w", err)
 		}
 	}
+	// Open the series view before WAL replay so the ingest observer
+	// can re-feed it the log tail in LSN order. Two bootstrap shapes:
+	//
+	//   - A series with recovered state skips replayed records at or
+	//     below its checkpointed watermark, so observing the replay
+	//     re-feeds exactly the tail its checkpoint missed.
+	//   - A fresh series over a store that already holds documents
+	//     (series just enabled, or its directory lost) cannot tell
+	//     which replayed records the snapshot also covers, so it is
+	//     instead backfilled from the fully recovered store after
+	//     replay and its watermark set to the log head.
+	backfill := false
+	if opts.Series != nil {
+		so := opts.Series.Options
+		if so.Dir == "" && opts.WALDir != "" {
+			so.Dir = filepath.Join(opts.WALDir, "series")
+		}
+		sdb, err := series.Open(so)
+		if err != nil {
+			return nil, err
+		}
+		l.series = sdb
+		l.seriesCol = opts.Series.collection()
+		st := sdb.Stats()
+		fresh := st.Points == 0 && st.Watermark == 0
+		snapHasDocs := l.store.Collection(l.seriesCol).Stats().Docs > 0
+		backfill = fresh && snapHasDocs
+		if !backfill {
+			l.observeSeries(l.seriesCol)
+		}
+	}
 	if opts.WALDir != "" {
 		w, err := wal.Open(opts.WALDir, wal.Options{Policy: opts.Policy, SegmentBytes: opts.SegmentBytes})
 		if err != nil {
@@ -96,6 +139,13 @@ func OpenLocal(opts LocalOptions) (*Local, error) {
 		if !opts.NoAttach {
 			docstore.AttachWAL(l.store, w)
 		}
+	}
+	if backfill {
+		l.backfillSeries(l.seriesCol)
+		if l.wal != nil {
+			l.series.SetWatermark(l.wal.LastLSN())
+		}
+		l.observeSeries(l.seriesCol)
 	}
 	return l, nil
 }
@@ -187,10 +237,19 @@ func (l *Local) Checkpoint() error {
 	l.checkpointMu.Lock()
 	defer l.checkpointMu.Unlock()
 	if l.snapshotPath == "" {
+		if l.series != nil {
+			return l.series.Checkpoint()
+		}
 		return nil
 	}
 	if l.wal == nil {
-		return l.store.SaveFile(l.snapshotPath)
+		if err := l.store.SaveFile(l.snapshotPath); err != nil {
+			return err
+		}
+		if l.series != nil {
+			return l.series.Checkpoint()
+		}
+		return nil
 	}
 	cut, err := l.wal.Rotate()
 	if err != nil {
@@ -198,6 +257,18 @@ func (l *Local) Checkpoint() error {
 	}
 	if err := l.store.SaveFile(l.snapshotPath); err != nil {
 		return err
+	}
+	// The series checkpoints after the snapshot and before the
+	// truncation: SaveFile's read locks barrier every in-flight write
+	// (whose observer fired in the same critical section that
+	// assigned its LSN), so by now the series watermark covers every
+	// observation record below the rotation cut — truncating those
+	// segments cannot orphan rollup state. A series checkpoint
+	// failure skips the truncation, keeping the tail replayable.
+	if l.series != nil {
+		if err := l.series.Checkpoint(); err != nil {
+			return fmt.Errorf("storage: series checkpoint: %w", err)
+		}
 	}
 	if l.truncateBound != nil {
 		// bound is the lowest LSN a follower still needs minus one;

@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"context"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/series"
+)
+
+// Series integration: a Local engine can carry a series.DB — the
+// time-partitioned chunk store with continuous aggregates — fed by the
+// docstore ingest observer and checkpointed/recovered in lockstep with
+// the store (see OpenLocal and Checkpoint for the ordering that makes
+// rollups crash-safe).
+
+// SeriesOptions enable the series engine on a Local.
+type SeriesOptions struct {
+	series.Options
+	// Collection is the observed docstore collection (default
+	// "observations").
+	Collection string
+}
+
+func (o SeriesOptions) collection() string {
+	if o.Collection == "" {
+		return "observations"
+	}
+	return o.Collection
+}
+
+// SeriesQuerier is the optional query surface a storage engine exposes
+// when a series view is attached. Callers discover it by type
+// assertion on the Engine and must fall back to document scans when
+// the second return value is false (no series attached on this
+// engine). The cluster Router implements it by fanning out and
+// merging the shard aggregates — Agg merging is exact, so a sharded
+// answer equals the single-node one.
+type SeriesQuerier interface {
+	// SeriesZoneAggregate aggregates one zone over [from, to).
+	SeriesZoneAggregate(ctx context.Context, zone string, from, to time.Time) (series.Agg, bool, error)
+	// SeriesNoisemap aggregates every zone over [from, to).
+	SeriesNoisemap(ctx context.Context, from, to time.Time) (map[string]series.Agg, bool, error)
+	// SeriesStats snapshots the series counters.
+	SeriesStats() (series.Stats, bool)
+}
+
+// Series returns the engine's series DB (nil when none is attached).
+func (l *Local) Series() *series.DB { return l.series }
+
+// AttachSeries wires an already-open series DB to the engine: inserts
+// into the observed collection feed it from now on, and documents
+// already in the store are backfilled (at LSN 0) when the series is
+// empty. This is the path for engines built with NewLocal; OpenLocal
+// does the equivalent — with WAL-replay ordering — itself.
+func (l *Local) AttachSeries(db *series.DB, col string) {
+	if col == "" {
+		col = "observations"
+	}
+	l.series = db
+	l.seriesCol = col
+	if st := db.Stats(); st.Points == 0 && st.Watermark == 0 {
+		l.backfillSeries(col)
+	}
+	l.observeSeries(col)
+}
+
+// observeSeries registers the ingest observer that feeds the series.
+func (l *Local) observeSeries(col string) {
+	db := l.series
+	l.store.SetIngestObserver(col, func(lsn uint64, doc docstore.Doc) {
+		if p, ok := series.PointFromObservation(doc); ok {
+			db.Append(lsn, p)
+		}
+	})
+}
+
+// backfillSeries scans the observed collection into the series at LSN
+// 0 — the bootstrap path when the series is enabled over a store that
+// already holds data (snapshot-loaded, or built without a series).
+func (l *Local) backfillSeries(col string) {
+	docs, err := l.store.Collection(col).Find(nil, docstore.FindOptions{})
+	if err != nil {
+		return
+	}
+	for _, d := range docs {
+		if p, ok := series.PointFromObservation(d); ok {
+			l.series.Append(0, p)
+		}
+	}
+}
+
+// SeriesZoneAggregate implements SeriesQuerier.
+func (l *Local) SeriesZoneAggregate(ctx context.Context, zone string, from, to time.Time) (series.Agg, bool, error) {
+	if l.series == nil {
+		return series.Agg{}, false, nil
+	}
+	agg, err := l.series.ZoneAggregate(ctx, zone, from, to)
+	return agg, true, err
+}
+
+// SeriesNoisemap implements SeriesQuerier.
+func (l *Local) SeriesNoisemap(ctx context.Context, from, to time.Time) (map[string]series.Agg, bool, error) {
+	if l.series == nil {
+		return nil, false, nil
+	}
+	m, err := l.series.Noisemap(ctx, from, to)
+	return m, true, err
+}
+
+// SeriesStats implements SeriesQuerier.
+func (l *Local) SeriesStats() (series.Stats, bool) {
+	if l.series == nil {
+		return series.Stats{}, false
+	}
+	return l.series.Stats(), true
+}
