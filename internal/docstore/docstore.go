@@ -179,7 +179,7 @@ func (c *Collection) Insert(doc Doc) (string, error) {
 	// assigned the commit-log LSN, so observers see inserts in LSN
 	// order (see observer.go).
 	if fn := c.obsFn(); fn != nil {
-		fn(ticketLSN(tk), cp)
+		fn(ticketLSN(tk), []Doc{cp})
 	}
 	c.mu.Unlock()
 	if err := commitWait(tk); err != nil {
@@ -261,13 +261,11 @@ func (c *Collection) InsertMany(docs []Doc) ([]string, error) {
 		}
 		ids = append(ids, id)
 	}
-	// One commit-log record covers the whole accepted prefix, so every
-	// observed document carries the same LSN (see observer.go).
+	// One commit-log record covers the whole accepted prefix, so the
+	// observer gets the prefix as one call under that record's LSN —
+	// the batch is the unit of replay idempotence (see observer.go).
 	if fn := c.obsFn(); fn != nil && n > 0 {
-		lsn := ticketLSN(tk)
-		for i := 0; i < n; i++ {
-			fn(lsn, docs[i])
-		}
+		fn(ticketLSN(tk), docs[:n])
 	}
 	c.mu.Unlock()
 	if err := commitWait(tk); err != nil && firstErr == nil {

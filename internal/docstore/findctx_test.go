@@ -70,17 +70,22 @@ func TestFindContextCancelDuringScan(t *testing.T) {
 }
 
 // TestInsertObserverSeesLSNOrder pins the ingest-observer contract:
-// the callback fires once per insert, in commit-log order, with the
-// stored document.
+// the callback fires once per mutation — one document for Insert, the
+// whole batch in a single call for InsertMany — in commit-log order,
+// with the stored documents.
 func TestInsertObserverSeesLSNOrder(t *testing.T) {
 	s := NewStore()
 	type seen struct {
 		lsn uint64
-		n   any
+		ns  []any
 	}
 	var got []seen
-	s.SetIngestObserver("obs", func(lsn uint64, doc Doc) {
-		got = append(got, seen{lsn, doc["n"]})
+	s.SetIngestObserver("obs", func(lsn uint64, docs []Doc) {
+		ns := make([]any, len(docs))
+		for i, d := range docs {
+			ns[i] = d["n"]
+		}
+		got = append(got, seen{lsn, ns})
 	})
 	c := s.Collection("obs")
 	for i := 0; i < 5; i++ {
@@ -95,21 +100,35 @@ func TestInsertObserverSeesLSNOrder(t *testing.T) {
 	if _, err := c.InsertMany(docs); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 10 {
-		t.Fatalf("observer fired %d times, want 10", len(got))
+	// 5 single-doc calls plus ONE call for the whole batch: a batch
+	// split into per-doc calls under its shared LSN would make derived
+	// views treat docs 2..n as replays (see observer.go).
+	if len(got) != 6 {
+		t.Fatalf("observer fired %d times, want 6 (5 inserts + 1 batch)", len(got))
 	}
+	var ns []any
 	for i, g := range got {
-		wantN := i
-		if i >= 5 {
-			wantN = 100 + (i - 5)
+		wantLen := 1
+		if i == 5 {
+			wantLen = 5
 		}
-		if fmt.Sprint(g.n) != fmt.Sprint(wantN) {
-			t.Fatalf("observation %d: n=%v, want %v", i, g.n, wantN)
+		if len(g.ns) != wantLen {
+			t.Fatalf("call %d delivered %d docs, want %d", i, len(g.ns), wantLen)
 		}
+		ns = append(ns, g.ns...)
 		// Without a commit log every LSN is zero; with one they are
 		// monotone. Either way they must not regress.
 		if i > 0 && g.lsn < got[i-1].lsn {
 			t.Fatalf("LSN regressed: %d after %d", g.lsn, got[i-1].lsn)
+		}
+	}
+	for i, n := range ns {
+		wantN := i
+		if i >= 5 {
+			wantN = 100 + (i - 5)
+		}
+		if fmt.Sprint(n) != fmt.Sprint(wantN) {
+			t.Fatalf("observation %d: n=%v, want %v", i, n, wantN)
 		}
 	}
 	// Detaching stops deliveries.
@@ -117,7 +136,7 @@ func TestInsertObserverSeesLSNOrder(t *testing.T) {
 	if _, err := c.Insert(Doc{"n": 999}); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 10 {
+	if len(got) != 6 {
 		t.Fatal("observer fired after detach")
 	}
 }

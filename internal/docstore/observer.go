@@ -12,9 +12,17 @@ package docstore
 // LSN — so observers see documents in exactly the LSN order the WAL
 // records them. That is what lets a derived view checkpoint a single
 // high-water LSN and have replay re-feed precisely the records the
-// checkpoint missed (see series.DB.Append). The observed document is
-// the stored one, not a copy: observers must extract what they need
-// and not retain or mutate it.
+// checkpoint missed (see series.DB.AppendBatch). The observed
+// documents are the stored ones, not copies: observers must extract
+// what they need and not retain or mutate them.
+//
+// Granularity contract: the observer fires exactly once per mutation
+// — one document for Insert, the whole accepted prefix for InsertMany
+// — never once per document. A multi-document WAL record carries a
+// single LSN, so the batch is the unit of idempotence: a derived view
+// must apply (or skip, on replay) all documents of a call together,
+// atomically with respect to its own watermark/checkpoint, or replay
+// after a checkpoint that split a batch would lose the remainder.
 //
 // Observers see inserts only. Updates, deletes and drops do not fire
 // — the series view aggregates immutable observations, and its
@@ -22,10 +30,11 @@ package docstore
 // deliberately insensitive to document-level erasure. Callers that
 // need erasure to propagate into derived views must rebuild them.
 
-// IngestObserver receives one inserted document and the LSN of the
-// commit-log record that carried it (0 when no commit log is
-// attached, or on backfill scans).
-type IngestObserver func(lsn uint64, doc Doc)
+// IngestObserver receives the documents of one insert mutation and
+// the LSN of the commit-log record that carried them (0 when no
+// commit log is attached, or on backfill scans). All documents of a
+// call share that LSN; see the granularity contract above.
+type IngestObserver func(lsn uint64, docs []Doc)
 
 // ingestObsBox wraps the observer map for atomic.Pointer storage.
 type ingestObsBox struct{ byCol map[string]IngestObserver }

@@ -151,20 +151,22 @@ func (s *Store) ApplyMutationAt(lsn uint64, m *Mutation) error {
 		c := s.Collection(m.Collection)
 		c.replayInsert(m.ID, m.Doc)
 		if fn := c.obsFn(); fn != nil {
-			fn(lsn, m.Doc)
+			fn(lsn, []Doc{m.Doc})
 		}
 	case OpInsertMany:
 		c := s.Collection(m.Collection)
-		fn := c.obsFn()
 		for _, d := range m.Docs {
 			id, _ := d[IDField].(string)
 			if id == "" {
 				return errors.New("docstore: replay insert-many without id")
 			}
 			c.replayInsert(id, d)
-			if fn != nil {
-				fn(lsn, d)
-			}
+		}
+		// One call for the whole record, mirroring live InsertMany: the
+		// batch shares the record's LSN and must reach derived views as
+		// a unit (see observer.go).
+		if fn := c.obsFn(); fn != nil {
+			fn(lsn, m.Docs)
 		}
 	case OpUpdate:
 		s.Collection(m.Collection).replayUpdate(m.ID, m.Fields)

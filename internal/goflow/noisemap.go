@@ -136,10 +136,11 @@ func (dm *DataManager) scanNoise(ctx context.Context, zone string, from, to time
 	}
 	byZone := map[string]*series.Agg{}
 	for _, d := range docs {
-		z, ok := d["zone"].(string)
-		if !ok {
-			continue
-		}
+		// Missing zone buckets under "", exactly like
+		// series.PointFromObservation — the two paths must produce the
+		// same zone set or switching an engine to rollups would change
+		// the noisemap's rows, not just its latency.
+		z, _ := d["zone"].(string)
 		spl, ok := docFloat(d["spl"])
 		if !ok {
 			continue

@@ -18,8 +18,9 @@
 //     microseconds, never touching raw data. Because every Agg field
 //     is mergeable, cross-shard answers are exact.
 //
-// The DB is fed by the docstore ingest observer (one Append per stored
-// observation, carrying the mutation's WAL LSN) and recovers with the
+// The DB is fed by the docstore ingest observer (one AppendBatch per
+// insert mutation — a whole InsertMany batch shares its WAL record's
+// LSN and is applied or skipped as a unit) and recovers with the
 // engine: chunks and rollups are persisted at checkpoints together
 // with the high-water LSN, and WAL replay re-feeds only records above
 // that watermark (persist.go). Retention ages raw chunks out while
@@ -56,9 +57,12 @@ type Options struct {
 	// Dir is where checkpoints persist chunks and rollups ("" = memory
 	// only; Checkpoint is then a no-op).
 	Dir string
-	// ChunkWindow is the time-partition width (default 1h). Must be a
-	// multiple of RollupBucket so every rollup bucket lives in exactly
-	// one partition.
+	// ChunkWindow is the time-partition width (default 1h). It must be
+	// a multiple of RollupBucket so every rollup bucket lives in
+	// exactly one partition; a window that is not is rounded up to the
+	// next multiple (withDefaults), so hand-set flags like
+	// -rollup-interval 7m cannot silently break the retention
+	// alignment invariant.
 	ChunkWindow time.Duration
 	// RollupBucket is the continuous-aggregate bucket width (default
 	// 5m).
@@ -77,6 +81,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RollupBucket <= 0 {
 		o.RollupBucket = 5 * time.Minute
+	}
+	// Enforce the alignment invariant instead of trusting the doc
+	// comment: round the window up so it is a multiple of the bucket
+	// (a bucket straddling two partitions would break retention's
+	// answers-never-change guarantee).
+	if rem := o.ChunkWindow % o.RollupBucket; rem != 0 {
+		o.ChunkWindow += o.RollupBucket - rem
 	}
 	if o.MaxChunkPoints <= 0 {
 		o.MaxChunkPoints = 65536
@@ -111,10 +122,13 @@ type DB struct {
 	// ingest and the per-bucket lookup at query time O(1).
 	rollups map[string]map[int64]*Agg
 
-	// watermark is the highest WAL LSN whose observation reached this
+	// watermark is the highest WAL LSN whose observations reached this
 	// DB. Appends at or below it are replays of already-observed
 	// records and are skipped; checkpoints persist it so recovery
-	// re-feeds exactly the WAL tail the last checkpoint missed.
+	// re-feeds exactly the WAL tail the last checkpoint missed. A
+	// multi-point mutation (InsertMany) is applied in one critical
+	// section before the watermark reaches its LSN, so lsn <= watermark
+	// always means the *whole* record was absorbed — never part of it.
 	watermark uint64
 	// retentionFloor: raw chunks entirely below this time (Unix ms)
 	// have been aged out; rollups still answer for them.
@@ -142,14 +156,30 @@ func New(opts Options) *DB {
 // exact equality with the rollups must apply the same rounding.
 func Quantize(v float64) float64 { return math.Round(v*100) / 100 }
 
-// Append adds one point, updating the raw chunks and the continuous
-// aggregates in the same critical section. lsn is the WAL LSN of the
-// mutation that carried the point (0 when no WAL is attached, e.g.
-// snapshot backfill): a non-zero lsn at or below the recovered
-// watermark is a replay of an already-observed record and is dropped,
-// which is what makes WAL replay over a series checkpoint idempotent.
+// Append adds one point carried by the mutation at lsn. It is
+// AppendBatch for a single-point mutation; see there for the
+// watermark/replay semantics.
 func (db *DB) Append(lsn uint64, p Point) {
-	p.Value = Quantize(p.Value)
+	db.AppendBatch(lsn, []Point{p})
+}
+
+// AppendBatch adds every point of one mutation, updating the raw
+// chunks and the continuous aggregates in a single critical section.
+// lsn is the WAL LSN of the mutation that carried the points (0 when
+// no WAL is attached, e.g. snapshot backfill): a non-zero lsn at or
+// below the recovered watermark is a replay of an already-observed
+// record and the whole batch is dropped, which is what makes WAL
+// replay over a series checkpoint idempotent.
+//
+// The batch must be exactly the points of one WAL record (the ingest
+// observer's granularity contract, docstore/observer.go): because all
+// points land and the watermark advances under one lock hold, a
+// concurrent checkpoint can never persist a watermark that covers a
+// record it only partially absorbed.
+func (db *DB) AppendBatch(lsn uint64, pts []Point) {
+	if len(pts) == 0 {
+		return
+	}
 	db.mu.Lock()
 	if lsn != 0 {
 		if lsn <= db.watermark {
@@ -158,38 +188,42 @@ func (db *DB) Append(lsn uint64, p Point) {
 		}
 		db.watermark = lsn
 	}
-	start := alignDown(p.TS, db.windowMs)
-	pt := db.parts[start]
-	if pt == nil {
-		pt = &partition{start: start}
-		db.parts[start] = pt
-	}
-	if pt.active == nil {
-		pt.active = newChunkBuilder(start)
-	}
-	pt.active.add(p)
 	var sealedPoints, sealedBytes int
-	if pt.active.count >= db.opts.MaxChunkPoints {
-		ch := db.sealLocked(pt)
-		sealedPoints, sealedBytes = ch.Count, len(ch.Data)
+	for _, p := range pts {
+		p.Value = Quantize(p.Value)
+		start := alignDown(p.TS, db.windowMs)
+		pt := db.parts[start]
+		if pt == nil {
+			pt = &partition{start: start}
+			db.parts[start] = pt
+		}
+		if pt.active == nil {
+			pt.active = newChunkBuilder(start)
+		}
+		pt.active.add(p)
+		if pt.active.count >= db.opts.MaxChunkPoints {
+			ch := db.sealLocked(pt)
+			sealedPoints += ch.Count
+			sealedBytes += len(ch.Data)
+		}
+		zm := db.rollups[p.Zone]
+		if zm == nil {
+			zm = make(map[int64]*Agg)
+			db.rollups[p.Zone] = zm
+		}
+		bucket := alignDown(p.TS, db.bucketMs)
+		a := zm[bucket]
+		if a == nil {
+			a = &Agg{}
+			zm[bucket] = a
+		}
+		a.Add(p.Value)
+		db.points++
 	}
-	zm := db.rollups[p.Zone]
-	if zm == nil {
-		zm = make(map[int64]*Agg)
-		db.rollups[p.Zone] = zm
-	}
-	bucket := alignDown(p.TS, db.bucketMs)
-	a := zm[bucket]
-	if a == nil {
-		a = &Agg{}
-		zm[bucket] = a
-	}
-	a.Add(p.Value)
-	db.points++
 	db.mu.Unlock()
 	if h := db.h(); h != nil {
 		if h.Append != nil {
-			h.Append(1)
+			h.Append(len(pts))
 		}
 		if sealedPoints > 0 && h.Seal != nil {
 			h.Seal(sealedPoints, sealedBytes)

@@ -93,6 +93,30 @@ func (db *DB) rollupsSnapshot() map[string]map[int64]*Agg {
 	return out
 }
 
+// TestChunkWindowRoundedToBucketMultiple pins the alignment
+// invariant Options documents: a ChunkWindow that is not a multiple
+// of RollupBucket (e.g. -rollup-interval 7m against the default 1h
+// window) is rounded up so no rollup bucket can straddle two
+// partitions, which retention's answers-never-change guarantee
+// depends on.
+func TestChunkWindowRoundedToBucketMultiple(t *testing.T) {
+	db := New(Options{ChunkWindow: time.Hour, RollupBucket: 7 * time.Minute})
+	if want := 63 * time.Minute; db.opts.ChunkWindow != want {
+		t.Fatalf("ChunkWindow: want %v, got %v", want, db.opts.ChunkWindow)
+	}
+	if db.windowMs%db.bucketMs != 0 {
+		t.Fatalf("window %dms is not a multiple of bucket %dms", db.windowMs, db.bucketMs)
+	}
+	// A bucket wider than the window swallows it whole.
+	if db2 := New(Options{ChunkWindow: time.Minute, RollupBucket: 5 * time.Minute}); db2.opts.ChunkWindow != 5*time.Minute {
+		t.Fatalf("ChunkWindow: want 5m, got %v", db2.opts.ChunkWindow)
+	}
+	// Already-aligned options are untouched.
+	if db3 := New(Options{ChunkWindow: time.Hour, RollupBucket: 5 * time.Minute}); db3.opts.ChunkWindow != time.Hour {
+		t.Fatalf("aligned ChunkWindow changed: %v", db3.opts.ChunkWindow)
+	}
+}
+
 func TestChunkEncodeDecodeRoundTrip(t *testing.T) {
 	part := alignDown(testBase.UnixMilli(), time.Hour.Milliseconds())
 	b := newChunkBuilder(part)

@@ -66,12 +66,22 @@ func (l *Local) AttachSeries(db *series.DB, col string) {
 }
 
 // observeSeries registers the ingest observer that feeds the series.
+// The observer delivers one whole mutation per call (a full
+// InsertMany batch under a single LSN), and the points are handed to
+// the series as one AppendBatch so the batch is applied — and, on
+// replay, skipped — as a unit; feeding them point by point would make
+// the shared LSN look like a replay after the first point and drop
+// the rest of the batch.
 func (l *Local) observeSeries(col string) {
 	db := l.series
-	l.store.SetIngestObserver(col, func(lsn uint64, doc docstore.Doc) {
-		if p, ok := series.PointFromObservation(doc); ok {
-			db.Append(lsn, p)
+	l.store.SetIngestObserver(col, func(lsn uint64, docs []docstore.Doc) {
+		pts := make([]series.Point, 0, len(docs))
+		for _, doc := range docs {
+			if p, ok := series.PointFromObservation(doc); ok {
+				pts = append(pts, p)
+			}
 		}
+		db.AppendBatch(lsn, pts)
 	})
 }
 

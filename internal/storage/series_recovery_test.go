@@ -154,6 +154,80 @@ func TestSeriesRecoversFromWALReplay(t *testing.T) {
 	requireNoisemapMatches(t, re2, docs, "after clean reopen")
 }
 
+// TestSeriesObservesWholeInsertManyBatch pins the batch-granularity
+// contract: every document of an InsertMany — the whole batch shares
+// one WAL LSN — must reach the rollups, both live and when the batch
+// records come back via WAL replay after a crash. A per-document
+// observer feed made the shared LSN look like a replay after the
+// first document and silently dropped the rest of every batch; the
+// naive ground truth here is computed from the documents themselves,
+// so live, replay and rebuild cannot all agree by dropping the same
+// points.
+func TestSeriesObservesWholeInsertManyBatch(t *testing.T) {
+	dir := t.TempDir()
+	zones := []string{"FR75001", "FR75002", "FR75003"}
+	docs := genObsDocs(21, 300, 2*time.Hour, zones)
+	// Sprinkle in documents without a zone (a series point bucketed
+	// under "") and without a sound level (not a series point at all):
+	// batches that only partially map to points must still be absorbed
+	// whole.
+	for i := 0; i < len(docs); i += 17 {
+		delete(docs[i], "zone")
+	}
+	for i := 5; i < len(docs); i += 29 {
+		delete(docs[i], "spl")
+	}
+	points := 0
+	for _, d := range docs {
+		if _, ok := series.PointFromObservation(d); ok {
+			points++
+		}
+	}
+
+	l, err := OpenLocal(seriesLocalOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertBatches := func(l *Local, ds []Doc) {
+		t.Helper()
+		for i := 0; i < len(ds); {
+			n := 2 + (i % 11)
+			if i+n > len(ds) {
+				n = len(ds) - i
+			}
+			if _, err := l.InsertMany("observations", ds[i:i+n]); err != nil {
+				t.Fatal(err)
+			}
+			i += n
+		}
+	}
+	insertBatches(l, docs[:150])
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	insertBatches(l, docs[150:])
+	if st, _ := l.SeriesStats(); st.Points != uint64(points) {
+		t.Fatalf("live batched ingest: %d points in series, want %d", st.Points, points)
+	}
+	requireNoisemapMatches(t, l, docs, "live batched ingest")
+
+	// Crash without a final checkpoint: the post-checkpoint batches
+	// come back as whole OpInsertMany WAL records above the persisted
+	// watermark.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenLocal(seriesLocalOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st, _ := re.SeriesStats(); st.Points != uint64(points) {
+		t.Fatalf("after batch replay: %d points in series, want %d", st.Points, points)
+	}
+	requireNoisemapMatches(t, re, docs, "after batch replay")
+}
+
 // TestSeriesRecoversFromTornCheckpoint injects a torn write into the
 // series checkpoint (the crash landing mid-file): the interrupted
 // checkpoint must not commit, and recovery — old manifest plus WAL
