@@ -55,6 +55,9 @@ type clusterConfig struct {
 	// own chunks and rollups under <shard-dir>/series, and the router
 	// merges the per-shard partial aggregates at query time.
 	series *storage.SeriesOptions
+	// live parameterizes the push-subscription hub (same flags as the
+	// single-node path).
+	live goflow.LiveConfig
 }
 
 // clusterMode reports whether any cluster flag was used.
@@ -171,12 +174,21 @@ func runCluster(cfg clusterConfig) error {
 	server, err := goflow.NewServer(goflow.ServerConfig{
 		Broker: broker,
 		Data:   data,
+		Live:   cfg.live,
 	})
 	if err != nil {
 		_ = data.Close()
 		return fmt.Errorf("goflow server: %w", err)
 	}
 	defer server.Shutdown()
+
+	// The latest-per-zone live cache follows shard 0's series view,
+	// matching the metrics stand-in above; cursor reads stay 501 on a
+	// router (no global scan order), but the latest map is exact per
+	// shard and indicative for the fleet.
+	if shard0.Series() != nil {
+		shard0.Series().SetPointObserver(server.LiveCache.Observe)
+	}
 
 	metrics := goflow.Instrument(reg, server, shard0.Store())
 	if shard0.WAL() != nil {
@@ -297,6 +309,7 @@ loop:
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	server.Guard.SetDraining(true)
+	server.Live.Close()
 	if err := httpServer.Shutdown(ctx); err != nil {
 		return err
 	}

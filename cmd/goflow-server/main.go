@@ -69,7 +69,16 @@ func run() error {
 	seriesOn := flag.Bool("series", false, "maintain the time-partitioned series view: compressed chunks plus continuous per-zone rollups that answer noise analytics in microseconds (persisted under <wal-dir>/series when a WAL is configured, memory-only otherwise)")
 	retention := flag.Duration("retention", 0, "series raw-data horizon: checkpoints drop chunks wholly older than this while rollups keep the full history (0 = keep raw data forever)")
 	rollupInterval := flag.Duration("rollup-interval", 5*time.Minute, "series rollup bucket width (requires -series)")
+	liveBuffer := flag.Int("live-buffer", 256, "per-socket live mailbox capacity: events past it are dropped, the client catches up with ?cursor=")
+	liveSendBudget := flag.Duration("live-send-budget", 5*time.Second, "how long a live socket's mailbox may stay continuously full before the consumer is disconnected")
+	liveMaxSockets := flag.Int("live-max-sockets", 1024, "concurrent live push subscriptions (WebSocket + SSE)")
 	flag.Parse()
+
+	liveCfg := goflow.LiveConfig{
+		Buffer:     *liveBuffer,
+		SendBudget: *liveSendBudget,
+		MaxSockets: *liveMaxSockets,
+	}
 
 	var seriesOpts *storage.SeriesOptions
 	if *seriesOn {
@@ -85,7 +94,7 @@ func run() error {
 		shards: *shards, replListen: *replListen, syncFollowers: *syncFollowers,
 		follow: *follow, followerName: *followerName,
 		snapshotInterval: *snapshotInterval, metricsInterval: *metricsInterval,
-		series: seriesOpts,
+		series: seriesOpts, live: liveCfg,
 	}); cfg.clusterMode() {
 		return runCluster(cfg)
 	}
@@ -135,11 +144,18 @@ func run() error {
 	server, err := goflow.NewServer(goflow.ServerConfig{
 		Broker: broker,
 		Data:   local,
+		Live:   liveCfg,
 	})
 	if err != nil {
 		return fmt.Errorf("goflow server: %w", err)
 	}
 	defer server.Shutdown()
+
+	// Feed the latest-per-zone live cache from the series view: every
+	// accepted ingest batch updates it on the way into the rollups.
+	if sdb := local.Series(); sdb != nil {
+		sdb.SetPointObserver(server.LiveCache.Observe)
+	}
 
 	// Observability: every layer feeds one registry, exposed over
 	// /metrics and summarized periodically on the log.
@@ -250,6 +266,10 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	server.Guard.SetDraining(true)
+	// Live streams would hold httpServer.Shutdown open until its
+	// timeout (an SSE handler is an active request); end them now so
+	// clients reconnect elsewhere and catch up over the cursor API.
+	server.Live.Close()
 	if err := httpServer.Shutdown(ctx); err != nil {
 		return err
 	}

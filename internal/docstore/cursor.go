@@ -1,0 +1,131 @@
+package docstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// ErrCursorGone reports that a cursor's anchor document no longer
+// exists and its position cannot be reconstructed. Callers translate
+// it into HTTP 410 so clients restart the scan from the beginning.
+var ErrCursorGone = errors.New("docstore: cursor anchor no longer exists")
+
+// parseAutoID decodes an id minted by nextID ("d" + base36 ordinal).
+// The ordinal gives a total order over auto-assigned ids that survives
+// the anchor document's deletion: it is derived from the id string
+// alone, not from the document.
+func parseAutoID(id string) (uint64, bool) {
+	if len(id) < 2 || id[0] != 'd' {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 36, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// FindAfterContext returns up to limit documents matching filter that
+// sit strictly after the document afterID in insertion order. An empty
+// afterID starts from the first document. This is the catch-up scan
+// behind cursor pagination: the anchor is an _id, not an offset, so
+// the resume point is unaffected by inserts and deletes elsewhere in
+// the collection, by snapshot/restore (which preserves insertion
+// order), and by which WAL record a batch insert shared — every
+// document has its own id regardless of how it was grouped for
+// logging.
+//
+// A deleted anchor falls back to its id ordinal when the id was
+// auto-assigned: the scan resumes at the first auto-assigned id minted
+// after the anchor, which is the anchor's old neighborhood in
+// insertion order. Anchors that are neither present nor auto-assigned
+// fail with ErrCursorGone.
+func (c *Collection) FindAfterContext(ctx context.Context, afterID string, filter Doc, limit int) ([]Doc, error) {
+	m, err := compileFilter(filter)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	h := c.h()
+	if h != nil && h.Query == nil {
+		h = nil
+	}
+	var begin time.Time
+	if h != nil {
+		begin = time.Now()
+	}
+
+	c.mu.RLock()
+	start := 0
+	if afterID != "" {
+		pos := -1
+		for i, id := range c.order {
+			if i&(scanCtxCheckEvery-1) == scanCtxCheckEvery-1 {
+				if err := ctx.Err(); err != nil {
+					c.mu.RUnlock()
+					return nil, err
+				}
+			}
+			if id == afterID {
+				pos = i
+				break
+			}
+		}
+		if pos >= 0 {
+			start = pos + 1
+		} else {
+			ord, ok := parseAutoID(afterID)
+			if !ok {
+				c.mu.RUnlock()
+				return nil, fmt.Errorf("resume after %q: %w", afterID, ErrCursorGone)
+			}
+			start = len(c.order)
+			for i, id := range c.order {
+				if i&(scanCtxCheckEvery-1) == scanCtxCheckEvery-1 {
+					if err := ctx.Err(); err != nil {
+						c.mu.RUnlock()
+						return nil, err
+					}
+				}
+				if id == "" {
+					continue
+				}
+				if o, auto := parseAutoID(id); auto && o > ord {
+					start = i
+					break
+				}
+			}
+		}
+	}
+
+	out := make([]Doc, 0)
+	for i := start; i < len(c.order); i++ {
+		if i&(scanCtxCheckEvery-1) == scanCtxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				c.mu.RUnlock()
+				return nil, err
+			}
+		}
+		id := c.order[i]
+		if id == "" {
+			continue
+		}
+		if d, exists := c.docs[id]; exists && m.matches(d) {
+			out = append(out, cloneDoc(d))
+			if limit > 0 && len(out) == limit {
+				break
+			}
+		}
+	}
+	c.mu.RUnlock()
+
+	if h != nil {
+		h.Query(c.name, time.Since(begin), false)
+	}
+	return out, nil
+}

@@ -1,0 +1,263 @@
+package docstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/wal"
+)
+
+// pageAll walks a collection with the cursor scan in pages of size
+// limit, returning every seq value seen in order. Each page anchors on
+// the _id of the previous page's last document — the contract the HTTP
+// cursor encodes.
+func pageAll(t *testing.T, c *Collection, filter Doc, limit int) []int {
+	t.Helper()
+	var seqs []int
+	after := ""
+	for {
+		docs, err := c.FindAfterContext(context.Background(), after, filter, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(docs) == 0 {
+			return seqs
+		}
+		for _, d := range docs {
+			seqs = append(seqs, int(d["seq"].(float64)))
+		}
+		after = docs[len(docs)-1][IDField].(string)
+	}
+}
+
+// seqDoc builds a test document; float64 keeps values comparable after
+// a JSON snapshot/WAL round trip.
+func seqDoc(seq int) Doc { return Doc{"seq": float64(seq)} }
+
+func assertSeqs(t *testing.T, got []int, want ...int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("paged %d docs %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("page walk diverges at %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestCursorPaginationExactlyOnce pins the cursor contract: walking a
+// collection page by page yields every document exactly once, in
+// insertion order, regardless of page size — no duplicates at page
+// boundaries, no gaps.
+func TestCursorPaginationExactlyOnce(t *testing.T) {
+	c := NewStore().Collection("obs")
+	want := make([]int, 0, 25)
+	for i := 0; i < 25; i++ {
+		if _, err := c.Insert(seqDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, i)
+	}
+	for _, pageSize := range []int{1, 3, 10, 25, 100} {
+		t.Run(fmt.Sprintf("limit=%d", pageSize), func(t *testing.T) {
+			assertSeqs(t, pageAll(t, c, nil, pageSize), want...)
+		})
+	}
+}
+
+// TestCursorFilterApplies pins that the filter narrows the scan but
+// the anchor is still a raw position: a cursor taken from a filtered
+// page resumes after that document, not after the unfiltered one.
+func TestCursorFilterApplies(t *testing.T) {
+	c := NewStore().Collection("obs")
+	for i := 0; i < 20; i++ {
+		doc := seqDoc(i)
+		if i%2 == 0 {
+			doc["zone"] = "Z1"
+		} else {
+			doc["zone"] = "Z2"
+		}
+		if _, err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := pageAll(t, c, Doc{"zone": "Z1"}, 3)
+	assertSeqs(t, got, 0, 2, 4, 6, 8, 10, 12, 14, 16, 18)
+}
+
+// TestCursorSurvivesAnchorDeletion: deleting the document a client's
+// cursor anchors on must not invalidate the cursor — the auto-id
+// ordinal reconstructs the position and the scan resumes with the
+// next document, no duplicates, no gaps.
+func TestCursorSurvivesAnchorDeletion(t *testing.T) {
+	c := NewStore().Collection("obs")
+	ids := make([]string, 10)
+	for i := range ids {
+		id, err := c.Insert(seqDoc(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Client read through doc 4, then doc 4 was deleted.
+	if err := c.Delete(ids[4]); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := c.FindAfterContext(context.Background(), ids[4], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, len(docs))
+	for i, d := range docs {
+		got[i] = int(d["seq"].(float64))
+	}
+	assertSeqs(t, got, 5, 6, 7, 8, 9)
+}
+
+// TestCursorSurvivesCompaction forces the lazy order-slot compaction
+// (over half the slots dead) between taking and using a cursor.
+func TestCursorSurvivesCompaction(t *testing.T) {
+	c := NewStore().Collection("obs")
+	ids := make([]string, 20)
+	for i := range ids {
+		id, err := c.Insert(seqDoc(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Delete 12 of 20 including the anchor: compaction rewrites order.
+	for i := 0; i < 12; i++ {
+		if err := c.Delete(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, err := c.FindAfterContext(context.Background(), ids[10], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, len(docs))
+	for i, d := range docs {
+		got[i] = int(d["seq"].(float64))
+	}
+	assertSeqs(t, got, 12, 13, 14, 15, 16, 17, 18, 19)
+}
+
+// TestCursorGoneForUnknownAnchor: an anchor that neither exists nor
+// parses as an auto-assigned id has no reconstructible position.
+func TestCursorGoneForUnknownAnchor(t *testing.T) {
+	c := NewStore().Collection("obs")
+	if _, err := c.Insert(Doc{IDField: "custom-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FindAfterContext(context.Background(), "no-such-doc", nil, 0); !errors.Is(err, ErrCursorGone) {
+		t.Fatalf("err = %v, want ErrCursorGone", err)
+	}
+}
+
+// TestCursorStableAcrossSnapshotRestore pins satellite 3's first half:
+// a cursor handed to a client before a checkpoint must still be valid
+// after the server restarts from that snapshot. Restore preserves
+// insertion order and re-advances the id counter, so both the anchor
+// lookup and post-restore inserts keep working.
+func TestCursorStableAcrossSnapshotRestore(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("obs")
+	ids := make([]string, 10)
+	for i := range ids {
+		id, err := c.Insert(seqDoc(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rc := restored.Collection("obs")
+
+	// The pre-restart cursor resumes exactly where it left off.
+	docs, err := rc.FindAfterContext(context.Background(), ids[6], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, len(docs))
+	for i, d := range docs {
+		got[i] = int(d["seq"].(float64))
+	}
+	assertSeqs(t, got, 7, 8, 9)
+
+	// New inserts after restore mint ids past the restored ones, so
+	// they land after the cursor, not before it.
+	if _, err := rc.Insert(seqDoc(10)); err != nil {
+		t.Fatal(err)
+	}
+	docs, err = rc.FindAfterContext(context.Background(), ids[9], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || int(docs[0]["seq"].(float64)) != 10 {
+		t.Fatalf("post-restore insert not visible after old cursor: %v", docs)
+	}
+}
+
+// TestCursorStableAcrossInsertManyWALReplay pins satellite 3's second
+// half: documents inserted by one InsertMany batch share a single WAL
+// record (one LSN), and a cursor anchored mid-batch must resume inside
+// the batch — before and after the store is rebuilt from the log.
+func TestCursorStableAcrossInsertManyWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(t, dir, wal.Options{Policy: wal.FsyncGrouped})
+	s := NewStore()
+	AttachWAL(s, w)
+	c := s.Collection("obs")
+
+	var ids []string
+	for batch := 0; batch < 3; batch++ {
+		docs := make([]Doc, 5)
+		for j := range docs {
+			docs[j] = seqDoc(batch*5 + j)
+		}
+		batchIDs, err := c.InsertMany(docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, batchIDs...)
+	}
+
+	check := func(col *Collection) {
+		t.Helper()
+		// Anchor on doc 7 — the middle of the second batch.
+		docs, err := col.FindAfterContext(context.Background(), ids[7], nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, len(docs))
+		for i, d := range docs {
+			got[i] = int(d["seq"].(float64))
+		}
+		assertSeqs(t, got, 8, 9, 10, 11, 12, 13, 14)
+	}
+	check(c)
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openWAL(t, dir, wal.Options{Policy: wal.FsyncGrouped})
+	defer w2.Close()
+	recovered := NewStore()
+	if _, err := RecoverWAL(recovered, w2); err != nil {
+		t.Fatal(err)
+	}
+	check(recovered.Collection("obs"))
+}

@@ -321,6 +321,32 @@ func (a *Admission) Guard(class guard.Class, next http.HandlerFunc) http.Handler
 	}
 }
 
+// AdmitLive runs the admission guards that make sense for a live
+// stream attach: the draining flag and the load shedder (ClassLive
+// shares the bottom shed rank with analytics — a refused stream is
+// recoverable via the cursor API). Streams deliberately skip Guard's
+// per-request semaphore and timeout: a socket held for minutes would
+// permanently occupy a slot sized for request/response traffic.
+// Stream concurrency is bounded by the hub's MaxSockets and slow
+// consumers by per-socket send budgets instead.
+func (a *Admission) AdmitLive() error {
+	if a == nil {
+		return nil
+	}
+	if a.draining.Load() {
+		a.reject(guard.ClassLive, "draining")
+		return guard.Reject(guard.ErrDraining, time.Second)
+	}
+	if err := a.shedder.Admit(guard.ClassLive); err != nil {
+		a.reject(guard.ClassLive, "overloaded")
+		return err
+	}
+	if a.hooks.Admitted != nil {
+		a.hooks.Admitted(guard.ClassLive)
+	}
+	return nil
+}
+
 func (a *Admission) reject(class guard.Class, reason string) {
 	if a.hooks.Rejected != nil {
 		a.hooks.Rejected(class, reason)

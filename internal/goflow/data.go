@@ -222,6 +222,53 @@ func (dm *DataManager) RetrieveContext(ctx context.Context, q Query) ([]docstore
 	return docs, nil
 }
 
+// ErrCursorUnsupported reports a storage engine without a stable
+// global scan order (the cluster Router: shards scan independently).
+// The HTTP layer maps it to 501 — clients fall back to offset pages.
+var ErrCursorUnsupported = errors.New("goflow: cursor pagination not supported by this storage engine")
+
+// RetrieveAfterContext returns up to q.Limit observations strictly
+// after the document afterID ("" = from the beginning) together with
+// the last returned document's id — the anchor for the next cursor.
+// Cursor reads keep the engine's stable scan order (insertion order),
+// not the sensedAt sort of offset reads: the no-gap/no-duplicate
+// resume guarantee needs a total order that new inserts only append
+// to, and arrival order is exactly that.
+func (dm *DataManager) RetrieveAfterContext(ctx context.Context, afterID string, q Query) ([]docstore.Doc, string, error) {
+	sc, ok := dm.data.(storage.CursorScanner)
+	if !ok {
+		return nil, "", ErrCursorUnsupported
+	}
+	docs, err := sc.ScanAfter(ctx, ObservationsCollection, afterID, q.toFilter(), q.Limit)
+	if err != nil {
+		return nil, "", fmt.Errorf("retrieve after: %w", err)
+	}
+	lastID := ""
+	if len(docs) > 0 {
+		lastID, _ = docs[len(docs)-1][docstore.IDField].(string)
+	}
+	return docs, lastID, nil
+}
+
+// RetrieveSharedAfterContext is RetrieveAfterContext under the owning
+// app's open-data policy. The next-cursor anchor is captured before
+// the policy projection strips the _id field.
+func (dm *DataManager) RetrieveSharedAfterContext(ctx context.Context, ownerApp, requestingApp, afterID string, q Query) ([]docstore.Doc, string, error) {
+	q.AppID = ownerApp
+	docs, lastID, err := dm.RetrieveAfterContext(ctx, afterID, q)
+	if err != nil {
+		return nil, "", err
+	}
+	if requestingApp != ownerApp {
+		app, aerr := dm.accounts.App(ownerApp)
+		if aerr != nil {
+			return nil, "", aerr
+		}
+		docs = applyPolicy(docs, app.Policy)
+	}
+	return docs, lastID, nil
+}
+
 // Count returns the number of matching observations.
 func (dm *DataManager) Count(q Query) (int, error) {
 	return dm.CountContext(context.Background(), q)

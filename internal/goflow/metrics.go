@@ -460,6 +460,43 @@ func (m *Metrics) InstrumentSeries(db *series.DB) {
 	})
 }
 
+// InstrumentLive registers the live_* families and feeds them from
+// the broker's live fan-out hooks and the hub. Like InstrumentWAL,
+// the families are created here so servers running without live
+// subscriptions don't expose dead zero-valued series.
+func (m *Metrics) InstrumentLive(s *Server) {
+	connected := m.reg.Gauge("live_connected_sockets",
+		"Live push subscriptions currently attached.")
+	delivered := m.reg.Counter("live_delivered_total",
+		"Events enqueued onto live socket mailboxes.")
+	dropped := m.reg.Counter("live_dropped_total",
+		"Events dropped because a live mailbox was full.")
+	shed := m.reg.Counter("live_shed_total",
+		"Live subscriptions disconnected for exhausting their send budget.")
+	fanout := m.reg.Histogram("live_fanout_duration_seconds",
+		"Per-publish live fan-out latency (trie match plus mailbox sends).",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1})
+	catchups := m.reg.Counter("live_cursor_catchup_total",
+		"Cursor catch-up reads served by GET /v1/observations.")
+	s.broker.SetLiveHooks(mq.LiveHooks{
+		Fanout:    func(subs int, d time.Duration) { fanout.ObserveDuration(d) },
+		Delivered: delivered.Inc,
+		Dropped:   dropped.Inc,
+		Shed:      shed.Inc,
+	})
+	m.reg.OnCollect(func() {
+		if s.Live != nil {
+			connected.Set(float64(s.Live.Sockets()))
+			// The counter family is monotonic; the hub's total only
+			// moves forward, so Set-via-delta is safe here.
+			cur := s.Live.CatchupReads()
+			if prev := catchups.Value(); cur > prev {
+				catchups.Add(cur - prev)
+			}
+		}
+	})
+}
+
 // InstrumentStore installs hooks on the document store.
 func (m *Metrics) InstrumentStore(s *docstore.Store) {
 	s.SetHooks(docstore.Hooks{
@@ -500,5 +537,6 @@ func Instrument(reg *obs.Registry, s *Server, store *docstore.Store) *Metrics {
 	m.InstrumentStore(store)
 	m.InstrumentServer(s)
 	m.InstrumentAdmission(s.Guard)
+	m.InstrumentLive(s)
 	return m
 }

@@ -1,0 +1,86 @@
+package goflow
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
+)
+
+// TestLiveMetricsExposition checks the live_* families flow into
+// /metrics: delivery/drop/shed counters from the broker fan-out
+// hooks, the connected-sockets gauge and catch-up counter from the
+// hub, and the fan-out latency histogram.
+func TestLiveMetricsExposition(t *testing.T) {
+	broker := mq.NewBroker()
+	store := docstore.NewStore()
+	server, err := NewServer(ServerConfig{
+		Broker: broker,
+		Store:  store,
+		// Buffer 1 with an instant budget: the second undrained event
+		// drops and sheds, exercising every counter.
+		Live: LiveConfig{Buffer: 1, SendBudget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		server.Shutdown()
+		broker.Close()
+	})
+	if _, err := server.RegisterApp("SC", "SoundCity", DataPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	Instrument(reg, server, store)
+	handler := NewInstrumentedHTTPHandler(server, reg)
+
+	// One delivered event, one dropped + shed on a never-draining sub.
+	sub, err := server.Live.Subscribe([]string{"SC.#"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Publish(GoFlowExchange, "SC.c1.obs.Z1", nil, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Publish(GoFlowExchange, "SC.c1.obs.Z1", nil, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Done():
+	default:
+		t.Fatal("expected the stalled subscription to be shed")
+	}
+	// A stream handler releases its subscription on the way out; do
+	// the same so the gauge reads zero.
+	server.Live.Release(sub)
+
+	// One cursor catch-up read (recorder is fine: not a stream).
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/apps/SC/observations?cursor=", nil))
+	if rec.Code != 200 {
+		t.Fatalf("cursor read = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"live_connected_sockets 0", // shed released the only sub
+		"live_delivered_total 1",
+		"live_dropped_total 1",
+		"live_shed_total 1",
+		"live_fanout_duration_seconds_count 2",
+		"live_cursor_catchup_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/obs"
 	"github.com/urbancivics/goflow/internal/sensing"
@@ -62,6 +63,12 @@ func (h *apiHandler) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/apps/{app}/noisemap", g(guard.ClassAnalytics, h.noisemap))
 	mux.HandleFunc("POST /v1/apps/{app}/jobs", g(guard.ClassAnalytics, h.submitJob))
 	mux.HandleFunc("GET /v1/jobs/{id}", g(guard.ClassAnalytics, h.jobStatus))
+	// Live streams admit themselves (AdmitLive inside — see
+	// live_http.go for why they bypass the Guard wrapper); the latest
+	// cache is an ordinary bounded query.
+	mux.HandleFunc("GET /v1/live/ws", h.liveWS)
+	mux.HandleFunc("GET /v1/live/sse", h.liveSSE)
+	mux.HandleFunc("GET /v1/live/latest", g(guard.ClassQuery, h.liveLatest))
 }
 
 // NewInstrumentedHTTPHandler is NewHTTPHandler plus observability: the
@@ -102,6 +109,13 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusUnauthorized
 	case errors.Is(err, ErrPayloadTooLarge):
 		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrBadCursor):
+		status = http.StatusBadRequest
+	case errors.Is(err, docstore.ErrCursorGone):
+		// The anchor is unrecoverable: the client restarts its scan.
+		status = http.StatusGone
+	case errors.Is(err, ErrCursorUnsupported):
+		status = http.StatusNotImplemented
 	case errors.Is(err, context.DeadlineExceeded):
 		// The backend outlived its deadline: the admission timeout or
 		// client disconnect cancelled the docstore scan mid-flight.
@@ -268,6 +282,10 @@ func (h *apiHandler) observations(w http.ResponseWriter, r *http.Request) {
 	if requester == "" {
 		requester = appID
 	}
+	if r.URL.Query().Has("cursor") {
+		h.observationsCursor(w, r, appID, requester, q)
+		return
+	}
 	docs, err := h.server.Data.RetrieveSharedContext(r.Context(), appID, requester, q)
 	if err != nil {
 		writeErr(w, err)
@@ -277,6 +295,39 @@ func (h *apiHandler) observations(w http.ResponseWriter, r *http.Request) {
 		"count":        len(docs),
 		"observations": docs,
 	})
+}
+
+// observationsCursor serves the cursor form of the observations read:
+// ?cursor= (empty) starts a walk, ?cursor=<token> resumes one, and
+// every page carries nextCursor while more data may follow. This is
+// the catch-up half of the live layer's exactly-once story — a client
+// whose stream dropped replays what it missed from its last anchor.
+func (h *apiHandler) observationsCursor(w http.ResponseWriter, r *http.Request, appID, requester string, q Query) {
+	afterID := ""
+	if token := r.URL.Query().Get("cursor"); token != "" {
+		id, err := DecodeCursor(token)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		afterID = id
+	}
+	docs, lastID, err := h.server.Data.RetrieveSharedAfterContext(r.Context(), appID, requester, afterID, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if h.server.Live != nil {
+		h.server.Live.RecordCatchup()
+	}
+	resp := map[string]any{
+		"count":        len(docs),
+		"observations": docs,
+	}
+	if lastID != "" {
+		resp["nextCursor"] = EncodeCursor(lastID)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // exportObservations streams the full matching result set as NDJSON

@@ -30,6 +30,13 @@ type Server struct {
 	// Guard is the REST admission chain; every API route except the
 	// health probe passes through it.
 	Guard *Admission
+	// Live owns push subscriptions (WebSocket/SSE fan-out off the
+	// broker trie); closed first at drain time.
+	Live *LiveHub
+	// LiveCache is the latest-per-zone view behind GET /v1/live/latest.
+	// It is fed by the series point observer when a series DB is
+	// attached (see cmd/goflow-server); without one it stays empty.
+	LiveCache *LatestCache
 
 	broker *mq.Broker
 	clock  simclock.Clock
@@ -74,6 +81,9 @@ type ServerConfig struct {
 	// Admission parameterizes the REST overload guards; the zero
 	// value enables every guard with defaults.
 	Admission AdmissionConfig
+	// Live parameterizes push subscriptions; the zero value enables
+	// them with defaults.
+	Live LiveConfig
 }
 
 // NewServer builds a server and provisions the GoFlow broker
@@ -118,6 +128,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Analytics: NewAnalytics(),
 		Jobs:      NewJobs(dm, cfg.MaxConcurrentJobs),
 		Guard:     NewAdmission(cfg.Admission),
+		Live:      NewLiveHub(cfg.Broker, cfg.Live),
+		LiveCache: NewLatestCache(),
 		broker:    cfg.Broker,
 		clock:     cfg.Clock,
 	}
@@ -299,6 +311,12 @@ func (s *Server) Shutdown() {
 // unacked deliveries are requeued by the broker either way.
 func (s *Server) ShutdownContext(ctx context.Context) error {
 	s.Guard.SetDraining(true)
+	// End live streams first: each client gets a going-away close and
+	// reconnects elsewhere, catching up over the cursor API — idle
+	// dashboards must not hold the drain open.
+	if s.Live != nil {
+		s.Live.Close()
+	}
 	s.mu.Lock()
 	consumer := s.consumer
 	done := s.done

@@ -1,0 +1,216 @@
+package goflow
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Minimal server-side WebSocket (RFC 6455), stdlib only: the live
+// layer needs exactly a handshake, text frames out, and control
+// frames in — not a dependency. Fragmented messages and extensions
+// are not supported; the server never sends fragmented frames and a
+// client has no reason to fragment the nothing-or-control traffic it
+// sends here.
+
+// wsGUID is the protocol-fixed accept-key suffix (RFC 6455 §1.3).
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WebSocket opcodes.
+const (
+	wsOpText  = 0x1
+	wsOpClose = 0x8
+	wsOpPing  = 0x9
+	wsOpPong  = 0xA
+)
+
+// WebSocket close codes used by the live layer.
+const (
+	wsCloseGoingAway = 1001 // server drain
+	wsCloseTryLater  = 1013 // shed slow consumer: reconnect and cursor-catch-up
+)
+
+// wsMaxClientFrame caps inbound payloads. Clients of the live API
+// send only control frames and the occasional subscription keepalive;
+// anything bigger is abuse.
+const wsMaxClientFrame = 4096
+
+// wsAcceptKey computes the Sec-WebSocket-Accept token.
+func wsAcceptKey(key string) string {
+	sum := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(sum[:])
+}
+
+// wsConn is an upgraded connection. Writes are mutex-serialized: the
+// event writer and the control-frame reader (pong replies) share the
+// socket.
+type wsConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	// writeTimeout bounds every frame write so a black-holed TCP peer
+	// surfaces as an error instead of blocking the writer forever.
+	writeTimeout time.Duration
+
+	wmu sync.Mutex
+}
+
+// wsUpgrade performs the server handshake. On failure it has already
+// written the HTTP error response.
+func wsUpgrade(w http.ResponseWriter, r *http.Request, writeTimeout time.Duration) (*wsConn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
+		!headerContainsToken(r.Header.Get("Connection"), "upgrade") {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "websocket upgrade required"})
+		return nil, errors.New("goflow: not a websocket upgrade request")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" || r.Header.Get("Sec-WebSocket-Version") != "13" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad websocket handshake"})
+		return nil, errors.New("goflow: bad websocket handshake")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "websocket unsupported on this connection"})
+		return nil, errors.New("goflow: response writer cannot hijack")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("goflow: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &wsConn{conn: conn, br: rw.Reader, writeTimeout: writeTimeout}, nil
+}
+
+// headerContainsToken reports whether a comma-separated header value
+// carries the token (case-insensitive) — "Connection: keep-alive,
+// Upgrade" must match.
+func headerContainsToken(header, token string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Close tears down the underlying connection.
+func (c *wsConn) Close() error { return c.conn.Close() }
+
+// writeFrame sends one unmasked (server→client) frame.
+func (c *wsConn) writeFrame(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	var hdr [10]byte
+	hdr[0] = 0x80 | opcode // FIN set, no fragmentation
+	n := 2
+	switch l := len(payload); {
+	case l < 126:
+		hdr[1] = byte(l)
+	case l <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(l))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(l))
+		n = 10
+	}
+	if _, err := c.conn.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// WriteText sends a text frame.
+func (c *wsConn) WriteText(payload []byte) error {
+	return c.writeFrame(wsOpText, payload)
+}
+
+// WritePong answers a ping.
+func (c *wsConn) WritePong(payload []byte) error {
+	return c.writeFrame(wsOpPong, payload)
+}
+
+// WriteClose sends a close frame with a code and reason.
+func (c *wsConn) WriteClose(code uint16, reason string) error {
+	if len(reason) > 123 {
+		reason = reason[:123]
+	}
+	payload := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(payload, code)
+	copy(payload[2:], reason)
+	return c.writeFrame(wsOpClose, payload)
+}
+
+// ReadFrame reads one client frame, unmasking the payload. Client
+// frames must be masked (RFC 6455 §5.1) and fit wsMaxClientFrame.
+func (c *wsConn) ReadFrame() (opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	opcode = hdr[0] & 0x0F
+	if hdr[0]&0x80 == 0 {
+		return 0, nil, errors.New("goflow: fragmented client frame unsupported")
+	}
+	masked := hdr[1]&0x80 != 0
+	if !masked {
+		return 0, nil, errors.New("goflow: unmasked client frame")
+	}
+	length := uint64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > wsMaxClientFrame {
+		return 0, nil, fmt.Errorf("goflow: client frame of %d bytes exceeds cap", length)
+	}
+	var mask [4]byte
+	if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+		return 0, nil, err
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	for i := range payload {
+		payload[i] ^= mask[i%4]
+	}
+	return opcode, payload, nil
+}

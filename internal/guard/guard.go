@@ -44,8 +44,13 @@ const (
 	// ClassAnalytics covers analytics, exports and background jobs —
 	// recomputable work that is shed first under pressure.
 	ClassAnalytics
+	// ClassLive covers live push subscriptions (WebSocket/SSE fan-out).
+	// A dropped live event is recoverable — the client catches up over
+	// the cursor API — so live work shares the bottom shed rank with
+	// analytics and never displaces ingest or queries.
+	ClassLive
 
-	numClasses = 3
+	numClasses = 4
 )
 
 // String implements fmt.Stringer; the values double as metric labels.
@@ -57,13 +62,17 @@ func (c Class) String() string {
 		return "query"
 	case ClassAnalytics:
 		return "analytics"
+	case ClassLive:
+		return "live"
 	default:
 		return "unknown"
 	}
 }
 
 // Classes lists every priority class, most important first.
-func Classes() []Class { return []Class{ClassIngest, ClassQuery, ClassAnalytics} }
+func Classes() []Class {
+	return []Class{ClassIngest, ClassQuery, ClassAnalytics, ClassLive}
+}
 
 // Guard decision errors. All carry a RetryAfter hint through
 // RetryAfter().

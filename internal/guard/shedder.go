@@ -85,22 +85,40 @@ func (s *Shedder) Admit(c Class) error {
 	if p99 <= 0 {
 		return nil
 	}
-	// Pressure 1 sheds the least important class (analytics), 2 also
-	// sheds queries, 3 sheds everything including ingest.
+	// Pressure 1 sheds the least important rank (analytics and live),
+	// 2 also sheds queries, 3 sheds everything including ingest.
 	pressure := int(p99 / s.cfg.Target)
 	if pressure <= 0 {
 		return nil
 	}
-	if pressure > numClasses {
-		pressure = numClasses
+	if pressure > numShedRanks {
+		pressure = numShedRanks
 	}
-	// Class c is shed when its rank from the bottom (< pressure).
-	// Analytics has rank 0, query 1, ingest 2.
-	rank := numClasses - 1 - int(c)
-	if rank < pressure {
+	// Class c is shed when its rank from the bottom is < pressure.
+	if shedRank(c) < pressure {
 		return Reject(ErrOverloaded, s.cfg.RetryAfter)
 	}
 	return nil
+}
+
+// numShedRanks is the number of distinct shed ranks; pressure beyond
+// it cannot shed more.
+const numShedRanks = 3
+
+// shedRank orders classes by how early they are shed: rank 0 goes
+// first, the top rank last. Live push shares the bottom rank with
+// analytics — both are recoverable (analytics recomputes, live clients
+// catch up over cursors) — so adding the live class did not move the
+// pressure thresholds of the original three classes.
+func shedRank(c Class) int {
+	switch c {
+	case ClassAnalytics, ClassLive:
+		return 0
+	case ClassQuery:
+		return 1
+	default: // ClassIngest: sensed observations are irreplaceable
+		return 2
+	}
 }
 
 // P99 returns the current moving-window p99 latency, or 0 when the

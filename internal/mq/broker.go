@@ -104,6 +104,12 @@ type BrokerStats struct {
 type routeEntry struct {
 	gen    uint64
 	queues []*queue
+	// exchanges are the names of every exchange the key's resolution
+	// traversed (the published one plus exchange-to-exchange hops).
+	// The live fan-out (live.go) taps messages on each of them, so a
+	// subscriber of GFX sees messages published to a client exchange
+	// that forwards into GFX.
+	exchanges []string
 }
 
 // routeCache memoizes route resolutions. The two-level shape (outer
@@ -132,6 +138,7 @@ type routeScratch struct {
 	visited  map[*exchange]struct{}
 	seen     map[*queue]struct{}
 	targets  []*queue
+	exNames  []string
 }
 
 var routeScratchPool = sync.Pool{
@@ -149,6 +156,7 @@ func (sc *routeScratch) reset() {
 	sc.keyWords = sc.keyWords[:0]
 	sc.frontier = sc.frontier[:0]
 	sc.targets = sc.targets[:0]
+	sc.exNames = sc.exNames[:0]
 	clear(sc.visited)
 	clear(sc.seen)
 }
@@ -196,6 +204,19 @@ type Broker struct {
 	flowMu       sync.Mutex
 	flowSubs     map[*FlowSub]struct{}
 	pausedQueues map[string]struct{}
+
+	// Live-subscription fan-out state (live.go): per-exchange pattern
+	// tries consulted by the publish path under liveMu's read lock.
+	// liveCount gates the hot path — zero subscribers costs one atomic
+	// load per publish.
+	liveMu        sync.RWMutex
+	liveTries     map[string]*liveNode
+	liveSubs      map[*LiveSub]struct{}
+	liveCount     atomic.Int64
+	liveDelivered atomic.Uint64
+	liveDropped   atomic.Uint64
+	liveShed      atomic.Uint64
+	liveHooks     atomic.Pointer[LiveHooks]
 
 	hooks atomic.Pointer[Hooks]
 }
@@ -385,23 +406,24 @@ func (b *Broker) UnbindQueue(queueName, exchangeName, pattern string) error {
 	return nil
 }
 
-// lookupRoute returns the memoized queue set for (exchange, key) when
-// one exists for the given generation. Lock-free and allocation-free.
-func (b *Broker) lookupRoute(exchangeName, key string, gen uint64) ([]*queue, bool) {
+// lookupRoute returns the memoized queue and traversed-exchange sets
+// for (exchange, key) when one exists for the given generation.
+// Lock-free and allocation-free.
+func (b *Broker) lookupRoute(exchangeName, key string, gen uint64) ([]*queue, []string, bool) {
 	rc := b.routes.Load()
 	innerAny, ok := rc.exchanges.Load(exchangeName)
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	entryAny, ok := innerAny.(*sync.Map).Load(key)
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	e := entryAny.(*routeEntry)
 	if e.gen != gen {
-		return nil, false
+		return nil, nil, false
 	}
-	return e.queues, true
+	return e.queues, e.exchanges, true
 }
 
 // resolveRoute computes the queue set for (exchange, key) by walking
@@ -409,21 +431,22 @@ func (b *Broker) lookupRoute(exchangeName, key string, gen uint64) ([]*queue, bo
 // exchange-to-exchange bindings, then memoizes it under gen. gen must
 // have been read before the resolution (a topology change in between
 // leaves the entry stale-by-construction, never wrong).
-func (b *Broker) resolveRoute(exchangeName, key string, gen uint64) ([]*queue, error) {
+func (b *Broker) resolveRoute(exchangeName, key string, gen uint64) ([]*queue, []string, error) {
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		return nil, ErrBrokerClosed
+		return nil, nil, ErrBrokerClosed
 	}
 	ex, ok := b.exchanges[exchangeName]
 	if !ok {
 		b.mu.RUnlock()
-		return nil, fmt.Errorf("publish to %q: %w", exchangeName, ErrExchangeNotFound)
+		return nil, nil, fmt.Errorf("publish to %q: %w", exchangeName, ErrExchangeNotFound)
 	}
 	sc := routeScratchPool.Get().(*routeScratch)
 	sc.keyWords = splitWordsInto(sc.keyWords[:0], key)
 	sc.frontier = append(sc.frontier, ex)
 	sc.visited[ex] = struct{}{}
+	sc.exNames = append(sc.exNames, ex.name)
 	for len(sc.frontier) > 0 {
 		cur := sc.frontier[0]
 		sc.frontier = sc.frontier[1:]
@@ -441,6 +464,7 @@ func (b *Broker) resolveRoute(exchangeName, key string, gen uint64) ([]*queue, e
 				if _, dup := sc.visited[next]; !dup {
 					sc.visited[next] = struct{}{}
 					sc.frontier = append(sc.frontier, next)
+					sc.exNames = append(sc.exNames, next.name)
 				}
 			}
 		})
@@ -449,6 +473,8 @@ func (b *Broker) resolveRoute(exchangeName, key string, gen uint64) ([]*queue, e
 
 	queues := make([]*queue, len(sc.targets))
 	copy(queues, sc.targets)
+	exchanges := make([]string, len(sc.exNames))
+	copy(exchanges, sc.exNames)
 	sc.reset()
 	routeScratchPool.Put(sc)
 
@@ -460,7 +486,8 @@ func (b *Broker) resolveRoute(exchangeName, key string, gen uint64) ([]*queue, e
 	if !ok {
 		innerAny, _ = rc.exchanges.LoadOrStore(exchangeName, &sync.Map{})
 	}
-	if _, loaded := innerAny.(*sync.Map).Swap(key, &routeEntry{gen: gen, queues: queues}); !loaded {
+	entry := &routeEntry{gen: gen, queues: queues, exchanges: exchanges}
+	if _, loaded := innerAny.(*sync.Map).Swap(key, entry); !loaded {
 		if rc.entries.Add(1) > routeCacheMaxEntries {
 			// Epoch eviction: swap in a fresh cache rather than track
 			// recency per entry. Same generation — entries were valid,
@@ -468,25 +495,26 @@ func (b *Broker) resolveRoute(exchangeName, key string, gen uint64) ([]*queue, e
 			b.routes.CompareAndSwap(rc, &routeCache{})
 		}
 	}
-	return queues, nil
+	return queues, exchanges, nil
 }
 
-// route returns the destination queue set for one publish, preferring
-// the memoized route and falling back to resolution.
-func (b *Broker) route(exchangeName, key string) ([]*queue, error) {
+// route returns the destination queue set and the traversed exchange
+// names for one publish, preferring the memoized route and falling
+// back to resolution.
+func (b *Broker) route(exchangeName, key string) ([]*queue, []string, error) {
 	gen := b.topoGen.Load()
-	if queues, ok := b.lookupRoute(exchangeName, key, gen); ok {
+	if queues, exchanges, ok := b.lookupRoute(exchangeName, key, gen); ok {
 		b.cacheHits.Add(1)
 		b.currentHooks().routeCacheHit()
-		return queues, nil
+		return queues, exchanges, nil
 	}
-	queues, err := b.resolveRoute(exchangeName, key, gen)
+	queues, exchanges, err := b.resolveRoute(exchangeName, key, gen)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	b.cacheMisses.Add(1)
 	b.currentHooks().routeCacheMiss()
-	return queues, nil
+	return queues, exchanges, nil
 }
 
 // Publish routes a message. It returns the number of queues the
@@ -502,7 +530,7 @@ func (b *Broker) Publish(exchangeName, routingKey string, headers map[string]str
 // destination queue: the broker never mutates them after publish, and
 // neither may consumers.
 func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]string, body []byte, at time.Time) (int, error) {
-	queues, err := b.route(exchangeName, routingKey)
+	queues, exchanges, err := b.route(exchangeName, routingKey)
 	if err != nil {
 		return 0, err
 	}
@@ -520,6 +548,7 @@ func (b *Broker) PublishAt(exchangeName, routingKey string, headers map[string]s
 			delivered++
 		}
 	}
+	b.fanoutLive(exchanges, &msg)
 	b.published.Add(1)
 	if delivered == 0 {
 		b.unroutable.Add(1)
@@ -599,7 +628,7 @@ func (b *Broker) PublishBatch(exchangeName string, items []PublishItem) (int, er
 				continue
 			}
 		}
-		queues, err := b.route(exchangeName, it.RoutingKey)
+		queues, exchanges, err := b.route(exchangeName, it.RoutingKey)
 		if err != nil {
 			return 0, err
 		}
@@ -618,6 +647,10 @@ func (b *Broker) PublishBatch(exchangeName string, items []PublishItem) (int, er
 			Body:        it.Body,
 			PublishedAt: at,
 		}
+		// Live fan-out happens per item, in batch order, and is skipped
+		// for deduped replays above — the original publish already
+		// reached the live subscribers once.
+		b.fanoutLive(exchanges, &msg)
 		routedTo[i] = len(queues)
 		for _, q := range queues {
 			qb, ok := batches[q]
@@ -809,6 +842,7 @@ func (b *Broker) Close() {
 	b.exchanges = make(map[string]*exchange)
 	b.invalidateRoutes()
 	b.mu.Unlock()
+	b.closeLiveSubs()
 	for _, q := range queues {
 		q.close()
 	}

@@ -115,6 +115,10 @@ type DB struct {
 
 	hooks atomic.Pointer[Hooks]
 
+	// pointObs, when set, is called after every accepted (non-replay)
+	// AppendBatch with the batch's points; see SetPointObserver.
+	pointObs atomic.Pointer[func([]Point)]
+
 	mu    sync.RWMutex
 	parts map[int64]*partition
 	// rollups is the continuous aggregate: zone → bucket start (Unix
@@ -229,6 +233,24 @@ func (db *DB) AppendBatch(lsn uint64, pts []Point) {
 			h.Seal(sealedPoints, sealedBytes)
 		}
 	}
+	if fn := db.pointObs.Load(); fn != nil {
+		(*fn)(pts)
+	}
+}
+
+// SetPointObserver registers a callback invoked after every accepted
+// AppendBatch with the batch's points — replayed batches (lsn at or
+// below the watermark) never reach it, so an observer sees each
+// mutation's points at most once. The callback runs outside the DB
+// lock on the appender's goroutine and must not block; it feeds
+// lightweight derived views such as the live layer's latest-per-zone
+// cache. A nil fn removes the observer.
+func (db *DB) SetPointObserver(fn func([]Point)) {
+	if fn == nil {
+		db.pointObs.Store(nil)
+		return
+	}
+	db.pointObs.Store(&fn)
 }
 
 // sealLocked freezes the partition's active builder into an immutable
