@@ -14,6 +14,13 @@
 //
 //	goflow-server -wal-dir /var/goflow-replica \
 //	    -follow leader-host:7700 -follower-name replica-1
+//
+// Self-healing group (every member runs the same command; the group
+// elects its leader, fences deposed ones, and fails over by itself —
+// SIGHUP is demoted to a manual override that forces an election):
+//
+//	goflow-server -wal-dir /var/goflow -node-name n1 -lease-ttl 2s \
+//	    -election n1=host1:7700,n2=host2:7700,n3=host3:7700
 package main
 
 import (
@@ -49,6 +56,12 @@ type clusterConfig struct {
 	syncFollowers    int
 	follow           string
 	followerName     string
+	// election is the self-healing group membership (name=addr,...);
+	// nodeName identifies this process in it, leaseTTL is the leader
+	// lease the failover machinery runs on.
+	election         string
+	nodeName         string
+	leaseTTL         time.Duration
 	snapshotInterval time.Duration
 	metricsInterval  time.Duration
 	// series enables the per-shard series view; each shard keeps its
@@ -62,7 +75,30 @@ type clusterConfig struct {
 
 // clusterMode reports whether any cluster flag was used.
 func (c clusterConfig) clusterMode() bool {
-	return c.shards > 1 || c.replListen != "" || c.follow != ""
+	return c.shards > 1 || c.replListen != "" || c.follow != "" || c.election != ""
+}
+
+// parseMembers parses an -election list ("n1=h1:7700,n2=h2:7700").
+func parseMembers(spec string) (map[string]string, error) {
+	members := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("-election member %q: want name=addr", part)
+		}
+		if _, dup := members[name]; dup {
+			return nil, fmt.Errorf("-election member %q listed twice", name)
+		}
+		members[name] = addr
+	}
+	if len(members) == 0 {
+		return nil, errors.New("-election needs at least one name=addr member")
+	}
+	return members, nil
 }
 
 func runCluster(cfg clusterConfig) error {
@@ -71,6 +107,9 @@ func runCluster(cfg clusterConfig) error {
 	}
 	if cfg.follow != "" && (cfg.shards > 1 || cfg.replListen != "") {
 		return errors.New("-follow is exclusive with -shards/-repl-listen: a follower replicates one shard")
+	}
+	if cfg.election != "" && (cfg.shards > 1 || cfg.replListen != "" || cfg.follow != "") {
+		return errors.New("-election is exclusive with -shards/-repl-listen/-follow: an election group manages its own roles")
 	}
 	policy, err := wal.ParseFsyncPolicy(cfg.fsyncPolicy)
 	if err != nil {
@@ -93,8 +132,65 @@ func runCluster(cfg clusterConfig) error {
 		data     storage.Engine
 		shard0   *storage.Local // primary local store, for instrumentation and /sc
 		follower *cluster.Follower
+		node     *cluster.Node
+		leads    chan uint64 // election wins, drained by the signal loop
 	)
-	if cfg.follow != "" {
+	if cfg.election != "" {
+		members, err := parseMembers(cfg.election)
+		if err != nil {
+			return err
+		}
+		name := cfg.nodeName
+		if name == "" {
+			if host, herr := os.Hostname(); herr == nil {
+				name = host
+			}
+		}
+		selfAddr, ok := members[name]
+		if !ok {
+			return fmt.Errorf("-node-name %q is not in the -election member list", name)
+		}
+		peers := map[string]string{}
+		for n, a := range members {
+			if n != name {
+				peers[n] = a
+			}
+		}
+		ln, err := net.Listen("tcp", selfAddr)
+		if err != nil {
+			return fmt.Errorf("election listener %s: %w", selfAddr, err)
+		}
+		local, err := storage.OpenLocal(storage.LocalOptions{
+			WALDir: cfg.walDir, Policy: policy, NoAttach: true,
+			Series: cfg.series,
+		})
+		if err != nil {
+			return err
+		}
+		leads = make(chan uint64, 8)
+		node, err = cluster.StartNode(local, cluster.NodeOptions{
+			Name:          name,
+			Peers:         peers,
+			Listener:      ln,
+			AdvertiseAddr: selfAddr,
+			LeaseTTL:      cfg.leaseTTL,
+			SyncFollowers: cfg.syncFollowers,
+			Metrics:       cmetrics,
+			OnLead: func(term uint64) {
+				select {
+				case leads <- term:
+				default: // the loop is behind; one pending event is enough
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		shard0 = local
+		data = node.Engine()
+		fmt.Printf("goflow-server: election node %q in a %d-member group on %s (lease %v; SIGHUP forces an election)\n",
+			name, len(members), selfAddr, cfg.leaseTTL)
+	} else if cfg.follow != "" {
 		local, err := storage.OpenLocal(storage.LocalOptions{
 			WALDir: cfg.walDir, Policy: policy, NoAttach: true,
 			Series: cfg.series,
@@ -208,8 +304,11 @@ func runCluster(cfg clusterConfig) error {
 		return fmt.Errorf("register app: %w", err)
 	}
 	// A follower rejects every write until promoted, so ingest only
-	// starts on leaders (and on a follower at promotion).
-	if follower == nil {
+	// starts on leaders (and on a follower at promotion). An election
+	// node starts ingest when it wins — the signal loop below drains
+	// OnLead events, including one already buffered from a cold-boot
+	// win.
+	if follower == nil && node == nil {
 		if err := server.StartIngest(); err != nil {
 			return fmt.Errorf("start ingest: %w", err)
 		}
@@ -250,11 +349,12 @@ func runCluster(cfg clusterConfig) error {
 	mux.Handle("/v1/", api)
 	mux.Handle("/metrics", api)
 	mux.Handle("/metrics.json", api)
-	if follower == nil {
+	if follower == nil && node == nil {
 		// The SoundCity user API writes journeys straight into the
 		// primary store (shard 0 — journeys are unkeyed, so the router
-		// pins them there too). On a follower those direct writes would
-		// diverge from the replicated history, so /sc stays off.
+		// pins them there too). On a follower (or any election node —
+		// its role can flip under us) those direct writes would diverge
+		// from the replicated history, so /sc stays off.
 		userAPI, err := soundcity.NewUserAPI(soundcity.APIConfig{
 			Server: server,
 			Store:  shard0.Store(),
@@ -281,6 +381,7 @@ func runCluster(cfg clusterConfig) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
+	ingestStarted := false
 loop:
 	for {
 		select {
@@ -292,7 +393,27 @@ loop:
 				return fmt.Errorf("http server: %w", err)
 			}
 			break loop
+		case term := <-leads:
+			// This node won an election; it owns the write path now.
+			fmt.Printf("goflow-server: elected leader at term %d\n", term)
+			if !ingestStarted {
+				if err := server.StartIngest(); err != nil {
+					return fmt.Errorf("start ingest after election: %w", err)
+				}
+				ingestStarted = true
+				fmt.Println("goflow-server: ingest started")
+			}
 		case <-hup:
+			if node != nil {
+				// With automatic failover, SIGHUP demotes to a manual
+				// override: force an election with this node as the
+				// candidate instead of promoting it unilaterally — the
+				// group still votes, so a stale replica cannot seize a
+				// healthy cluster.
+				fmt.Println("goflow-server: SIGHUP: forcing an election")
+				node.ForceElection()
+				continue
+			}
 			if follower == nil || follower.Promoted() {
 				continue
 			}

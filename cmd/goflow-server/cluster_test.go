@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMembers(t *testing.T) {
+	members, err := parseMembers("n1=h1:7700, n2=h2:7700,n3=h3:7700")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 || members["n2"] != "h2:7700" {
+		t.Fatalf("parsed %v", members)
+	}
+	for _, bad := range []string{"", "n1", "n1=", "=addr", "n1=a,n1=b"} {
+		if _, err := parseMembers(bad); err == nil {
+			t.Errorf("parseMembers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClusterModeExclusivity(t *testing.T) {
+	base := clusterConfig{walDir: "/tmp/x", leaseTTL: time.Second}
+	if (clusterConfig{}).clusterMode() {
+		t.Fatal("empty config claims cluster mode")
+	}
+	on := base
+	on.election = "n1=a:1"
+	if !on.clusterMode() {
+		t.Fatal("-election did not select cluster mode")
+	}
+	conflict := on
+	conflict.follow = "b:1"
+	if err := runCluster(conflict); err == nil {
+		t.Fatal("-election plus -follow accepted")
+	}
+	sharded := on
+	sharded.shards = 2
+	if err := runCluster(sharded); err == nil {
+		t.Fatal("-election plus -shards accepted")
+	}
+}

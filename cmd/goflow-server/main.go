@@ -66,6 +66,9 @@ func run() error {
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must acknowledge a write before it is acknowledged to the client (0 = async replication)")
 	follow := flag.String("follow", "", "run as a follower replicating from this leader replication address (read-only until SIGHUP promotes)")
 	followerName := flag.String("follower-name", "", "stable follower identity for ack tracking (default: hostname)")
+	election := flag.String("election", "", "self-healing replication group membership as name=addr,... (every member runs the same list); the group elects its own leader, fences deposed ones and fails over automatically — exclusive with -shards/-repl-listen/-follow")
+	nodeName := flag.String("node-name", "", "this node's name in the -election member list (default: hostname)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "leader lease: a leader that cannot reach a follower majority for this long fences itself; followers elect a successor after twice this silence (requires -election)")
 	seriesOn := flag.Bool("series", false, "maintain the time-partitioned series view: compressed chunks plus continuous per-zone rollups that answer noise analytics in microseconds (persisted under <wal-dir>/series when a WAL is configured, memory-only otherwise)")
 	retention := flag.Duration("retention", 0, "series raw-data horizon: checkpoints drop chunks wholly older than this while rollups keep the full history (0 = keep raw data forever)")
 	rollupInterval := flag.Duration("rollup-interval", 5*time.Minute, "series rollup bucket width (requires -series)")
@@ -93,6 +96,7 @@ func run() error {
 		walDir: *walDir, fsyncPolicy: *fsyncPolicy,
 		shards: *shards, replListen: *replListen, syncFollowers: *syncFollowers,
 		follow: *follow, followerName: *followerName,
+		election: *election, nodeName: *nodeName, leaseTTL: *leaseTTL,
 		snapshotInterval: *snapshotInterval, metricsInterval: *metricsInterval,
 		series: seriesOpts, live: liveCfg,
 	}); cfg.clusterMode() {

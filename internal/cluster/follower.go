@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -40,6 +42,30 @@ type FollowerOptions struct {
 	// RetryInterval is the pause between replication-session attempts
 	// after a failure (default 100ms).
 	RetryInterval time.Duration
+	// Term is the election term the follower believes current (0 on a
+	// non-elected, PR 6 style pair — term checks are skipped then).
+	// Fetches are stamped with it; the leader fences itself when it
+	// sees a higher one.
+	Term uint64
+	// OnTerm, when non-nil, fires whenever the follower observes a
+	// higher term on the wire (the election node persists it).
+	OnTerm func(term uint64)
+	// OnSnapshot, when non-nil, fires after a completed snapshot
+	// bootstrap replaced the local history (the election node clears
+	// its divergence marker here).
+	OnSnapshot func(lsn uint64)
+	// ForceSnapshot makes the first session bootstrap from a leader
+	// snapshot unconditionally, discarding the local log — required
+	// when this node previously led (its unacknowledged tail may
+	// diverge from the history that won).
+	ForceSnapshot bool
+	// WrapSnapshot, when non-nil, wraps the snapshot staging file's
+	// write path — the fault-injection seam the chaos tests use to
+	// kill a transfer after a byte budget and prove resume-by-offset.
+	WrapSnapshot func(w io.Writer) io.Writer
+	// Logf receives diagnostic lines (corruption localization,
+	// snapshot bootstrap progress). Nil logs via the log package.
+	Logf func(format string, args ...any)
 	// Metrics receives follower counters when non-nil.
 	Metrics *Metrics
 }
@@ -61,6 +87,17 @@ type Follower struct {
 
 	applied  atomic.Uint64
 	promoted atomic.Bool
+
+	// term is the highest election term observed; fetches carry it.
+	term atomic.Uint64
+	// lastContact is the wall time (unix nanos) of the last successful
+	// leader exchange — the follower half of the lease. An election
+	// node reads it to decide the leader is gone.
+	lastContact atomic.Int64
+	// needSnap latches when the leader reports the log cannot serve
+	// our position (truncated or diverged); the next session runs a
+	// snapshot bootstrap before tailing.
+	needSnap atomic.Bool
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -96,6 +133,9 @@ func StartFollower(local *storage.Local, opts FollowerOptions) (*Follower, error
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}
+	f.term.Store(opts.Term)
+	f.lastContact.Store(time.Now().UnixNano())
+	f.needSnap.Store(opts.ForceSnapshot)
 	// Local recovery already replayed this WAL into the store; resume
 	// fetching right after the last locally durable record.
 	f.applied.Store(local.WAL().LastLSN())
@@ -106,6 +146,40 @@ func StartFollower(local *storage.Local, opts FollowerOptions) (*Follower, error
 // AppliedLSN is the highest leader LSN this follower has durably
 // applied.
 func (f *Follower) AppliedLSN() uint64 { return f.applied.Load() }
+
+// Term is the highest election term the follower has observed.
+func (f *Follower) Term() uint64 { return f.term.Load() }
+
+// LastContact is the wall time of the last successful leader exchange.
+func (f *Follower) LastContact() time.Time {
+	return time.Unix(0, f.lastContact.Load())
+}
+
+// observeTerm adopts a higher term seen on the wire and notifies the
+// election node.
+func (f *Follower) observeTerm(term uint64) {
+	for {
+		cur := f.term.Load()
+		if term <= cur {
+			return
+		}
+		if f.term.CompareAndSwap(cur, term) {
+			if f.opt.OnTerm != nil {
+				f.opt.OnTerm(term)
+			}
+			return
+		}
+	}
+}
+
+// logf writes a diagnostic line.
+func (f *Follower) logf(format string, args ...any) {
+	if f.opt.Logf != nil {
+		f.opt.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
 
 // Promoted reports whether Promote has run.
 func (f *Follower) Promoted() bool { return f.promoted.Load() }
@@ -150,7 +224,9 @@ func (f *Follower) Close() error {
 
 // run is the replication loop: dial, stream, and on any failure retry
 // a whole session (the fetch position is durable, so a re-shipped
-// record is skipped idempotently).
+// record is skipped idempotently). When the leader has reported our
+// position unservable from the log, a session starts with a snapshot
+// bootstrap instead of a fetch stream.
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
 	first := true
@@ -166,6 +242,12 @@ func (f *Follower) run(ctx context.Context) {
 			}
 		}
 		first = false
+		if f.needSnap.Load() {
+			if err := f.bootstrapSnapshot(ctx); err != nil {
+				continue
+			}
+			f.needSnap.Store(false)
+		}
 		_ = f.session(ctx)
 	}
 }
@@ -199,7 +281,12 @@ func (f *Follower) session(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	if hello.Op != mq.ReplOpHello {
+	switch hello.Op {
+	case mq.ReplOpHello:
+		f.observeTerm(hello.Term)
+	case mq.ReplOpError:
+		return f.onLeaderError(hello)
+	default:
 		return fmt.Errorf("cluster: leader greeted with %q", hello.Op)
 	}
 	for ctx.Err() == nil {
@@ -208,6 +295,7 @@ func (f *Follower) session(ctx context.Context) error {
 			Op:         mq.ReplOpFetch,
 			From:       applied + 1,
 			AppliedLSN: applied,
+			Term:       f.term.Load(),
 			MaxRecords: f.opt.FetchRecords,
 			MaxBytes:   f.opt.FetchBytes,
 		}); err != nil {
@@ -220,10 +308,14 @@ func (f *Follower) session(ctx context.Context) error {
 		switch batch.Op {
 		case mq.ReplOpBatch:
 		case mq.ReplOpError:
-			return fmt.Errorf("cluster: leader error: %s", batch.Error)
+			return f.onLeaderError(batch)
 		default:
 			return fmt.Errorf("cluster: unexpected frame %q", batch.Op)
 		}
+		// Any batch — even an empty heartbeat — renews the follower's
+		// view of the leader lease.
+		f.lastContact.Store(time.Now().UnixNano())
+		f.observeTerm(batch.Term)
 		if err := f.apply(batch.Records); err != nil {
 			return err
 		}
@@ -232,6 +324,35 @@ func (f *Follower) session(ctx context.Context) error {
 		}
 	}
 	return ctx.Err()
+}
+
+// onLeaderError reacts to a typed leader error frame: truncated and
+// diverged positions latch a snapshot bootstrap for the next session,
+// corruption is localized in the logs and counted, stale terms are
+// adopted. The session always ends; run decides what the next one
+// does.
+func (f *Follower) onLeaderError(frame *mq.ReplFrame) error {
+	switch frame.Code {
+	case mq.ReplErrTruncated:
+		f.needSnap.Store(true)
+		f.logf("cluster: follower %s: leader truncated past lsn %d (checkpoint covers %d); bootstrapping from snapshot",
+			f.opt.Name, f.applied.Load(), frame.SnapLSN)
+	case mq.ReplErrDiverged:
+		f.needSnap.Store(true)
+		f.logf("cluster: follower %s: local log at %d diverged from leader (head %d); bootstrapping from snapshot",
+			f.opt.Name, f.applied.Load(), frame.LeaderLSN)
+	case mq.ReplErrCorrupt:
+		if f.opt.Metrics != nil {
+			f.opt.Metrics.FollowerCorruption.Inc()
+		}
+		f.logf("cluster: follower %s: leader WAL corrupt: segment %s offset %d: %s",
+			f.opt.Name, frame.Segment, frame.Offset, frame.Error)
+	case mq.ReplErrStaleTerm:
+		f.observeTerm(frame.Term)
+	case mq.ReplErrNotLeader:
+		f.observeTerm(frame.Term)
+	}
+	return fmt.Errorf("cluster: leader error [%s]: %s", frame.Code, frame.Error)
 }
 
 // apply applies one shipped batch: decode each record, apply it to the

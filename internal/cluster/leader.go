@@ -5,6 +5,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/urbancivics/goflow/internal/docstore"
@@ -35,6 +36,21 @@ type LeaderOptions struct {
 	// 1024 records, 1 MiB).
 	BatchRecords int
 	BatchBytes   int
+	// Term is the election term this leader serves at (0 for a
+	// standalone, non-elected leader — term checks are skipped then).
+	Term uint64
+	// OnDepose, when non-nil, fires once when the leader learns of a
+	// higher term and fences itself (the election node uses it to move
+	// its state machine to Fenced).
+	OnDepose func(newTerm uint64)
+	// AckRetention expires a follower's ack/truncation-bound entry
+	// after this long without contact, so a dead follower eventually
+	// stops pinning WAL history (it rejoins via snapshot transfer
+	// instead). 0 retains every follower's bound forever.
+	AckRetention time.Duration
+	// SnapChunkBytes sizes one snapshot-transfer chunk (default 256
+	// KiB).
+	SnapChunkBytes int
 	// Metrics receives replication counters when non-nil.
 	Metrics *Metrics
 }
@@ -49,6 +65,18 @@ type Leader struct {
 
 	opt  LeaderOptions
 	acks *ackTracker
+
+	// term and fenced implement write fencing: once a higher term is
+	// observed (a successor was elected, or this leader's own lease
+	// expired), fenced flips and every subsequent commit-log append is
+	// rejected with ErrStaleTerm — the mutation is never applied.
+	term     atomic.Uint64
+	fenced   atomic.Bool
+	deposeMu sync.Mutex // serializes Depose so OnDepose fires once
+	deposed  bool
+	// hintName/hintAddr point at the successor when known, so fencing
+	// rejections can carry a redirect hint.
+	hintName, hintAddr string
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -78,12 +106,16 @@ func NewLeader(local *storage.Local, ln net.Listener, opt LeaderOptions) (*Leade
 	if opt.BatchBytes <= 0 {
 		opt.BatchBytes = 1 << 20
 	}
+	if opt.SnapChunkBytes <= 0 {
+		opt.SnapChunkBytes = 256 << 10
+	}
 	l := &Leader{
 		Local: local,
 		opt:   opt,
-		acks:  newAckTracker(),
+		acks:  newAckTracker(opt.AckRetention),
 		conns: map[net.Conn]struct{}{},
 	}
+	l.term.Store(opt.Term)
 	local.Store().SetCommitLog(&leaderCommitLog{l: l})
 	// Checkpoints must not truncate history a known follower has yet
 	// to acknowledge; with no followers the bound is "no constraint".
@@ -107,6 +139,62 @@ func (l *Leader) Addr() string {
 // FollowerAcked reports a named follower's acknowledged LSN (0 when it
 // has never acked).
 func (l *Leader) FollowerAcked(name string) uint64 { return l.acks.get(name) }
+
+// Term returns the leader's election term (0 on a standalone leader).
+func (l *Leader) Term() uint64 { return l.term.Load() }
+
+// Fenced reports whether the leader has been deposed and rejects
+// writes.
+func (l *Leader) Fenced() bool { return l.fenced.Load() }
+
+// FreshContacts counts followers heard from within the window — the
+// leader-side half of the lease: a leader that cannot count a quorum
+// of fresh follower contacts must assume a successor is being elected
+// and fence itself.
+func (l *Leader) FreshContacts(window time.Duration) int {
+	return l.acks.contactsSince(time.Now().Add(-window))
+}
+
+// Depose fences the leader at newTerm: every write from here on is
+// rejected with ErrStaleTerm, replication sessions are torn down, and
+// OnDepose fires exactly once. successor names the new leader when
+// known ("" when the leader is deposing itself on lease expiry).
+// Fencing is terminal for this in-process leader — rejoining the
+// group means restarting the node, which bootstraps from the new
+// leader (snapshot transfer discards any unacknowledged tail).
+func (l *Leader) Depose(newTerm uint64, successor, successorAddr string) {
+	l.deposeMu.Lock()
+	if newTerm > l.term.Load() {
+		l.term.Store(newTerm)
+	}
+	if successor != "" {
+		l.hintName, l.hintAddr = successor, successorAddr
+	}
+	already := l.deposed
+	l.deposed = true
+	l.fenced.Store(true)
+	l.deposeMu.Unlock()
+	if already {
+		return
+	}
+	// Drop replication sessions: followers must renegotiate against
+	// the new leader, not keep tailing a fenced one.
+	l.mu.Lock()
+	for c := range l.conns {
+		_ = c.Close()
+	}
+	l.mu.Unlock()
+	if l.opt.OnDepose != nil {
+		l.opt.OnDepose(newTerm)
+	}
+}
+
+// hint returns the successor redirect, if known.
+func (l *Leader) hint() (name, addr string) {
+	l.deposeMu.Lock()
+	defer l.deposeMu.Unlock()
+	return l.hintName, l.hintAddr
+}
 
 // Close implements storage.Engine: stop the replication server, drop
 // the commit log, and close the Local engine.
@@ -135,8 +223,18 @@ func (l *Leader) Close() error {
 // quorum.
 type leaderCommitLog struct{ l *Leader }
 
-// Log implements docstore.CommitLog.
+// Log implements docstore.CommitLog. A fenced leader rejects here —
+// before the mutation is applied or logged — so a deposed leader can
+// never acknowledge (or even locally persist) a write the successor's
+// history lacks.
 func (cl *leaderCommitLog) Log(m *docstore.Mutation) (docstore.CommitTicket, error) {
+	if cl.l.fenced.Load() {
+		if mtr := cl.l.opt.Metrics; mtr != nil {
+			mtr.FencingRejects.Inc()
+		}
+		name, addr := cl.l.hint()
+		return nil, &NotLeaderError{Leader: name, Addr: addr, Err: ErrStaleTerm}
+	}
 	payload, err := docstore.EncodeMutation(m)
 	if err != nil {
 		return nil, err
@@ -165,6 +263,16 @@ func (t *replTicket) Wait() error {
 	if err := t.walTk.Wait(); err != nil {
 		return err
 	}
+	// A fence that landed between Log and here means the record is in
+	// the local WAL but may never ship: report it unacknowledged, like
+	// an ack timeout (after failover it may or may not survive).
+	if t.l.fenced.Load() {
+		if mtr := t.l.opt.Metrics; mtr != nil {
+			mtr.FencingRejects.Inc()
+		}
+		name, addr := t.l.hint()
+		return &NotLeaderError{Leader: name, Addr: addr, Err: ErrStaleTerm}
+	}
 	need := t.l.opt.SyncFollowers
 	if need <= 0 {
 		return nil
@@ -179,24 +287,34 @@ func (t *replTicket) Wait() error {
 }
 
 // ackTracker tracks each follower's acknowledged (durably applied)
-// LSN and wakes commit waiters as acks arrive.
+// LSN and last contact time, and wakes commit waiters as acks arrive.
+// With a retention window, followers silent past it are expired: their
+// entries stop pinning the truncation bound (they will rejoin via
+// snapshot transfer) and stop counting toward anything.
 type ackTracker struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	acked  map[string]uint64
-	closed bool
+	retention time.Duration
+	mu        sync.Mutex
+	cond      *sync.Cond
+	acked     map[string]uint64
+	contact   map[string]time.Time
+	closed    bool
 }
 
-func newAckTracker() *ackTracker {
-	a := &ackTracker{acked: map[string]uint64{}}
+func newAckTracker(retention time.Duration) *ackTracker {
+	a := &ackTracker{
+		retention: retention,
+		acked:     map[string]uint64{},
+		contact:   map[string]time.Time{},
+	}
 	a.cond = sync.NewCond(&a.mu)
 	return a
 }
 
-// update raises a follower's acknowledged LSN (never lowers it) and
-// wakes quorum waiters.
+// update raises a follower's acknowledged LSN (never lowers it),
+// refreshes its contact time and wakes quorum waiters.
 func (a *ackTracker) update(name string, lsn uint64) {
 	a.mu.Lock()
+	a.contact[name] = time.Now()
 	if lsn > a.acked[name] {
 		a.acked[name] = lsn
 		a.cond.Broadcast()
@@ -210,11 +328,40 @@ func (a *ackTracker) get(name string) uint64 {
 	return a.acked[name]
 }
 
+// expireLocked drops followers whose last contact precedes the
+// retention window. Caller holds mu.
+func (a *ackTracker) expireLocked() {
+	if a.retention <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-a.retention)
+	for name, at := range a.contact {
+		if at.Before(cutoff) {
+			delete(a.contact, name)
+			delete(a.acked, name)
+		}
+	}
+}
+
+// contactsSince counts followers heard from at or after t.
+func (a *ackTracker) contactsSince(t time.Time) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, at := range a.contact {
+		if !at.Before(t) {
+			n++
+		}
+	}
+	return n
+}
+
 // minAcked is the truncation bound: the slowest known follower's
 // acknowledged LSN, or ^uint64(0) ("no constraint") with no followers.
 func (a *ackTracker) minAcked() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.expireLocked()
 	min := ^uint64(0)
 	for _, lsn := range a.acked {
 		if lsn < min {
@@ -227,6 +374,7 @@ func (a *ackTracker) minAcked() uint64 {
 // quorumLSNLocked is the highest LSN acknowledged by at least need
 // followers.
 func (a *ackTracker) quorumLSNLocked(need int) uint64 {
+	a.expireLocked()
 	if need <= 0 || len(a.acked) < need {
 		return 0
 	}

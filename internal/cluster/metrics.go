@@ -30,6 +30,24 @@ type Metrics struct {
 	Reconnects *obs.Counter
 	// Promotions counts follower promotions to leader.
 	Promotions *obs.Counter
+
+	// Term is the node's current election term.
+	Term *obs.Gauge
+	// Elections counts elections this node won.
+	Elections *obs.Counter
+	// FencingRejects counts writes rejected on a deposed leader with
+	// ErrStaleTerm — each one is an ack the old timeline was not
+	// allowed to hand out.
+	FencingRejects *obs.Counter
+	// SnapshotBytes counts checkpoint bytes a leader streamed to
+	// snapshot-bootstrapping followers.
+	SnapshotBytes *obs.Counter
+	// SnapshotRestores counts completed follower snapshot bootstraps.
+	SnapshotRestores *obs.Counter
+	// FollowerCorruption counts corrupt-WAL errors a follower received
+	// from its leader (localized by segment and offset in the logs) —
+	// distinguishing disk damage from ordinary truncation.
+	FollowerCorruption *obs.Counter
 }
 
 // NewMetrics registers the cluster metric families.
@@ -44,5 +62,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		FollowerLag:    reg.GaugeVec("cluster_repl_follower_lag_records", "Leader durable LSN minus follower applied LSN", "follower"),
 		Reconnects:     reg.Counter("cluster_repl_reconnect_total", "Follower replication session restarts"),
 		Promotions:     reg.Counter("cluster_repl_promotion_total", "Follower promotions to leader"),
+
+		Term:               reg.Gauge("cluster_term", "Current election term"),
+		Elections:          reg.Counter("cluster_elections_total", "Elections won by this node"),
+		FencingRejects:     reg.Counter("cluster_fencing_rejects_total", "Writes rejected on a deposed leader (stale term)"),
+		SnapshotBytes:      reg.Counter("cluster_snapshot_transfer_bytes_total", "Snapshot bytes streamed to bootstrapping followers"),
+		SnapshotRestores:   reg.Counter("cluster_snapshot_restore_total", "Completed follower snapshot bootstraps"),
+		FollowerCorruption: reg.Counter("cluster_follower_corruption_total", "Corrupt leader WAL segments reported to a follower"),
 	}
 }

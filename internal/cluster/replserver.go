@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
+	"hash/crc32"
+	"io"
 	"net"
 	"time"
 
@@ -13,6 +16,15 @@ import (
 // for the wire contract). One goroutine per follower connection; the
 // stream is follower-driven pull, so the leader holds no per-follower
 // send state beyond the ack tracker.
+//
+// Two session kinds share the listener: a hello opens a fetch stream
+// (log tailing), a snap opens a snapshot transfer (checkpoint
+// streaming for a follower the truncated log can no longer serve).
+// An election Node owns its own listener and dispatches these same
+// two ops into ServeSession, so the standalone accept loop below is
+// only used by non-elected (PR 6 style) leaders.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func (l *Leader) serve(ln net.Listener) {
 	defer l.serveWG.Done()
@@ -21,39 +33,99 @@ func (l *Leader) serve(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		l.mu.Lock()
-		if l.closed {
-			l.mu.Unlock()
+		if !l.track(nc) {
 			_ = nc.Close()
 			return
 		}
-		l.conns[nc] = struct{}{}
-		l.serveWG.Add(1)
-		l.mu.Unlock()
-		go l.handle(nc)
+		go func() {
+			defer l.serveWG.Done()
+			defer l.untrack(nc)
+			r := bufio.NewReader(nc)
+			first, _, err := mq.ReadReplFrame(r)
+			if err != nil {
+				return
+			}
+			l.ServeSession(nc, r, first)
+		}()
 	}
 }
 
-func (l *Leader) handle(nc net.Conn) {
-	defer l.serveWG.Done()
-	defer func() {
+// track registers a connection for teardown on Close/Depose; false
+// means the leader is closed.
+func (l *Leader) track(nc net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.conns[nc] = struct{}{}
+	l.serveWG.Add(1)
+	return true
+}
+
+func (l *Leader) untrack(nc net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, nc)
+	l.mu.Unlock()
+	_ = nc.Close()
+}
+
+// Track registers an externally accepted connection (an election
+// Node's dispatcher) so Depose/Close tear it down; the returned
+// release must be called when the session ends. ok is false when the
+// leader is closed.
+func (l *Leader) Track(nc net.Conn) (release func(), ok bool) {
+	if !l.track(nc) {
+		return nil, false
+	}
+	return func() {
+		l.serveWG.Done()
 		l.mu.Lock()
 		delete(l.conns, nc)
 		l.mu.Unlock()
-		_ = nc.Close()
-	}()
-	r := bufio.NewReader(nc)
-	hello, _, err := mq.ReadReplFrame(r)
-	if err != nil || hello.Op != mq.ReplOpHello {
-		return
+	}, true
+}
+
+// ServeSession runs one replication session whose first frame has
+// already been read: a fetch stream for hello, a snapshot transfer for
+// snap. It returns when the session ends; the caller owns the
+// connection lifecycle.
+func (l *Leader) ServeSession(nc net.Conn, r *bufio.Reader, first *mq.ReplFrame) {
+	switch first.Op {
+	case mq.ReplOpHello:
+		l.serveFetch(nc, r, first)
+	case mq.ReplOpSnap:
+		l.serveSnapshot(nc, first)
 	}
+}
+
+// replError writes a typed error frame.
+func replError(nc net.Conn, code, msg string, decorate func(*mq.ReplFrame)) {
+	f := &mq.ReplFrame{Op: mq.ReplOpError, Code: code, Error: msg}
+	if decorate != nil {
+		decorate(f)
+	}
+	_, _ = mq.WriteReplFrame(nc, f)
+}
+
+// serveFetch is the fetch/batch stream: every fetch acks follower
+// progress, every batch carries the leader's term and durable LSN.
+func (l *Leader) serveFetch(nc net.Conn, r *bufio.Reader, hello *mq.ReplFrame) {
 	follower := hello.Follower
 	if follower == "" {
 		follower = nc.RemoteAddr().String()
 	}
+	if l.fenced.Load() {
+		name, addr := l.hint()
+		replError(nc, mq.ReplErrNotLeader, "leader deposed", func(f *mq.ReplFrame) {
+			f.Term = l.term.Load()
+			f.LeaderName, f.LeaderAddr = name, addr
+		})
+		return
+	}
 	w := l.WAL()
 	if _, err := mq.WriteReplFrame(nc, &mq.ReplFrame{
-		Op: mq.ReplOpHello, Shard: hello.Shard, LeaderLSN: w.DurableLSN(),
+		Op: mq.ReplOpHello, Shard: hello.Shard, LeaderLSN: w.DurableLSN(), Term: l.term.Load(),
 	}); err != nil {
 		return
 	}
@@ -62,9 +134,46 @@ func (l *Leader) handle(nc net.Conn) {
 		if err != nil || req.Op != mq.ReplOpFetch {
 			return
 		}
+		// Term discipline. A fetch carrying a higher term proves a
+		// newer election committed somewhere: this leader is deposed
+		// and must fence before serving (or accepting) anything else.
+		// A lower-term fetch is a follower that missed the election
+		// that elected us; it adopts our term from the error frame.
+		if term := l.term.Load(); term != 0 && req.Term != 0 {
+			if req.Term > term {
+				l.Depose(req.Term, "", "")
+				replError(nc, mq.ReplErrStaleTerm, "leader deposed by higher term", func(f *mq.ReplFrame) {
+					f.Term = req.Term
+				})
+				return
+			}
+			if req.Term < term {
+				replError(nc, mq.ReplErrStaleTerm, "fetch from older term", func(f *mq.ReplFrame) {
+					f.Term = term
+				})
+				return
+			}
+		}
+		if l.fenced.Load() {
+			name, addr := l.hint()
+			replError(nc, mq.ReplErrNotLeader, "leader deposed", func(f *mq.ReplFrame) {
+				f.Term = l.term.Load()
+				f.LeaderName, f.LeaderAddr = name, addr
+			})
+			return
+		}
 		// Every fetch is also an ack: the follower has durably applied
 		// everything below AppliedLSN.
 		l.acks.update(follower, req.AppliedLSN)
+		// A fetch position above our log head means the follower holds
+		// records we never had — a deposed ex-leader's unacked tail.
+		// It must discard its log and bootstrap from a snapshot.
+		if req.From > w.LastLSN()+1 {
+			replError(nc, mq.ReplErrDiverged, "fetch position beyond leader log", func(f *mq.ReplFrame) {
+				f.LeaderLSN = w.DurableLSN()
+			})
+			return
+		}
 		maxRecs, maxBytes := req.MaxRecords, req.MaxBytes
 		if maxRecs <= 0 || maxRecs > l.opt.BatchRecords {
 			maxRecs = l.opt.BatchRecords
@@ -74,10 +183,10 @@ func (l *Leader) handle(nc net.Conn) {
 		}
 		recs, err := l.readBatch(req.From, maxRecs, maxBytes)
 		if err != nil {
-			_, _ = mq.WriteReplFrame(nc, &mq.ReplFrame{Op: mq.ReplOpError, Error: err.Error()})
+			l.writeFetchError(nc, err)
 			return
 		}
-		batch := &mq.ReplFrame{Op: mq.ReplOpBatch, LeaderLSN: w.DurableLSN()}
+		batch := &mq.ReplFrame{Op: mq.ReplOpBatch, LeaderLSN: w.DurableLSN(), Term: l.term.Load()}
 		var payloadBytes int
 		for _, rec := range recs {
 			batch.Records = append(batch.Records, mq.ReplRecord{LSN: rec.LSN, Type: rec.Type, Payload: rec.Payload})
@@ -91,6 +200,84 @@ func (l *Leader) handle(nc net.Conn) {
 			m.ShippedRecords.Add(uint64(len(recs)))
 			m.ShippedBytes.Add(uint64(payloadBytes))
 		}
+	}
+}
+
+// writeFetchError maps a WAL read failure onto the wire: a truncated
+// position tells the follower to snapshot-bootstrap (with the LSN the
+// leader's checkpoint covers), a corrupt sealed segment is localized
+// by file and offset, anything else is opaque.
+func (l *Leader) writeFetchError(nc net.Conn, err error) {
+	var corrupt *wal.CorruptionError
+	switch {
+	case errors.Is(err, wal.ErrTruncated):
+		replError(nc, mq.ReplErrTruncated, err.Error(), func(f *mq.ReplFrame) {
+			f.SnapLSN = l.CheckpointLSN()
+		})
+	case errors.As(err, &corrupt):
+		replError(nc, mq.ReplErrCorrupt, err.Error(), func(f *mq.ReplFrame) {
+			f.Segment = corrupt.Segment
+			f.Offset = corrupt.Offset
+		})
+	default:
+		replError(nc, "", err.Error(), nil)
+	}
+}
+
+// serveSnapshot streams the latest checkpoint from the requested byte
+// offset in CRC-framed chunks. The file handle stays open across the
+// whole transfer, so a concurrent checkpoint renaming a newer snapshot
+// into place cannot tear this one mid-stream; the follower detects a
+// changed snapshot between resumed sessions by SnapLSN/SnapSize and
+// restarts from offset 0.
+func (l *Leader) serveSnapshot(nc net.Conn, req *mq.ReplFrame) {
+	if l.fenced.Load() {
+		name, addr := l.hint()
+		replError(nc, mq.ReplErrNotLeader, "leader deposed", func(f *mq.ReplFrame) {
+			f.LeaderName, f.LeaderAddr = name, addr
+		})
+		return
+	}
+	f, lsn, size, err := l.ExportSnapshot()
+	if err != nil {
+		replError(nc, mq.ReplErrNoSnapshot, err.Error(), nil)
+		return
+	}
+	defer func() { _ = f.Close() }()
+	offset := req.Offset
+	if offset < 0 || offset > size {
+		offset = 0
+	}
+	buf := make([]byte, l.opt.SnapChunkBytes)
+	for offset < size {
+		n, err := f.ReadAt(buf, offset)
+		if n == 0 {
+			if err != nil && err != io.EOF {
+				replError(nc, "", err.Error(), nil)
+			}
+			return
+		}
+		chunk := buf[:n]
+		if _, err := mq.WriteReplFrame(nc, &mq.ReplFrame{
+			Op:      mq.ReplOpSnapChunk,
+			Offset:  offset,
+			Data:    chunk,
+			CRC:     crc32.Checksum(chunk, crcTable),
+			SnapLSN: lsn, SnapSize: size,
+		}); err != nil {
+			return
+		}
+		offset += int64(n)
+		if m := l.opt.Metrics; m != nil {
+			m.SnapshotBytes.Add(uint64(n))
+		}
+	}
+	// Zero-length snapshots still need the follower to learn SnapLSN
+	// and SnapSize; send one empty terminal chunk.
+	if size == 0 {
+		_, _ = mq.WriteReplFrame(nc, &mq.ReplFrame{
+			Op: mq.ReplOpSnapChunk, SnapLSN: lsn, SnapSize: 0,
+		})
 	}
 }
 

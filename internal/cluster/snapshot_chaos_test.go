@@ -1,0 +1,361 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/urbancivics/goflow/internal/cluster"
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/faults"
+	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/storage"
+	"github.com/urbancivics/goflow/internal/wal"
+)
+
+// dumpEngine renders an engine's entire document state canonically:
+// one JSON line per doc, prefixed by its collection, sorted. Two
+// engines with identical logical state produce byte-identical dumps
+// regardless of iteration or arrival order (gob snapshots themselves
+// are not byte-stable, so state equality is asserted here instead).
+func dumpEngine(t *testing.T, eng storage.Engine) string {
+	t.Helper()
+	var lines []string
+	for _, col := range eng.Collections() {
+		docs, err := eng.FindContext(t.Context(), col, nil, docstore.FindOptions{})
+		if err != nil {
+			t.Fatalf("dump %s: %v", col, err)
+		}
+		for _, d := range docs {
+			data, err := json.Marshal(d) // map marshal sorts keys
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines = append(lines, col+"\t"+string(data))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// openSnapShard opens a Local tuned for truncation-heavy snapshot
+// tests: every flush seals a WAL segment, so a checkpoint can actually
+// drop history.
+func openSnapShard(t testing.TB, dir string) *storage.Local {
+	t.Helper()
+	l, err := storage.OpenLocal(storage.LocalOptions{
+		WALDir:       dir,
+		Policy:       wal.FsyncGrouped,
+		NoAttach:     true,
+		SegmentBytes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSnapshotRejoinAfterTruncation: a follower that was offline while
+// the leader checkpointed past its position cannot catch up from the
+// log — it must bootstrap from a snapshot transfer, then resume
+// tailing, and end byte-identical to a follower that replicated every
+// record live.
+func TestSnapshotRejoinAfterTruncation(t *testing.T) {
+	dir := t.TempDir()
+	mts := cluster.NewMetrics(obs.NewRegistry())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldr, err := cluster.NewLeader(openSnapShard(t, filepath.Join(dir, "leader")), ln, cluster.LeaderOptions{
+		Heartbeat:    25 * time.Millisecond,
+		AckRetention: 100 * time.Millisecond,
+		Metrics:      mts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ldr.Close() }()
+
+	for i := 0; i < 200; i++ {
+		if _, err := ldr.Insert("obs", storage.Doc{"device": fmt.Sprintf("d%d", i%7), "seq": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fdir := filepath.Join(dir, "laggard")
+	f1, err := cluster.StartFollower(openSnapShard(t, fdir), cluster.FollowerOptions{
+		Name: "laggard", Addr: ldr.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, f1, ldr.WAL().LastLSN())
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// History moves on while the follower is down; its ack entry
+	// expires, so the checkpoint is free to truncate its tail away.
+	for i := 200; i < 400; i++ {
+		if _, err := ldr.Insert("obs", storage.Doc{"device": "late", "seq": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(150 * time.Millisecond) // > AckRetention: the laggard's bound expires
+	if err := ldr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Prove the log really is gone below the checkpoint — otherwise
+	// this test would silently degrade into a plain catch-up.
+	if _, err := ldr.WAL().ReadFrom(201, 10, 1<<20); err == nil {
+		t.Fatal("leader retained the laggard's tail; checkpoint did not truncate")
+	}
+
+	f2, err := cluster.StartFollower(openSnapShard(t, fdir), cluster.FollowerOptions{
+		Name: "laggard", Addr: ldr.Addr(), Metrics: mts, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f2.Close() }()
+	waitCaughtUp(t, f2, ldr.WAL().LastLSN())
+	if mts.SnapshotRestores.Value() == 0 {
+		t.Fatal("rejoin did not go through a snapshot bootstrap")
+	}
+	if mts.SnapshotBytes.Value() == 0 {
+		t.Fatal("leader served no snapshot bytes")
+	}
+
+	// The log tail above the snapshot still ships normally.
+	for i := 400; i < 430; i++ {
+		if _, err := ldr.Insert("obs", storage.Doc{"device": "tail", "seq": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, f2, ldr.WAL().LastLSN())
+	if n, err := f2.Engine().CountContext(t.Context(), "obs", nil); err != nil || n != 430 {
+		t.Fatalf("rejoined replica count = %d, %v; want 430", n, err)
+	}
+
+	// Byte-equality against a follower that never missed a record.
+	fresh, err := cluster.StartFollower(openSnapShard(t, filepath.Join(dir, "fresh")), cluster.FollowerOptions{
+		Name: "fresh", Addr: ldr.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fresh.Close() }()
+	waitCaughtUp(t, fresh, ldr.WAL().LastLSN())
+	if got, want := dumpEngine(t, f2.Engine()), dumpEngine(t, fresh.Engine()); got != want {
+		t.Fatalf("snapshot-rejoined state differs from fresh replica:\nrejoined %d bytes, fresh %d bytes", len(got), len(want))
+	}
+}
+
+// snoopConn records everything the follower writes, so the test can
+// read the resume offset straight off the wire.
+type snoopConn struct {
+	net.Conn
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (c *snoopConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	c.buf.Write(b)
+	c.mu.Unlock()
+	return c.Conn.Write(b)
+}
+
+// sentFrames parses the captured stream back into replication frames.
+func sentFrames(t *testing.T, mu *sync.Mutex, buf *bytes.Buffer) []*mq.ReplFrame {
+	t.Helper()
+	mu.Lock()
+	data := append([]byte(nil), buf.Bytes()...)
+	mu.Unlock()
+	var frames []*mq.ReplFrame
+	for len(data) >= 4 {
+		n := int(binary.BigEndian.Uint32(data[:4]))
+		if len(data) < 4+n {
+			break
+		}
+		var f mq.ReplFrame
+		if err := json.Unmarshal(data[4:4+n], &f); err != nil {
+			t.Fatalf("snooped frame: %v", err)
+		}
+		frames = append(frames, &f)
+		data = data[4+n:]
+	}
+	return frames
+}
+
+// TestSnapshotTransferInterruptedResume is the seeded torn-transfer
+// chaos test: a follower bootstrapping from a leader snapshot dies
+// mid-download at a seed-chosen byte (torn staging write), restarts,
+// and must resume the transfer from the staged offset — not from zero
+// — then converge to a state byte-identical to a replica that never
+// crashed. The resume is asserted on the wire: the restarted
+// follower's snapshot request carries exactly the staged byte count.
+func TestSnapshotTransferInterruptedResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test; skipped in -short")
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			mts := cluster.NewMetrics(obs.NewRegistry())
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ldr, err := cluster.NewLeader(openSnapShard(t, filepath.Join(dir, "leader")), ln, cluster.LeaderOptions{
+				Heartbeat:      25 * time.Millisecond,
+				SnapChunkBytes: 4096,
+				Metrics:        mts,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = ldr.Close() }()
+
+			// Enough payload that the snapshot spans many chunks.
+			for i := 0; i < 300; i++ {
+				if _, err := ldr.Insert("obs", storage.Doc{
+					"device": fmt.Sprintf("dev-%03d", i%11),
+					"seq":    i,
+					"note":   strings.Repeat("x", 64),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Checkpoint with no followers known: the whole log below the
+			// snapshot is dropped, so any joiner must transfer.
+			if err := ldr.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			st, err := os.Stat(ldr.SnapshotPath())
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := int(st.Size())
+			// A log tail above the snapshot, so the rejoin also proves the
+			// snapshot-then-tail handoff.
+			for i := 300; i < 320; i++ {
+				if _, err := ldr.Insert("obs", storage.Doc{"device": "tail", "seq": i}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Attempt 1: tear the staging write at a seed-chosen byte in
+			// the second half of the transfer, then "crash" the follower
+			// before it can retry.
+			budget := size/2 + int(seed*997)%(size/2-1)
+			fdir := filepath.Join(dir, "joiner")
+			// The first transfer attempt tears at the seeded byte; every
+			// retry before the "crash" lands fails its first write, so the
+			// stage is frozen exactly at the tear point until the restart.
+			attempts := 0
+			f1, err := cluster.StartFollower(openSnapShard(t, fdir), cluster.FollowerOptions{
+				Name: "joiner", Addr: ldr.Addr(),
+				RetryInterval: 25 * time.Millisecond,
+				WrapSnapshot: func(w io.Writer) io.Writer {
+					attempts++
+					if attempts == 1 {
+						return faults.NewWriter(w, budget)
+					}
+					return faults.NewWriter(w, 0)
+				},
+				Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			staging := filepath.Join(fdir, filepath.Base(ldr.SnapshotPath())+".incoming")
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if st, err := os.Stat(staging); err == nil && st.Size() >= int64(budget) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("torn transfer never staged %d bytes", budget)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if err := f1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st, err = os.Stat(staging)
+			if err != nil {
+				t.Fatal(err)
+			}
+			staged := st.Size()
+			if staged <= 0 || staged >= int64(size) {
+				t.Fatalf("staged %d bytes of %d; tear did not land mid-transfer", staged, size)
+			}
+
+			// Attempt 2: restart on the same directory, snooping the wire.
+			var mu sync.Mutex
+			var sent bytes.Buffer
+			f2, err := cluster.StartFollower(openSnapShard(t, fdir), cluster.FollowerOptions{
+				Name: "joiner", Addr: ldr.Addr(), Metrics: mts, Logf: t.Logf,
+				Dial: func(addr string) (net.Conn, error) {
+					nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+					if err != nil {
+						return nil, err
+					}
+					return &snoopConn{Conn: nc, mu: &mu, buf: &sent}, nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = f2.Close() }()
+			waitCaughtUp(t, f2, ldr.WAL().LastLSN())
+			if mts.SnapshotRestores.Value() != 1 {
+				t.Fatalf("snapshot restores = %d, want 1", mts.SnapshotRestores.Value())
+			}
+
+			// The restarted follower asked the leader to resume at the
+			// staged offset — the torn bytes were never re-transferred.
+			resumed := false
+			for _, f := range sentFrames(t, &mu, &sent) {
+				if f.Op == mq.ReplOpSnap {
+					if f.Offset != staged {
+						t.Fatalf("snapshot request offset = %d, want staged %d", f.Offset, staged)
+					}
+					resumed = true
+				}
+			}
+			if !resumed {
+				t.Fatal("restarted follower never sent a snapshot request")
+			}
+
+			// Converged, and byte-identical to a replica that never tore.
+			if n, err := f2.Engine().CountContext(t.Context(), "obs", nil); err != nil || n != 320 {
+				t.Fatalf("rejoined replica count = %d, %v; want 320", n, err)
+			}
+			fresh, err := cluster.StartFollower(openSnapShard(t, filepath.Join(dir, "fresh")), cluster.FollowerOptions{
+				Name: "fresh", Addr: ldr.Addr(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = fresh.Close() }()
+			waitCaughtUp(t, fresh, ldr.WAL().LastLSN())
+			if got, want := dumpEngine(t, f2.Engine()), dumpEngine(t, fresh.Engine()); got != want {
+				t.Fatalf("torn-and-resumed state differs from fresh replica:\nrejoined %d bytes, fresh %d bytes", len(got), len(want))
+			}
+		})
+	}
+}

@@ -89,6 +89,21 @@ func (c *Collection) snapshot() collectionSnapshot {
 // Restore loads a snapshot into the store, replacing any same-named
 // collections.
 func (s *Store) Restore(r io.Reader) error {
+	return s.restore(r, false)
+}
+
+// RestoreExact loads a snapshot into the store and makes the store
+// exactly the snapshot: collections not present in the snapshot are
+// dropped, not merged around. It is the restore a replication follower
+// uses when bootstrapping from a leader checkpoint — local state is
+// untrusted, the snapshot is the whole truth. Ingest observers
+// installed via SetIngestObserver survive (they are store-level, keyed
+// by collection name).
+func (s *Store) RestoreExact(r io.Reader) error {
+	return s.restore(r, true)
+}
+
+func (s *Store) restore(r io.Reader, exact bool) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("decode snapshot: %w", err)
@@ -98,6 +113,9 @@ func (s *Store) Restore(r io.Reader) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if exact {
+		s.collections = make(map[string]*Collection, len(snap.Collections))
+	}
 	for _, cs := range snap.Collections {
 		c := newCollection(cs.Name, s)
 		c.order = make([]string, len(cs.Order))

@@ -10,8 +10,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
-	"net/url"
 	"net/textproto"
+	"net/url"
 	"runtime"
 	"strings"
 	"sync"

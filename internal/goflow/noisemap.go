@@ -30,8 +30,8 @@ import (
 type NoiseStats struct {
 	Zone   string  `json:"zone"`
 	Count  uint64  `json:"count"`
-	LAeq   float64 `json:"laeq"`   // energetic mean, the acoustics standard
-	Mean   float64 `json:"mean"`   // arithmetic mean dB
+	LAeq   float64 `json:"laeq"` // energetic mean, the acoustics standard
+	Mean   float64 `json:"mean"` // arithmetic mean dB
 	Min    float64 `json:"min"`
 	Max    float64 `json:"max"`
 	Stddev float64 `json:"stddev"`

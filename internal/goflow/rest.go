@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/urbancivics/goflow/internal/cluster"
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/obs"
@@ -98,9 +99,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 var ErrPayloadTooLarge = errors.New("goflow: payload too large")
 
 // writeErr maps domain errors to HTTP statuses.
+// notLeaderHeaders reports whether err means this replica cannot take
+// the write — an unpromoted follower, or a fenced ex-leader
+// (ErrStaleTerm wrapped underneath) — and if so sets the redirect
+// headers. The condition is temporary by design: failover elects a
+// successor within a few lease TTLs, so the client is told to retry,
+// and when the node knows who leads now, where.
+func notLeaderHeaders(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, cluster.ErrNotLeader) {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	var notLeader *cluster.NotLeaderError
+	if errors.As(err, &notLeader) {
+		if hint := notLeader.Hint(); hint != "" {
+			w.Header().Set("X-Leader-Hint", hint)
+		}
+	}
+	return true
+}
+
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
+	case notLeaderHeaders(w, err):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrAppNotFound), errors.Is(err, ErrClientNotFound), errors.Is(err, ErrJobNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrAppExists):
@@ -262,8 +285,14 @@ func (h *apiHandler) ingestObservations(w http.ResponseWriter, r *http.Request) 
 	}
 	stored, err := h.server.BulkIngest(appID, req.ClientID, req.Observations)
 	if err != nil {
-		// The valid prefix is stored; report both.
-		writeJSON(w, http.StatusBadRequest, map[string]any{
+		// The valid prefix is stored; report both. A not-leader
+		// refusal keeps its retry semantics here too — 503 plus the
+		// leader hint — instead of masquerading as a bad request.
+		status := http.StatusBadRequest
+		if notLeaderHeaders(w, err) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
 			"error":  err.Error(),
 			"stored": stored,
 		})

@@ -3,12 +3,18 @@ package goflow
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"github.com/urbancivics/goflow/internal/cluster"
+	"github.com/urbancivics/goflow/internal/docstore"
+	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/sensing"
+	"github.com/urbancivics/goflow/internal/storage"
 )
 
 func newAPI(t *testing.T) (*Server, *httptest.Server) {
@@ -222,5 +228,129 @@ func TestRESTAnalyticsAndJobs(t *testing.T) {
 		submitJobRequest{Name: "nope"}, "X-App-Secret", app.Secret)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown job name = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRESTNotLeaderMapping: writes routed to a node that cannot take
+// them — an unpromoted follower or a fenced ex-leader — surface as 503
+// with a Retry-After and, when the node knows who leads, an
+// X-Leader-Hint for redirect-following clients. The condition is
+// transient by design (failover elects a successor within a few lease
+// TTLs), so it must never map to a 500.
+func TestRESTNotLeaderMapping(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		wantStatus int
+		wantHint   string
+		wantRetry  bool
+	}{
+		{
+			name:       "follower with leader hint",
+			err:        &cluster.NotLeaderError{Leader: "n2", Addr: "10.0.0.2:7600"},
+			wantStatus: http.StatusServiceUnavailable,
+			wantHint:   "10.0.0.2:7600",
+			wantRetry:  true,
+		},
+		{
+			name:       "follower with name-only hint",
+			err:        &cluster.NotLeaderError{Leader: "n2"},
+			wantStatus: http.StatusServiceUnavailable,
+			wantHint:   "n2",
+			wantRetry:  true,
+		},
+		{
+			name:       "fenced ex-leader (stale term)",
+			err:        &cluster.NotLeaderError{Leader: "n3", Addr: "10.0.0.3:7600", Err: cluster.ErrStaleTerm},
+			wantStatus: http.StatusServiceUnavailable,
+			wantHint:   "10.0.0.3:7600",
+			wantRetry:  true,
+		},
+		{
+			name:       "bare ErrNotLeader without hint",
+			err:        cluster.ErrNotLeader,
+			wantStatus: http.StatusServiceUnavailable,
+			wantRetry:  true,
+		},
+		{
+			name:       "wrapped in ingest context",
+			err:        fmt.Errorf("insert %q: commit log: %w", "obs", &cluster.NotLeaderError{Addr: "10.0.0.4:7600", Err: cluster.ErrStaleTerm}),
+			wantStatus: http.StatusServiceUnavailable,
+			wantHint:   "10.0.0.4:7600",
+			wantRetry:  true,
+		},
+		{
+			name:       "unrelated error stays 500",
+			err:        errors.New("disk on fire"),
+			wantStatus: http.StatusInternalServerError,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			writeErr(rec, tc.err)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.wantStatus)
+			}
+			if got := rec.Header().Get("X-Leader-Hint"); got != tc.wantHint {
+				t.Fatalf("X-Leader-Hint = %q, want %q", got, tc.wantHint)
+			}
+			if got := rec.Header().Get("Retry-After") != ""; got != tc.wantRetry {
+				t.Fatalf("Retry-After present = %v, want %v", got, tc.wantRetry)
+			}
+			var body map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+				t.Fatalf("error body = %q (%v)", rec.Body.String(), err)
+			}
+		})
+	}
+}
+
+// fencedEngine refuses writes the way a deposed cluster leader does,
+// so the bulk-ingest route can be tested end to end without a group.
+type fencedEngine struct{ storage.Engine }
+
+func (fencedEngine) Insert(string, storage.Doc) (string, error) {
+	return "", &cluster.NotLeaderError{Leader: "n2", Addr: "10.0.0.2:7600", Err: cluster.ErrStaleTerm}
+}
+
+func (fencedEngine) InsertMany(string, []storage.Doc) ([]string, error) {
+	return nil, &cluster.NotLeaderError{Leader: "n2", Addr: "10.0.0.2:7600", Err: cluster.ErrStaleTerm}
+}
+
+// The bulk-ingest route has its own error path (it reports the stored
+// prefix alongside the error), so the not-leader mapping must hold
+// there too — not just in writeErr.
+func TestRESTBulkIngestNotLeader(t *testing.T) {
+	broker := mq.NewBroker()
+	t.Cleanup(broker.Close)
+	server, err := NewServer(ServerConfig{Broker: broker, Data: fencedEngine{storage.NewLocal(docstore.NewStore())}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	if _, err := server.RegisterApp("SC", "SoundCity", DataPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(server))
+	t.Cleanup(ts.Close)
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/apps/SC/observations", map[string]any{
+		"clientId": "c1",
+		"observations": []map[string]any{
+			{"userId": "u1", "spl": 61.5, "sensedAt": time.Now().UTC().Format(time.RFC3339)},
+		},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %v)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Leader-Hint"); got != "10.0.0.2:7600" {
+		t.Fatalf("X-Leader-Hint = %q", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After")
+	}
+	if stored, ok := body["stored"].(float64); !ok || stored != 0 {
+		t.Fatalf("stored = %v, want 0", body["stored"])
 	}
 }

@@ -31,6 +31,46 @@ const (
 	ReplOpFetch = "repl-fetch"
 	ReplOpBatch = "repl-batch"
 	ReplOpError = "repl-error"
+
+	// Election ops. A candidate requests votes from every peer; a peer
+	// answers with its term and whether the vote was granted. Ping is
+	// the leadership probe/announcement: any node answers with its term
+	// and who it believes leads.
+	ReplOpVote     = "repl-vote"
+	ReplOpVoteResp = "repl-vote-resp"
+	ReplOpPing     = "repl-ping"
+	ReplOpPingResp = "repl-ping-resp"
+
+	// Snapshot-transfer ops. A follower whose fetch position precedes
+	// the leader's retained log requests the leader's latest checkpoint
+	// chunk by chunk, resumable at any byte offset.
+	ReplOpSnap      = "repl-snap"
+	ReplOpSnapChunk = "repl-snap-chunk"
+)
+
+// Error codes carried by ReplOpError frames, so followers can react to
+// the failure class instead of parsing message strings.
+const (
+	// ReplErrNotLeader: the node is not the leader; LeaderName /
+	// LeaderAddr, when set, hint where to re-dial.
+	ReplErrNotLeader = "not-leader"
+	// ReplErrStaleTerm: the peer has observed a higher term than the
+	// frame carried; Term is the higher term.
+	ReplErrStaleTerm = "stale-term"
+	// ReplErrTruncated: the requested fetch position precedes the
+	// leader's retained log — the follower must bootstrap from a
+	// snapshot (SnapLSN is the LSN the leader's checkpoint covers).
+	ReplErrTruncated = "truncated"
+	// ReplErrDiverged: the follower's log is ahead of the leader's —
+	// a deposed leader's unacknowledged tail. The follower must
+	// discard its log and bootstrap from a snapshot.
+	ReplErrDiverged = "diverged"
+	// ReplErrCorrupt: a sealed WAL segment on the serving side is
+	// damaged; Segment and Offset localize the first bad frame.
+	ReplErrCorrupt = "corrupt"
+	// ReplErrNoSnapshot: a snapshot was requested but the leader has
+	// none to serve.
+	ReplErrNoSnapshot = "no-snapshot"
 )
 
 // ReplRecord is one WAL record in flight: the leader's LSN, the record
@@ -46,6 +86,47 @@ type ReplRecord struct {
 type ReplFrame struct {
 	Op    string `json:"op"`
 	Error string `json:"error,omitempty"`
+	// Code classifies an error frame (see the ReplErr constants); ""
+	// on non-error frames and on errors older peers produced.
+	Code string `json:"code,omitempty"`
+
+	// Term is the election term of the sender's world view. Leaders
+	// stamp it on hello and batch frames; followers echo it on fetch,
+	// which is how a deposed leader learns it has been superseded.
+	Term uint64 `json:"term,omitempty"`
+	// Candidate / LastLSN / Granted carry the vote exchange: the
+	// candidate's name and highest durable LSN, and the voter's
+	// decision. PreVote marks a non-binding poll — the voter answers
+	// as if the term were real but persists nothing and keeps its
+	// vote, so an isolated node cannot inflate the group's term by
+	// campaigning into a void.
+	// Forced marks an operator-initiated candidacy (manual override):
+	// voters skip the leader-stickiness lease check but still refuse
+	// any candidate whose log is behind their own.
+	Candidate string `json:"candidate,omitempty"`
+	LastLSN   uint64 `json:"lastLsn,omitempty"`
+	Granted   bool   `json:"granted,omitempty"`
+	PreVote   bool   `json:"preVote,omitempty"`
+	Forced    bool   `json:"forced,omitempty"`
+	// LeaderName / LeaderAddr identify the leader the sender believes
+	// in (ping announcements, not-leader redirects).
+	LeaderName string `json:"leaderName,omitempty"`
+	LeaderAddr string `json:"leaderAddr,omitempty"`
+
+	// Snapshot transfer: Offset is the requested/served byte offset,
+	// Data one chunk of the checkpoint stream, CRC its CRC-32C,
+	// SnapLSN the LSN the snapshot covers, and SnapSize the full
+	// snapshot size (so the follower knows when it is done and can
+	// detect the leader checkpointing a newer snapshot mid-transfer).
+	Offset   int64  `json:"offset,omitempty"`
+	Data     []byte `json:"data,omitempty"`
+	CRC      uint32 `json:"crc,omitempty"`
+	SnapLSN  uint64 `json:"snapLsn,omitempty"`
+	SnapSize int64  `json:"snapSize,omitempty"`
+
+	// Segment localizes a ReplErrCorrupt error (Offset doubles as the
+	// byte offset of the first bad frame).
+	Segment string `json:"segment,omitempty"`
 
 	// Shard identifies the shard stream in hello frames.
 	Shard int `json:"shard,omitempty"`

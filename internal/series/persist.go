@@ -251,6 +251,35 @@ func (db *DB) CheckpointVia(wrap func(io.Writer) io.Writer) error {
 	return nil
 }
 
+// ResetTo discards every chunk, rollup and persisted file and restarts
+// the DB empty with its watermark at lsn. It is the series half of a
+// snapshot bootstrap: the follower's local view is superseded by the
+// leader checkpoint, whose store contents are re-fed through the
+// backfill scan (at LSN 0) after the reset, and whose log tail resumes
+// above lsn. The manifest is deleted before the data files so a crash
+// mid-reset leaves a fresh-looking directory, never a manifest
+// referencing deleted chunks.
+func (db *DB) ResetTo(lsn uint64) error {
+	if db.opts.Dir != "" {
+		if err := os.Remove(filepath.Join(db.opts.Dir, manifestName)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("series: reset manifest: %w", err)
+		}
+		if d, err := os.Open(db.opts.Dir); err == nil {
+			_ = d.Sync()
+			_ = d.Close()
+		}
+		sweepStrays(db.opts.Dir, nil)
+	}
+	db.mu.Lock()
+	db.parts = make(map[int64]*partition)
+	db.rollups = make(map[string]map[int64]*Agg)
+	db.watermark = lsn
+	db.retentionFloor = 0
+	db.points = 0
+	db.mu.Unlock()
+	return nil
+}
+
 // sweepStrays removes files under dir that the manifest does not
 // reference: temp files and half-written chunks of an interrupted
 // checkpoint, rollup files of previous epochs, chunk files dropped by

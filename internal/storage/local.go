@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/urbancivics/goflow/internal/docstore"
@@ -41,6 +42,12 @@ type Local struct {
 	// acknowledged LSN so a lagging follower can always catch up from
 	// the log instead of needing a snapshot transfer.
 	truncateBound func() uint64
+
+	// snapLSN is the highest LSN the published snapshot covers,
+	// mirrored in the snapshot.gob.lsn sidecar (see snapshot.go). It is
+	// what a leader advertises when a follower needs a snapshot
+	// transfer instead of log catch-up.
+	snapLSN atomic.Uint64
 }
 
 // LocalOptions configure OpenLocal.
@@ -94,6 +101,7 @@ func OpenLocal(opts LocalOptions) (*Local, error) {
 		default:
 			return nil, fmt.Errorf("storage: load snapshot: %w", err)
 		}
+		l.loadSnapLSN()
 	}
 	// Open the series view before WAL replay so the ingest observer
 	// can re-feed it the log tail in LSN order. Two bootstrap shapes:
@@ -256,6 +264,13 @@ func (l *Local) Checkpoint() error {
 		return fmt.Errorf("storage: wal rotate: %w", err)
 	}
 	if err := l.store.SaveFile(l.snapshotPath); err != nil {
+		return err
+	}
+	// Publish the coverage sidecar before the truncation: the snapshot
+	// covers every record below the rotation cut, and a crash landing
+	// between snapshot and sidecar only leaves the claim stale-low,
+	// which replay idempotence absorbs (see snapshot.go).
+	if err := l.saveSnapLSN(cut - 1); err != nil {
 		return err
 	}
 	// The series checkpoints after the snapshot and before the

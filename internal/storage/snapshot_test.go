@@ -1,0 +1,106 @@
+package storage_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/urbancivics/goflow/internal/storage"
+	"github.com/urbancivics/goflow/internal/wal"
+)
+
+// TestSnapshotExportImport proves the transfer seam end to end: a
+// leader-side export carries a coverage LSN, and an import replaces
+// the target engine's whole state — store contents, WAL numbering and
+// a stale collection the snapshot does not have.
+func TestSnapshotExportImport(t *testing.T) {
+	src, err := storage.OpenLocal(storage.LocalOptions{
+		WALDir: filepath.Join(t.TempDir(), "wal"),
+		Policy: wal.FsyncNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < 25; i++ {
+		if _, err := src.Insert("obs", storage.Doc{"seq": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f, lsn, size, err := src.ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if lsn != 25 {
+		t.Fatalf("export covers lsn %d, want 25", lsn)
+	}
+	if size <= 0 {
+		t.Fatalf("export size %d", size)
+	}
+	if got := src.CheckpointLSN(); got != lsn {
+		t.Fatalf("CheckpointLSN %d != export lsn %d", got, lsn)
+	}
+
+	dstDir := filepath.Join(t.TempDir(), "wal")
+	dst, err := storage.OpenLocal(storage.LocalOptions{WALDir: dstDir, Policy: wal.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	// Divergent local state the import must wipe.
+	if _, err := dst.Insert("stale", storage.Doc{"junk": true}); err != nil {
+		t.Fatal(err)
+	}
+
+	staging := filepath.Join(dstDir, "snapshot.incoming")
+	out, err := os.Create(staging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(out, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportSnapshot(staging, lsn); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := dst.CountContext(t.Context(), "obs", nil); err != nil || n != 25 {
+		t.Fatalf("imported obs count = %d (%v), want 25", n, err)
+	}
+	for _, col := range dst.Collections() {
+		if col == "stale" {
+			t.Fatal("import kept a collection the snapshot does not have")
+		}
+	}
+	if got := dst.WAL().LastLSN(); got != lsn {
+		t.Fatalf("wal after import at lsn %d, want %d", got, lsn)
+	}
+	// The next local write numbers from the snapshot watermark.
+	if _, err := dst.Insert("obs", storage.Doc{"seq": 25}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.WAL().LastLSN(); got != lsn+1 {
+		t.Fatalf("first post-import append at lsn %d, want %d", got, lsn+1)
+	}
+	// The coverage sidecar survives reopen.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := storage.OpenLocal(storage.LocalOptions{WALDir: dstDir, Policy: wal.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.CheckpointLSN(); got != lsn {
+		t.Fatalf("CheckpointLSN after reopen = %d, want %d", got, lsn)
+	}
+	if n, _ := re.CountContext(t.Context(), "obs", nil); n != 26 {
+		t.Fatalf("docs after reopen = %d, want 26", n)
+	}
+}

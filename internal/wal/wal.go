@@ -832,6 +832,65 @@ func (w *WAL) TruncateBefore(lsn uint64) (int, error) {
 	return n, nil
 }
 
+// Reset discards the entire log and restarts numbering at next: every
+// segment (sealed and active) is deleted and a fresh active segment
+// whose first LSN is next is created, so LastLSN and DurableLSN become
+// next-1. It is the log half of restoring a snapshot that covers LSNs
+// below next — the local history is untrusted (divergent or simply
+// absent) and the snapshot supersedes it. Reset refuses to run with
+// appends pending or after a failure or Close; the caller must
+// quiesce writers first.
+func (w *WAL) Reset(next uint64) error {
+	if next == 0 {
+		return fmt.Errorf("wal: reset to lsn 0 (first assignable LSN is 1)")
+	}
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	w.mu.Lock()
+	switch {
+	case w.failed != nil:
+		err := w.failed
+		w.mu.Unlock()
+		return err
+	case w.closed:
+		w.mu.Unlock()
+		return ErrClosed
+	case len(w.waiters) > 0 || len(w.buf) > 0:
+		w.mu.Unlock()
+		return fmt.Errorf("wal: reset with appends pending")
+	}
+	w.mu.Unlock()
+
+	if err := w.seg.close(); err != nil {
+		err = fmt.Errorf("wal: close active segment for reset: %w", err)
+		w.fail(err)
+		return err
+	}
+	for _, s := range append(append([]segInfo(nil), w.sealed...), w.seg.info()) {
+		if err := os.Remove(s.path); err != nil {
+			err = fmt.Errorf("wal: remove segment for reset: %w", err)
+			w.fail(err)
+			return err
+		}
+	}
+	w.sealed = nil
+	seg, err := createSegment(w.dir, next, w.opt.WrapSegment)
+	if err != nil {
+		w.fail(err)
+		return err
+	}
+	w.seg = seg
+	if err := syncDir(w.dir); err != nil {
+		w.fail(err)
+		return err
+	}
+	w.mu.Lock()
+	w.lsn = next - 1
+	w.mu.Unlock()
+	w.advanceDurable(next - 1)
+	return nil
+}
+
 // Replay streams every record in the log, sealed segments first, in
 // strictly contiguous LSN order. It must run before the first Append —
 // typically straight after Open. fn's payload aliases an internal
