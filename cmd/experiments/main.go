@@ -28,7 +28,7 @@ func run() error {
 	scale := flag.Float64("scale", 0.01, "fraction of the published 23M-observation study to simulate")
 	seed := flag.Int64("seed", 42, "random seed")
 	only := flag.String("only", "", "comma-separated experiment ids to print (default all)")
-	extensions := flag.Bool("extensions", true, "also run the Section 8 future-work experiments (ext1-ext3)")
+	extensions := flag.Bool("extensions", true, "also run the Section 8 future-work experiments (ext1-ext4)")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
 	flag.Parse()
 

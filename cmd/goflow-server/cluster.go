@@ -41,6 +41,7 @@ import (
 	"github.com/urbancivics/goflow/internal/goflow"
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/predict"
 	"github.com/urbancivics/goflow/internal/soundcity"
 	"github.com/urbancivics/goflow/internal/storage"
 	"github.com/urbancivics/goflow/internal/wal"
@@ -71,6 +72,11 @@ type clusterConfig struct {
 	// live parameterizes the push-subscription hub (same flags as the
 	// single-node path).
 	live goflow.LiveConfig
+	// predict enables the forecasting subsystem (nil = off); the
+	// Router merges per-shard rollups before fitting, so cluster
+	// forecasts equal the forecasts over the merged data.
+	predict          *predict.Config
+	forecastInterval time.Duration
 }
 
 // clusterMode reports whether any cluster flag was used.
@@ -268,9 +274,10 @@ func runCluster(cfg clusterConfig) error {
 	}
 
 	server, err := goflow.NewServer(goflow.ServerConfig{
-		Broker: broker,
-		Data:   data,
-		Live:   cfg.live,
+		Broker:  broker,
+		Data:    data,
+		Live:    cfg.live,
+		Predict: cfg.predict,
 	})
 	if err != nil {
 		_ = data.Close()
@@ -313,6 +320,10 @@ func runCluster(cfg clusterConfig) error {
 			return fmt.Errorf("start ingest: %w", err)
 		}
 	}
+	// Forecasting is a rollup read, so it runs in every role: a leader
+	// forecasts over its shards' merged rollups, a replica over its
+	// replicated view.
+	stopForecasts := startForecasts(server, broker, cfg.forecastInterval)
 
 	// Checkpoints go through the engine: a Local rotates + snapshots +
 	// truncates, a Router fans out to every shard, and a replicated
@@ -437,6 +448,7 @@ loop:
 	if err := server.ShutdownContext(ctx); err != nil {
 		fmt.Printf("goflow-server: ingest drain: %v\n", err)
 	}
+	stopForecasts()
 	mqServer.Close()
 	close(stopSnapshots)
 	snapshotWG.Wait()

@@ -23,10 +23,18 @@
 // scanning documents. -rollup-interval sets the rollup bucket width
 // and -retention lets checkpoints age raw chunks out while the
 // rollups keep the full history.
+//
+// Forecasting: -predict fits per-zone exposure forecasts over the
+// series rollups (requires -series) and serves them on
+// /v1/zones/{zone}/forecast, /v1/noisemap/forecast and
+// /sc/quiet-route. -forecast-horizon sets the lead time and
+// -forecast-interval the background sweep cadence; each sweep
+// announces zones forecast into the "high" health band on the broker.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,6 +49,7 @@ import (
 	"github.com/urbancivics/goflow/internal/goflow"
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/predict"
 	"github.com/urbancivics/goflow/internal/series"
 	"github.com/urbancivics/goflow/internal/soundcity"
 	"github.com/urbancivics/goflow/internal/storage"
@@ -72,6 +81,9 @@ func run() error {
 	seriesOn := flag.Bool("series", false, "maintain the time-partitioned series view: compressed chunks plus continuous per-zone rollups that answer noise analytics in microseconds (persisted under <wal-dir>/series when a WAL is configured, memory-only otherwise)")
 	retention := flag.Duration("retention", 0, "series raw-data horizon: checkpoints drop chunks wholly older than this while rollups keep the full history (0 = keep raw data forever)")
 	rollupInterval := flag.Duration("rollup-interval", 5*time.Minute, "series rollup bucket width (requires -series)")
+	predictOn := flag.Bool("predict", false, "run the forecasting subsystem: per-zone T+horizon exposure forecasts fitted over the series rollups, served on /v1/zones/{zone}/forecast, /v1/noisemap/forecast and /sc/quiet-route (requires -series)")
+	forecastHorizon := flag.Duration("forecast-horizon", predict.DefaultHorizon, "forecast lead time (requires -predict)")
+	forecastInterval := flag.Duration("forecast-interval", time.Minute, "background forecast sweep period; each sweep refreshes the city forecast and announces zones predicted into the high health band on the broker (0 disables the background sweeps; requires -predict)")
 	liveBuffer := flag.Int("live-buffer", 256, "per-socket live mailbox capacity: events past it are dropped, the client catches up with ?cursor=")
 	liveSendBudget := flag.Duration("live-send-budget", 5*time.Second, "how long a live socket's mailbox may stay continuously full before the consumer is disconnected")
 	liveMaxSockets := flag.Int("live-max-sockets", 1024, "concurrent live push subscriptions (WebSocket + SSE)")
@@ -91,6 +103,14 @@ func run() error {
 		}}
 	}
 
+	var predictCfg *predict.Config
+	if *predictOn {
+		if seriesOpts == nil {
+			return errors.New("-predict needs the rollups the forecasts are fitted over: add -series")
+		}
+		predictCfg = &predict.Config{Horizon: *forecastHorizon}
+	}
+
 	if cfg := (clusterConfig{
 		mqAddr: *mqAddr, httpAddr: *httpAddr,
 		walDir: *walDir, fsyncPolicy: *fsyncPolicy,
@@ -99,6 +119,7 @@ func run() error {
 		election: *election, nodeName: *nodeName, leaseTTL: *leaseTTL,
 		snapshotInterval: *snapshotInterval, metricsInterval: *metricsInterval,
 		series: seriesOpts, live: liveCfg,
+		predict: predictCfg, forecastInterval: *forecastInterval,
 	}); cfg.clusterMode() {
 		return runCluster(cfg)
 	}
@@ -146,9 +167,10 @@ func run() error {
 	}
 
 	server, err := goflow.NewServer(goflow.ServerConfig{
-		Broker: broker,
-		Data:   local,
-		Live:   liveCfg,
+		Broker:  broker,
+		Data:    local,
+		Live:    liveCfg,
+		Predict: predictCfg,
 	})
 	if err != nil {
 		return fmt.Errorf("goflow server: %w", err)
@@ -190,6 +212,7 @@ func run() error {
 	if err := server.StartIngest(); err != nil {
 		return fmt.Errorf("start ingest: %w", err)
 	}
+	stopForecasts := startForecasts(server, broker, *forecastInterval)
 
 	// Operators can force a checkpoint through the background-job API;
 	// the interval loop below runs the same script on a timer.
@@ -280,6 +303,7 @@ func run() error {
 	if err := server.ShutdownContext(ctx); err != nil {
 		fmt.Printf("goflow-server: ingest drain: %v\n", err)
 	}
+	stopForecasts()
 	mqServer.Close()
 	close(stopSnapshots)
 	snapshotWG.Wait()
@@ -295,4 +319,33 @@ func run() error {
 		return fmt.Errorf("close engine: %w", err)
 	}
 	return nil
+}
+
+// startForecasts launches the background forecast scheduler and
+// returns its stop function (a no-op when forecasting is off or the
+// sweep interval is zero). Each sweep announces zones predicted into
+// the "high" health band on the SoundCity exchange under the
+// server-originated forecast key, so zone subscribers — the PR 8 live
+// feeds included — get pushed warnings about where it is about to get
+// loud.
+func startForecasts(server *goflow.Server, broker *mq.Broker, interval time.Duration) func() {
+	if server.Predict == nil || interval <= 0 {
+		return func() {}
+	}
+	sched := predict.NewScheduler(server.Predict, interval, func(fcs map[string]predict.Forecast) {
+		for zone, fc := range fcs {
+			if soundcity.BandOf(fc.ValueDB) < soundcity.BandHigh {
+				continue
+			}
+			body, err := json.Marshal(fc)
+			if err != nil {
+				continue
+			}
+			key := soundcity.AppID + ".server." + soundcity.DatatypeForecast + "." + zone
+			_, _ = broker.PublishAt(soundcity.AppID, key, nil, body, fc.GeneratedAt)
+		}
+	})
+	sched.Start()
+	fmt.Printf("goflow-server: forecasting every %v (horizon %v)\n", interval, server.Predict.Horizon())
+	return sched.Stop
 }

@@ -52,11 +52,19 @@ func ObservationsFromRollups(zones *geo.ZoneGrid, aggs map[string]series.Agg, si
 		if !ok {
 			continue
 		}
+		// A merged-empty or corrupt aggregate (Count > 0 with zero or
+		// non-finite energy) would put a -Inf/NaN observation into the
+		// analysis and poison the whole field. Skip it like an empty
+		// bucket: no data beats wrong data.
+		v := a.LAeq()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		sigma := sigma0 / math.Sqrt(float64(a.Count))
 		if sigma < sigmaFloorDB {
 			sigma = sigmaFloorDB
 		}
-		out = append(out, Observation{At: at, ValueDB: a.LAeq(), SigmaDB: sigma})
+		out = append(out, Observation{At: at, ValueDB: v, SigmaDB: sigma})
 	}
 	return out
 }

@@ -79,3 +79,36 @@ func TestObservationsFromRollupsNilInputs(t *testing.T) {
 		t.Fatalf("nil aggs: %+v", got)
 	}
 }
+
+func TestObservationsFromRollupsSkipsNonFinite(t *testing.T) {
+	zones := geo.ParisZones()
+	cases := []struct {
+		name string
+		agg  series.Agg
+		want int // observations surviving alongside one good zone
+	}{
+		{"good aggregate", rollupAgg(60, 62), 2},
+		{"zero count", series.Agg{}, 1},
+		{"zero energy with count", series.Agg{Count: 5, Sum: 300}, 1},     // LAeq = -Inf
+		{"NaN energy", series.Agg{Count: 5, Energy: math.NaN()}, 1},       // LAeq = NaN
+		{"negative energy", series.Agg{Count: 5, Energy: -1}, 1},          // LAeq = NaN
+		{"infinite energy", series.Agg{Count: 5, Energy: math.Inf(1)}, 1}, // LAeq = +Inf
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			aggs := map[string]series.Agg{
+				"FR75001": rollupAgg(55, 57), // always-good anchor zone
+				"FR75002": tc.agg,
+			}
+			obs := ObservationsFromRollups(zones, aggs, 4)
+			if len(obs) != tc.want {
+				t.Fatalf("want %d observations, got %d: %+v", tc.want, len(obs), obs)
+			}
+			for _, o := range obs {
+				if math.IsNaN(o.ValueDB) || math.IsInf(o.ValueDB, 0) {
+					t.Fatalf("non-finite observation leaked into the analysis: %+v", o)
+				}
+			}
+		})
+	}
+}

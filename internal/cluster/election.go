@@ -13,6 +13,7 @@ import (
 
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/series"
 	"github.com/urbancivics/goflow/internal/storage"
 	"github.com/urbancivics/goflow/internal/wal"
 )
@@ -1133,3 +1134,26 @@ func (e *nodeEngine) Stats(col string) docstore.Stats { return e.n.local.Stats(c
 func (e *nodeEngine) Checkpoint() error { return e.n.local.Checkpoint() }
 
 func (e *nodeEngine) Close() error { return e.n.Close() }
+
+// Series queries are reads and serve from the local replica's series
+// view, whichever role the node is in — same shape as followerEngine.
+
+func (e *nodeEngine) SeriesZoneAggregate(ctx context.Context, zone string, from, to time.Time) (series.Agg, bool, error) {
+	return e.n.local.SeriesZoneAggregate(ctx, zone, from, to)
+}
+
+func (e *nodeEngine) SeriesNoisemap(ctx context.Context, from, to time.Time) (map[string]series.Agg, bool, error) {
+	return e.n.local.SeriesNoisemap(ctx, from, to)
+}
+
+func (e *nodeEngine) SeriesStats() (series.Stats, bool) {
+	return e.n.local.SeriesStats()
+}
+
+func (e *nodeEngine) SeriesZoneBuckets(ctx context.Context, zone string, from, to time.Time) ([]series.Bucket, bool, error) {
+	return e.n.local.SeriesZoneBuckets(ctx, zone, from, to)
+}
+
+func (e *nodeEngine) SeriesAllBuckets(ctx context.Context, from, to time.Time) (map[string][]series.Bucket, bool, error) {
+	return e.n.local.SeriesAllBuckets(ctx, from, to)
+}

@@ -480,6 +480,14 @@ func (e *followerEngine) SeriesStats() (series.Stats, bool) {
 	return e.local.SeriesStats()
 }
 
+func (e *followerEngine) SeriesZoneBuckets(ctx context.Context, zone string, from, to time.Time) ([]series.Bucket, bool, error) {
+	return e.local.SeriesZoneBuckets(ctx, zone, from, to)
+}
+
+func (e *followerEngine) SeriesAllBuckets(ctx context.Context, from, to time.Time) (map[string][]series.Bucket, bool, error) {
+	return e.local.SeriesAllBuckets(ctx, from, to)
+}
+
 func (e *followerEngine) FindContext(ctx context.Context, col string, filter storage.Doc, opts docstore.FindOptions) ([]storage.Doc, error) {
 	return e.local.FindContext(ctx, col, filter, opts)
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 // coordination at ingest, only this merge at query time.
 
 var _ storage.SeriesQuerier = (*Router)(nil)
+var _ storage.RollupReader = (*Router)(nil)
 
 // SeriesZoneAggregate implements storage.SeriesQuerier: fan out,
 // merge the partial aggregates. The ok result is false when any shard
@@ -93,6 +95,86 @@ func (r *Router) SeriesNoisemap(ctx context.Context, from, to time.Time) (map[st
 		return nil, ok, err
 	}
 	return merged, true, nil
+}
+
+// SeriesZoneBuckets implements storage.RollupReader: each shard's
+// bucket series merged bucket-by-bucket. Shards are visited in fixed
+// index order — not the concurrent fan-out — so float summation order
+// inside each merged Agg is identical run to run and the forecaster
+// fitted over the result is bit-deterministic (the property the
+// cluster-merge forecast test pins).
+func (r *Router) SeriesZoneBuckets(ctx context.Context, zone string, from, to time.Time) ([]series.Bucket, bool, error) {
+	merged := make(map[int64]*series.Agg)
+	for _, s := range r.shards {
+		rr, is := s.(storage.RollupReader)
+		if !is {
+			return nil, false, nil
+		}
+		bs, has, err := rr.SeriesZoneBuckets(ctx, zone, from, to)
+		if err != nil {
+			return nil, true, err
+		}
+		if !has {
+			return nil, false, nil
+		}
+		mergeBuckets(merged, bs)
+	}
+	return sortedBuckets(merged), true, nil
+}
+
+// SeriesAllBuckets implements storage.RollupReader: the whole-city
+// forecast sweep input, merged per zone in fixed shard order.
+func (r *Router) SeriesAllBuckets(ctx context.Context, from, to time.Time) (map[string][]series.Bucket, bool, error) {
+	merged := make(map[string]map[int64]*series.Agg)
+	for _, s := range r.shards {
+		rr, is := s.(storage.RollupReader)
+		if !is {
+			return nil, false, nil
+		}
+		m, has, err := rr.SeriesAllBuckets(ctx, from, to)
+		if err != nil {
+			return nil, true, err
+		}
+		if !has {
+			return nil, false, nil
+		}
+		for zone, bs := range m {
+			zm := merged[zone]
+			if zm == nil {
+				zm = make(map[int64]*series.Agg)
+				merged[zone] = zm
+			}
+			mergeBuckets(zm, bs)
+		}
+	}
+	out := make(map[string][]series.Bucket, len(merged))
+	for zone, zm := range merged {
+		out[zone] = sortedBuckets(zm)
+	}
+	return out, true, nil
+}
+
+func mergeBuckets(into map[int64]*series.Agg, bs []series.Bucket) {
+	for i := range bs {
+		a := into[bs[i].Start]
+		if a == nil {
+			a = &series.Agg{}
+			into[bs[i].Start] = a
+		}
+		a.Merge(&bs[i].Agg)
+	}
+}
+
+func sortedBuckets(m map[int64]*series.Agg) []series.Bucket {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]series.Bucket, 0, len(m))
+	for start, a := range m {
+		out = append(out, series.Bucket{Start: start, Agg: *a})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
 }
 
 // SeriesStats implements storage.SeriesQuerier: counters summed

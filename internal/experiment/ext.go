@@ -9,6 +9,7 @@ import (
 	"github.com/urbancivics/goflow/internal/adaptive"
 	"github.com/urbancivics/goflow/internal/assim"
 	"github.com/urbancivics/goflow/internal/device"
+	"github.com/urbancivics/goflow/internal/predict"
 	"github.com/urbancivics/goflow/internal/sensing"
 )
 
@@ -176,6 +177,39 @@ func ExtStream(seed int64) (*Result, error) {
 			streamRMSE < bgRMSE*0.5, fmt.Sprintf("%.2f -> %.2f dB", bgRMSE, streamRMSE)),
 		checkTrue("streaming stays close to the joint analysis",
 			gap < 1.0, fmt.Sprintf("gap %.2f dB", gap)),
+	)
+	return out, nil
+}
+
+// ExtForecast evaluates the predictive layer: T+30 per-zone exposure
+// forecasts (EWMA blended with a trailing-window trend) scored against
+// the seeded deployment's noise-free ground truth, with the naive
+// persistence baseline ("T+30 equals the latest bucket") on the same
+// instants.
+func ExtForecast(seed int64) (*Result, error) {
+	res, err := predict.RunEval(predict.EvalConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		ID:     "ext4",
+		Title:  "T+30 exposure forecasts: EWMA+trend model vs persistence baseline",
+		Header: []string{"metric", "model", "persistence"},
+		Rows: [][]string{
+			{"forecasts scored", fmt.Sprintf("%d", res.Forecasts), fmt.Sprintf("%d", res.Forecasts)},
+			{"MAE dB", fmt.Sprintf("%.3f", res.ModelMAE), fmt.Sprintf("%.3f", res.PersistMAE)},
+			{"RMSE dB", fmt.Sprintf("%.3f", res.ModelRMSE), fmt.Sprintf("%.3f", res.PersistRMSE)},
+		},
+	}
+	out.Checks = append(out.Checks,
+		checkTrue("model beats the persistence baseline on MAE",
+			res.ModelMAE < res.PersistMAE,
+			fmt.Sprintf("%.3f vs %.3f dB (%.1f%% better)", res.ModelMAE, res.PersistMAE, 100*res.Improvement())),
+		checkTrue("model beats the persistence baseline on RMSE",
+			res.ModelRMSE < res.PersistRMSE,
+			fmt.Sprintf("%.3f vs %.3f dB", res.ModelRMSE, res.PersistRMSE)),
+		checkTrue("forecast error stays within 2 dB MAE",
+			res.ModelMAE <= 2.0, fmt.Sprintf("%.3f dB", res.ModelMAE)),
 	)
 	return out, nil
 }

@@ -16,7 +16,8 @@ type Suite struct {
 	// Seed drives all randomness.
 	Seed int64
 	// Extensions also runs the Section 8 future-work experiments
-	// (crowd-calibration, adaptive scheduling, streaming BLUE).
+	// (crowd-calibration, adaptive scheduling, streaming BLUE,
+	// exposure forecasting).
 	Extensions bool
 }
 
@@ -53,6 +54,7 @@ func (s Suite) RunAll() ([]*Result, error) {
 			entry{"ext1", func() (*Result, error) { return ExtCrowdCal(ds) }},
 			entry{"ext2", func() (*Result, error) { return ExtAdaptive(s.Seed) }},
 			entry{"ext3", func() (*Result, error) { return ExtStream(s.Seed) }},
+			entry{"ext4", func() (*Result, error) { return ExtForecast(s.Seed) }},
 		)
 	}
 	results := make([]*Result, 0, len(entries))

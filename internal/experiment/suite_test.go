@@ -18,8 +18,8 @@ func TestSuiteReproducesAllShapeTargets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 18 {
-		t.Fatalf("ran %d experiments, want 18 (15 figures + 3 extensions)", len(results))
+	if len(results) != 19 {
+		t.Fatalf("ran %d experiments, want 19 (15 figures + 4 extensions)", len(results))
 	}
 	for _, r := range results {
 		for _, c := range r.Checks {

@@ -62,18 +62,11 @@ func (g *ZoneGrid) Cols() int { return g.cols }
 // ZoneID returns the zone identifier for p, or the out-of-area id
 // "<CC>XXXXX" when p lies outside the grid box.
 func (g *ZoneGrid) ZoneID(p Point) string {
-	if !g.box.Contains(p) {
+	r, c, ok := g.Cell(p)
+	if !ok {
 		return g.country + "XXXXX"
 	}
-	r := int((p.Lat - g.box.Min.Lat) / g.cellLat)
-	c := int((p.Lon - g.box.Min.Lon) / g.cellLon)
-	if r >= g.rows {
-		r = g.rows - 1
-	}
-	if c >= g.cols {
-		c = g.cols - 1
-	}
-	return fmt.Sprintf("%s%s%03d", g.country, g.prefix, r*g.cols+c+1)
+	return g.ZoneOf(r, c)
 }
 
 // ZoneCenter inverts ZoneID: it returns the center point of the named
@@ -83,26 +76,61 @@ func (g *ZoneGrid) ZoneID(p Point) string {
 // engine's rollups) carry only zone ids; this is how they get back a
 // representative coordinate for mapping and assimilation.
 func (g *ZoneGrid) ZoneCenter(id string) (Point, bool) {
+	row, col, ok := g.ZoneCell(id)
+	if !ok {
+		return Point{}, false
+	}
+	return g.CellCenter(row, col), true
+}
+
+// ZoneCell inverts ZoneID to the grid cell (row, col). The third
+// result is false for ids this grid did not produce — foreign
+// country/prefix, the out-of-area id, or a cell index outside the
+// grid. The quiet-path rerouter uses it to lay predicted per-zone
+// exposures onto the cell graph it searches.
+func (g *ZoneGrid) ZoneCell(id string) (row, col int, ok bool) {
 	head := g.country + g.prefix
 	if !strings.HasPrefix(id, head) {
-		return Point{}, false
+		return 0, 0, false
 	}
 	idx := 0
 	digits := id[len(head):]
 	if len(digits) == 0 {
-		return Point{}, false
+		return 0, 0, false
 	}
 	for _, r := range digits {
 		if r < '0' || r > '9' {
-			return Point{}, false
+			return 0, 0, false
 		}
 		idx = idx*10 + int(r-'0')
 	}
 	idx-- // ids are 1-based
 	if idx < 0 || idx >= g.rows*g.cols {
-		return Point{}, false
+		return 0, 0, false
 	}
-	return g.CellCenter(idx/g.cols, idx%g.cols), true
+	return idx / g.cols, idx % g.cols, true
+}
+
+// Cell maps a point to its grid cell, clamping edge coordinates the
+// way ZoneID does. ok is false when p lies outside the grid box.
+func (g *ZoneGrid) Cell(p Point) (row, col int, ok bool) {
+	if !g.box.Contains(p) {
+		return 0, 0, false
+	}
+	r := int((p.Lat - g.box.Min.Lat) / g.cellLat)
+	c := int((p.Lon - g.box.Min.Lon) / g.cellLon)
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return r, c, true
+}
+
+// ZoneOf names the cell (row, col) the way ZoneID would.
+func (g *ZoneGrid) ZoneOf(row, col int) string {
+	return fmt.Sprintf("%s%s%03d", g.country, g.prefix, row*g.cols+col+1)
 }
 
 // CellCenter returns the center point of the zone cell (row, col).

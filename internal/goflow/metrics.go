@@ -8,6 +8,7 @@ import (
 	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/mq"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/predict"
 	"github.com/urbancivics/goflow/internal/series"
 	"github.com/urbancivics/goflow/internal/wal"
 )
@@ -460,6 +461,56 @@ func (m *Metrics) InstrumentSeries(db *series.DB) {
 	})
 }
 
+// InstrumentPredict registers the predict_* families and feeds them
+// from the forecaster's hooks. Created here, not unconditionally, so
+// servers running without -predict don't expose dead zero-valued
+// series.
+func (m *Metrics) InstrumentPredict(f *predict.Forecaster) {
+	if f == nil {
+		return
+	}
+	sweeps := m.reg.Counter("predict_sweeps_total",
+		"Whole-city forecast sweeps.")
+	forecastZones := m.reg.Gauge("predict_forecast_zones",
+		"Zones with a forecast in the latest sweep.")
+	coldZones := m.reg.Gauge("predict_cold_zones",
+		"Zones skipped in the latest sweep for insufficient history.")
+	sweepDur := m.reg.Histogram("predict_sweep_duration_seconds",
+		"Whole-city forecast sweep latency.", nil)
+	zoneReqs := m.reg.CounterVec("predict_zone_forecasts_total",
+		"Single-zone forecast requests, by outcome.", "outcome")
+	zoneDur := m.reg.Histogram("predict_zone_forecast_duration_seconds",
+		"Single-zone forecast latency.", nil)
+	reroutes := m.reg.CounterVec("predict_reroutes_total",
+		"Quiet-route requests, by outcome.", "outcome")
+	rerouteDur := m.reg.Histogram("predict_reroute_duration_seconds",
+		"Quiet-route scoring latency (sweep plus path search).", nil)
+	f.SetHooks(&predict.Hooks{
+		Sweep: func(zones, cold int, d time.Duration) {
+			sweeps.Inc()
+			forecastZones.Set(float64(zones))
+			coldZones.Set(float64(cold))
+			sweepDur.ObserveDuration(d)
+		},
+		Zone: func(ok bool, d time.Duration) {
+			if ok {
+				zoneReqs.With("forecast").Inc()
+			} else {
+				zoneReqs.With("cold").Inc()
+			}
+			zoneDur.ObserveDuration(d)
+		},
+		Reroute: func(rerouted bool, d time.Duration) {
+			if rerouted {
+				reroutes.With("rerouted").Inc()
+			} else {
+				reroutes.With("kept").Inc()
+			}
+			rerouteDur.ObserveDuration(d)
+		},
+	})
+}
+
 // InstrumentLive registers the live_* families and feeds them from
 // the broker's live fan-out hooks and the hub. Like InstrumentWAL,
 // the families are created here so servers running without live
@@ -538,5 +589,6 @@ func Instrument(reg *obs.Registry, s *Server, store *docstore.Store) *Metrics {
 	m.InstrumentServer(s)
 	m.InstrumentAdmission(s.Guard)
 	m.InstrumentLive(s)
+	m.InstrumentPredict(s.Predict)
 	return m
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/obs"
+	"github.com/urbancivics/goflow/internal/predict"
 	"github.com/urbancivics/goflow/internal/sensing"
 )
 
@@ -29,6 +30,8 @@ import (
 //	GET  /v1/apps/{app}/analytics
 //	GET  /v1/apps/{app}/zones/{zone}/noise  per-zone noise summary
 //	GET  /v1/apps/{app}/noisemap          noise summary of every zone
+//	GET  /v1/zones/{zone}/forecast        T+30 exposure forecast for a zone
+//	GET  /v1/noisemap/forecast            forecast for every warm zone
 //	POST /v1/apps/{app}/jobs              submit a background job
 //	GET  /v1/jobs/{id}                    job status
 //	GET  /v1/healthz
@@ -62,6 +65,8 @@ func (h *apiHandler) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/apps/{app}/analytics", g(guard.ClassAnalytics, h.analytics))
 	mux.HandleFunc("GET /v1/apps/{app}/zones/{zone}/noise", g(guard.ClassAnalytics, h.zoneNoise))
 	mux.HandleFunc("GET /v1/apps/{app}/noisemap", g(guard.ClassAnalytics, h.noisemap))
+	mux.HandleFunc("GET /v1/zones/{zone}/forecast", g(guard.ClassAnalytics, h.zoneForecast))
+	mux.HandleFunc("GET /v1/noisemap/forecast", g(guard.ClassAnalytics, h.noisemapForecast))
 	mux.HandleFunc("POST /v1/apps/{app}/jobs", g(guard.ClassAnalytics, h.submitJob))
 	mux.HandleFunc("GET /v1/jobs/{id}", g(guard.ClassAnalytics, h.jobStatus))
 	// Live streams admit themselves (AdmitLive inside — see
@@ -139,6 +144,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusGone
 	case errors.Is(err, ErrCursorUnsupported):
 		status = http.StatusNotImplemented
+	case errors.Is(err, predict.ErrNoSeries):
+		// Forecasting is wired but the engine lost its series view —
+		// same "not available here" contract as the disabled case.
+		status = http.StatusNotImplemented
+	case errors.Is(err, predict.ErrOutsideArea):
+		status = http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		// The backend outlived its deadline: the admission timeout or
 		// client disconnect cancelled the docstore scan mid-flight.

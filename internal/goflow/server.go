@@ -12,6 +12,7 @@ import (
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/geo"
 	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/predict"
 	"github.com/urbancivics/goflow/internal/sensing"
 	"github.com/urbancivics/goflow/internal/simclock"
 	"github.com/urbancivics/goflow/internal/storage"
@@ -37,6 +38,13 @@ type Server struct {
 	// It is fed by the series point observer when a series DB is
 	// attached (see cmd/goflow-server); without one it stays empty.
 	LiveCache *LatestCache
+	// Predict serves per-zone exposure forecasts (nil unless the
+	// server was built with ServerConfig.Predict over an engine whose
+	// series view supports bucket reads).
+	Predict *predict.Forecaster
+	// Reroute proposes quiet-path alternatives over the forecasts
+	// (nil exactly when Predict is).
+	Reroute *predict.Rerouter
 
 	broker *mq.Broker
 	clock  simclock.Clock
@@ -84,6 +92,15 @@ type ServerConfig struct {
 	// Live parameterizes push subscriptions; the zero value enables
 	// them with defaults.
 	Live LiveConfig
+	// Predict, when non-nil, enables the forecasting subsystem with
+	// this model configuration (zero-value Config = defaults). It
+	// requires an engine exposing bucket-granular rollups
+	// (storage.RollupReader) — i.e. a series view attached; otherwise
+	// NewServer fails rather than silently serving no forecasts.
+	Predict *predict.Config
+	// RerouteCfg parameterizes the quiet-path rerouter (zero value =
+	// defaults); only read when Predict is set.
+	RerouteCfg predict.RerouteConfig
 }
 
 // NewServer builds a server and provisions the GoFlow broker
@@ -132,6 +149,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		LiveCache: NewLatestCache(),
 		broker:    cfg.Broker,
 		clock:     cfg.Clock,
+	}
+	if cfg.Predict != nil {
+		src, ok := data.(predict.Source)
+		if !ok {
+			return nil, errors.New("goflow: forecasting needs a storage engine with a series view (bucket rollup reads)")
+		}
+		s.Predict = predict.New(src, *cfg.Predict, cfg.Clock)
+		s.Reroute = predict.NewRerouter(cfg.Zones, s.Predict, cfg.RerouteCfg)
 	}
 	return s, nil
 }

@@ -178,7 +178,9 @@ func (db *DB) CheckpointVia(wrap func(io.Writer) io.Writer) error {
 	}
 	start := time.Now()
 	if db.opts.Retention > 0 {
-		db.ApplyRetention(time.Now().Add(-db.opts.Retention))
+		// The cutoff comes from the injected clock (Options.Now), not
+		// the wall: simulated deployments age data on simulated time.
+		db.ApplyRetention(db.now().Add(-db.opts.Retention))
 	}
 
 	db.mu.Lock()

@@ -73,6 +73,11 @@ type Options struct {
 	// Retention drops raw chunks older than this at checkpoints (0 =
 	// keep raw data forever). Rollups are always kept.
 	Retention time.Duration
+	// Now supplies the current time for the retention cutoff at
+	// checkpoints (nil = time.Now). Deterministic experiment runs and
+	// retention tests inject a simulated clock here so "older than
+	// Retention" is measured against simulated time, not the wall.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -419,6 +424,14 @@ func (db *DB) rebuildRollupsLocked() {
 
 // h loads the hooks (nil when none are attached).
 func (db *DB) h() *Hooks { return db.hooks.Load() }
+
+// now reads the injected clock (wall time when none was configured).
+func (db *DB) now() time.Time {
+	if db.opts.Now != nil {
+		return db.opts.Now()
+	}
+	return time.Now()
+}
 
 // alignDown floors ts to a multiple of width (correct for negative
 // ts too, though observation times never are).

@@ -10,7 +10,9 @@ import (
 	"github.com/urbancivics/goflow/internal/docstore"
 	"github.com/urbancivics/goflow/internal/geo"
 	"github.com/urbancivics/goflow/internal/goflow"
+	"github.com/urbancivics/goflow/internal/guard"
 	"github.com/urbancivics/goflow/internal/mq"
+	"github.com/urbancivics/goflow/internal/predict"
 	"github.com/urbancivics/goflow/internal/sensing"
 )
 
@@ -29,6 +31,7 @@ import (
 //	GET  /me/journeys            journeys visible to the user
 //	GET  /noisemap               city noise map with health bands
 //	POST /feedback               submit a feedback report
+//	POST /quiet-route            quieter-path suggestion from forecasts
 type userAPI struct {
 	server *goflow.Server
 	store  *docstore.Store
@@ -75,6 +78,9 @@ func NewUserAPI(cfg APIConfig) (http.Handler, error) {
 	mux.HandleFunc("GET /me/journeys", api.myJourneys)
 	mux.HandleFunc("GET /noisemap", api.noisemap)
 	mux.HandleFunc("POST /feedback", api.postFeedback)
+	// Quiet routing is a forecast read: analytics class, first to shed
+	// under overload, never ahead of ingest.
+	mux.HandleFunc("POST /quiet-route", cfg.Server.Guard.Guard(guard.ClassAnalytics, api.quietRoute))
 	return mux, nil
 }
 
@@ -252,4 +258,98 @@ func (a *userAPI) postFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusAccepted)
 	writeUserJSON(w, map[string]string{"status": "routed"})
+}
+
+// quietRouteRequest is the POST /quiet-route body.
+type quietRouteRequest struct {
+	From geo.Point `json:"from"`
+	To   geo.Point `json:"to"`
+}
+
+// quietRoutePath is a candidate path with its predicted exposure
+// classified into the health bands users know from their reports.
+type quietRoutePath struct {
+	predict.Path
+	Band HealthBand `json:"band"`
+}
+
+// quietRouteResponse mirrors predict.RouteSuggestion with banded paths.
+type quietRouteResponse struct {
+	Default     quietRoutePath  `json:"default"`
+	Alternative *quietRoutePath `json:"alternative,omitempty"`
+	Rerouted    bool            `json:"rerouted"`
+	ThresholdDB float64         `json:"thresholdDb"`
+	GeneratedAt time.Time       `json:"generatedAt"`
+	Target      time.Time       `json:"target"`
+}
+
+// quietRoute extends the Journey mode into navigation: score the
+// caller's origin→destination path by predicted exposure and propose a
+// quieter alternative when the default's forecast crosses the
+// health-band threshold. Accepted reroutes are announced through the
+// broker so live subscribers (and the user's other devices) see them.
+func (a *userAPI) quietRoute(w http.ResponseWriter, r *http.Request) {
+	client, ok := a.authenticate(w, r)
+	if !ok {
+		return
+	}
+	if a.server.Reroute == nil {
+		writeUserErr(w, http.StatusNotImplemented,
+			"quiet routing not enabled on this server (start with -predict over a -series engine)")
+		return
+	}
+	var req quietRouteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeUserErr(w, http.StatusBadRequest, "bad request body")
+		return
+	}
+	if err := req.From.Validate(); err != nil {
+		writeUserErr(w, http.StatusBadRequest, "bad 'from' point: "+err.Error())
+		return
+	}
+	if err := req.To.Validate(); err != nil {
+		writeUserErr(w, http.StatusBadRequest, "bad 'to' point: "+err.Error())
+		return
+	}
+	sug, err := a.server.Reroute.QuietRoute(r.Context(), req.From, req.To)
+	switch {
+	case errors.Is(err, predict.ErrOutsideArea):
+		writeUserErr(w, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, predict.ErrNoSeries):
+		writeUserErr(w, http.StatusNotImplemented, err.Error())
+		return
+	case err != nil:
+		writeUserErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := quietRouteResponse{
+		Default:     quietRoutePath{Path: sug.Default, Band: BandOf(sug.Default.LAeqDB)},
+		Rerouted:    sug.Rerouted,
+		ThresholdDB: sug.ThresholdDB,
+		GeneratedAt: sug.GeneratedAt,
+		Target:      sug.Target,
+	}
+	if sug.Alternative != nil {
+		resp.Alternative = &quietRoutePath{Path: *sug.Alternative, Band: BandOf(sug.Alternative.LAeqDB)}
+	}
+	if sug.Rerouted && a.broker != nil {
+		a.announceReroute(client.ID, req.From, &resp)
+	}
+	writeUserJSON(w, resp)
+}
+
+// announceReroute publishes an accepted reroute on the client's
+// exchange keyed by the journey's start zone, mirroring the feedback
+// route: zone subscribers (PR 8 live feeds included) see which areas
+// navigation is steering users away from. Best effort — a full broker
+// must not fail the routing answer.
+func (a *userAPI) announceReroute(clientID string, from geo.Point, resp *quietRouteResponse) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	zone := a.zones.ZoneID(from)
+	key := AppID + "." + clientID + "." + DatatypeReroute + "." + zone
+	_, _ = a.broker.PublishAt("E."+clientID, key, nil, body, resp.GeneratedAt)
 }

@@ -23,6 +23,8 @@ const (
 	DatatypeObservation = "obs"
 	DatatypeFeedback    = "feedback"
 	DatatypeJourney     = "journey"
+	DatatypeForecast    = "forecast"
+	DatatypeReroute     = "reroute"
 )
 
 // DefaultPolicy is SoundCity's open-data declaration: measured levels

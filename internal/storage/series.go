@@ -45,6 +45,22 @@ type SeriesQuerier interface {
 	SeriesStats() (series.Stats, bool)
 }
 
+// RollupReader is the optional bucket-granular read surface the
+// forecasting subsystem (internal/predict) needs: the window's rollup
+// buckets as a time series instead of one collapsed aggregate.
+// Discovered by type assertion like SeriesQuerier; the bool result is
+// false when no series is attached. The cluster Router merges shard
+// buckets in fixed shard order, so the merged series — and any
+// forecast fitted over it — is bit-identical run to run.
+type RollupReader interface {
+	// SeriesZoneBuckets returns one zone's buckets with start in
+	// [from, to), ascending.
+	SeriesZoneBuckets(ctx context.Context, zone string, from, to time.Time) ([]series.Bucket, bool, error)
+	// SeriesAllBuckets returns every zone's buckets with start in
+	// [from, to), each ascending.
+	SeriesAllBuckets(ctx context.Context, from, to time.Time) (map[string][]series.Bucket, bool, error)
+}
+
 // Series returns the engine's series DB (nil when none is attached).
 func (l *Local) Series() *series.DB { return l.series }
 
@@ -124,4 +140,22 @@ func (l *Local) SeriesStats() (series.Stats, bool) {
 		return series.Stats{}, false
 	}
 	return l.series.Stats(), true
+}
+
+// SeriesZoneBuckets implements RollupReader.
+func (l *Local) SeriesZoneBuckets(ctx context.Context, zone string, from, to time.Time) ([]series.Bucket, bool, error) {
+	if l.series == nil {
+		return nil, false, nil
+	}
+	bs, err := l.series.ZoneBuckets(ctx, zone, from, to)
+	return bs, true, err
+}
+
+// SeriesAllBuckets implements RollupReader.
+func (l *Local) SeriesAllBuckets(ctx context.Context, from, to time.Time) (map[string][]series.Bucket, bool, error) {
+	if l.series == nil {
+		return nil, false, nil
+	}
+	m, err := l.series.AllBuckets(ctx, from, to)
+	return m, true, err
 }

@@ -167,6 +167,14 @@ func (l *Local) ImportSnapshot(stagingPath string, lsn uint64) error {
 		return fmt.Errorf("storage: remove staged snapshot: %w", err)
 	}
 	if l.wal != nil {
+		// Reset refuses to run with appends pending, and under
+		// FsyncNone the group-commit buffer drains asynchronously —
+		// a pre-import write may still sit in it even though its
+		// Insert returned. Those records are exactly the discarded
+		// local history, so flush them to the doomed segments first.
+		if err := l.wal.Sync(); err != nil {
+			return fmt.Errorf("storage: quiesce wal before import reset: %w", err)
+		}
 		if err := l.wal.Reset(lsn + 1); err != nil {
 			return fmt.Errorf("storage: reset wal after import: %w", err)
 		}
